@@ -1,0 +1,255 @@
+// Benchmarks regenerating the paper's evaluation: every row and column of
+// Table I (quorum semantics) and Table II (transition refinement), plus
+// ablations over the design choices called out in DESIGN.md (seed
+// heuristics, best-seed search, state stores, symmetry reduction).
+//
+// Each benchmark iteration performs one full model-checking run and
+// reports the explored state count as the "states" metric — the number the
+// paper's tables print. Wall-clock per op is the "time" column analogue.
+//
+// Cells that the paper reports as timeouts (stateless DPOR on Paxos) are
+// capped by a budget (default 15s, override MPBASSET_BENCH_BUDGET) and
+// report the states explored within it, like the paper's ">16,087,468"
+// lower bounds. Set MPBASSET_PAPER=1 to include the paper-scale Echo
+// Multicast (3,1,1,1) row of Table II.
+package mpbasset_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"mpbasset"
+	"mpbasset/internal/core"
+	"mpbasset/internal/eval"
+	"mpbasset/internal/explore"
+	"mpbasset/internal/por"
+	"mpbasset/internal/protocols/multicast"
+	"mpbasset/internal/protocols/paxos"
+	"mpbasset/internal/protocols/storage"
+	"mpbasset/internal/refine"
+)
+
+func benchBudget() time.Duration {
+	if s := os.Getenv("MPBASSET_BENCH_BUDGET"); s != "" {
+		if d, err := time.ParseDuration(s); err == nil {
+			return d
+		}
+	}
+	return 15 * time.Second
+}
+
+func paperScale() bool { return os.Getenv("MPBASSET_PAPER") == "1" }
+
+func reportCell(b *testing.B, c eval.Cell) {
+	b.Helper()
+	if c.Err != nil {
+		b.Fatal(c.Err)
+	}
+	b.ReportMetric(float64(c.States), "states")
+	b.ReportMetric(float64(c.Events), "events")
+}
+
+// benchTarget couples a table line with its protocol constructors.
+type benchTarget struct {
+	name    string
+	quorum  func() (*core.Protocol, error)
+	single  func() (*core.Protocol, error)
+	dporCol bool // false: the paper used unreduced stateful search instead
+}
+
+func benchTargets(b *testing.B) []benchTarget {
+	b.Helper()
+	mk := func(p *core.Protocol, err error) func() (*core.Protocol, error) {
+		return func() (*core.Protocol, error) { return p, err }
+	}
+	paxosCfg := func(m paxos.Model, faulty bool) func() (*core.Protocol, error) {
+		return mk(paxos.New(paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1, Model: m, Faulty: faulty}))
+	}
+	mcast := func(hr, hi, br, bi int, m multicast.Model) func() (*core.Protocol, error) {
+		return mk(multicast.New(multicast.Config{
+			HonestReceivers: hr, HonestInitiators: hi,
+			ByzantineReceivers: br, ByzantineInitiators: bi, Model: m,
+		}))
+	}
+	store := func(objs, readers int, wrong bool, m storage.Model) func() (*core.Protocol, error) {
+		return mk(storage.New(storage.Config{Objects: objs, Readers: readers, WrongRegularity: wrong, Model: m}))
+	}
+	return []benchTarget{
+		{"Paxos_231", paxosCfg(paxos.ModelQuorum, false), paxosCfg(paxos.ModelSingle, false), true},
+		{"FaultyPaxos_231", paxosCfg(paxos.ModelQuorum, true), paxosCfg(paxos.ModelSingle, true), true},
+		{"Multicast_3011", mcast(3, 0, 1, 1, multicast.ModelQuorum), mcast(3, 0, 1, 1, multicast.ModelSingle), true},
+		{"Multicast_2101", mcast(2, 1, 0, 1, multicast.ModelQuorum), mcast(2, 1, 0, 1, multicast.ModelSingle), true},
+		{"Multicast_2121_wrong", mcast(2, 1, 2, 1, multicast.ModelQuorum), mcast(2, 1, 2, 1, multicast.ModelSingle), true},
+		{"Storage_31", store(3, 1, false, storage.ModelQuorum), store(3, 1, false, storage.ModelSingle), false},
+		{"Storage_32_wrong", store(3, 2, true, storage.ModelQuorum), store(3, 2, true, storage.ModelSingle), false},
+	}
+}
+
+// BenchmarkTable1 regenerates the three columns of the paper's Table I for
+// every row.
+func BenchmarkTable1(b *testing.B) {
+	opts := eval.Options{Budget: benchBudget()}
+	for _, tg := range benchTargets(b) {
+		tg := tg
+		baseline := "NoQuorumDPOR"
+		if !tg.dporCol {
+			baseline = "NoQuorumUnreduced"
+		}
+		b.Run(tg.name+"/"+baseline, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := tg.single()
+				if err != nil {
+					b.Fatal(err)
+				}
+				var c eval.Cell
+				if tg.dporCol {
+					c = eval.RunDPOR(baseline, p, opts)
+				} else {
+					c = eval.RunUnreduced(baseline, p, opts)
+				}
+				reportCell(b, c)
+			}
+		})
+		b.Run(tg.name+"/NoQuorumSPOR", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := tg.single()
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportCell(b, eval.RunSPOR("NoQuorumSPOR", p, opts))
+			}
+		})
+		b.Run(tg.name+"/QuorumSPOR", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := tg.quorum()
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportCell(b, eval.RunSPOR("QuorumSPOR", p, opts))
+			}
+		})
+	}
+}
+
+// BenchmarkTable2 regenerates the four columns of the paper's Table II:
+// all quorum models, SPOR, with the four split strategies.
+func BenchmarkTable2(b *testing.B) {
+	opts := eval.Options{Budget: benchBudget()}
+	targets := benchTargets(b)
+	if paperScale() {
+		targets = append(targets, benchTarget{
+			name: "Multicast_3111",
+			quorum: func() (*core.Protocol, error) {
+				return multicast.New(multicast.Config{HonestReceivers: 3, HonestInitiators: 1, ByzantineReceivers: 1, ByzantineInitiators: 1})
+			},
+		})
+	}
+	for _, tg := range targets {
+		tg := tg
+		for _, strat := range refine.Strategies() {
+			strat := strat
+			b.Run(fmt.Sprintf("%s/%s", tg.name, strat), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p, err := tg.quorum()
+					if err != nil {
+						b.Fatal(err)
+					}
+					sp, err := refine.Split(p, strat)
+					if err != nil {
+						b.Fatal(err)
+					}
+					reportCell(b, eval.RunSPOR(strat.String(), sp, opts))
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblation measures the design choices DESIGN.md calls out.
+func BenchmarkAblation(b *testing.B) {
+	newPaxos := func(b *testing.B) *core.Protocol {
+		p, err := paxos.New(paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	run := func(b *testing.B, p *core.Protocol, o explore.Options) {
+		o.MaxDuration = benchBudget()
+		if o.Store == nil {
+			o.Store = explore.NewHashStore()
+		}
+		res, err := explore.DFS(p, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Stats.States), "states")
+	}
+
+	b.Run("POR/off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, newPaxos(b), explore.Options{})
+		}
+	})
+	b.Run("POR/firstSeed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := newPaxos(b)
+			exp, err := por.NewExpander(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			run(b, p, explore.Options{Expander: exp})
+		}
+	})
+	b.Run("POR/bestSeed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := newPaxos(b)
+			exp, err := por.NewExpander(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exp.BestSeed = true
+			run(b, p, explore.Options{Expander: exp})
+		}
+	})
+	b.Run("Store/exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, newPaxos(b), explore.Options{Store: explore.NewExactStore()})
+		}
+	})
+	b.Run("Store/hash", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, newPaxos(b), explore.Options{Store: explore.NewHashStore()})
+		}
+	})
+	b.Run("Symmetry/on", func(b *testing.B) {
+		cfg := paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1}
+		for i := 0; i < b.N; i++ {
+			p, err := paxos.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := mpbasset.Check(p, mpbasset.Options{
+				Search:        mpbasset.SearchUnreduced,
+				SymmetryRoles: cfg.Roles(),
+				MaxDuration:   benchBudget(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Stats.States), "states")
+		}
+	})
+}
+
+// BenchmarkAnalysisExample keeps the §II-C numbers honest in CI.
+func BenchmarkAnalysisExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, penalty := eval.SmallestPaxosExample()
+		if penalty.Int64() != 169 {
+			b.Fatalf("penalty = %s, want 169", penalty)
+		}
+	}
+}

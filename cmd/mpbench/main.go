@@ -1,0 +1,74 @@
+// Command mpbench regenerates the paper's evaluation tables: Table I
+// (quorum semantics) and Table II (transition refinement), plus the
+// state-space analysis of §II-C.
+//
+//	mpbench -table 1
+//	mpbench -table 2 -budget 2m
+//	mpbench -table 2 -paper          # includes Echo Multicast (3,1,1,1)
+//	mpbench -analysis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mpbasset/internal/eval"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "table to regenerate: 1 or 2 (0 = both)")
+		budget   = flag.Duration("budget", time.Minute, "wall-clock limit per cell (the paper's 48h-timeout analogue)")
+		paper    = flag.Bool("paper", false, "run paper-scale workloads (adds Echo Multicast (3,1,1,1); doubles Paxos ballots)")
+		analysis = flag.Bool("analysis", false, "print the paper's §II-C/§IV-A state-space analysis")
+		verify   = flag.Bool("verify", true, "fail if any verdict deviates from the paper's")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of the table layout")
+	)
+	flag.Parse()
+
+	if *analysis {
+		eval.PrintAnalysis(os.Stdout)
+		return
+	}
+	opts := eval.Options{Budget: *budget, Paper: *paper}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "mpbench:", err)
+		os.Exit(1)
+	}
+	emit := func(title string, rows []eval.Row) {
+		if *jsonOut {
+			if err := eval.WriteJSON(os.Stdout, title, rows); err != nil {
+				fail(err)
+			}
+			return
+		}
+		eval.FormatRows(os.Stdout, title, rows)
+	}
+	if *table == 0 || *table == 1 {
+		rows, err := eval.Table1(opts)
+		if err != nil {
+			fail(err)
+		}
+		emit("Table I — quorum semantics (cf. paper Table I)", rows)
+		if *verify {
+			if err := eval.Verify(rows); err != nil {
+				fail(err)
+			}
+		}
+		fmt.Println()
+	}
+	if *table == 0 || *table == 2 {
+		rows, err := eval.Table2(opts)
+		if err != nil {
+			fail(err)
+		}
+		emit("Table II — transition refinement (cf. paper Table II)", rows)
+		if *verify {
+			if err := eval.Verify(rows); err != nil {
+				fail(err)
+			}
+		}
+	}
+}

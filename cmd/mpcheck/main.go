@@ -1,0 +1,189 @@
+// Command mpcheck model checks one of the bundled fault-tolerant protocols
+// under a chosen search strategy — the CLI face of the library.
+//
+// Usage examples:
+//
+//	mpcheck -protocol paxos -setting 2,3,1 -search spor
+//	mpcheck -protocol faulty-paxos -setting 2,3,1 -trace
+//	mpcheck -protocol multicast -setting 2,1,2,1 -trace -trace-dot attack.dot
+//	mpcheck -protocol storage -setting 3,2 -wrong -search unreduced
+//	mpcheck -protocol paxos -setting 2,3,1 -model single -search dpor
+//
+// Exit status: 0 verified, 2 counterexample found, 1 error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mpbasset/internal/cli"
+	"mpbasset/internal/core"
+	"mpbasset/internal/dpor"
+	"mpbasset/internal/explore"
+	"mpbasset/internal/por"
+	"mpbasset/internal/refine"
+	"mpbasset/internal/symmetry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mpcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mpcheck", flag.ContinueOnError)
+	var (
+		protocol = fs.String("protocol", "paxos", "protocol: paxos | faulty-paxos | multicast | storage")
+		setting  = fs.String("setting", "", "process counts, e.g. 2,3,1 (paxos P,A,L), 3,0,1,1 (multicast HR,HI,BR,BI), 3,1 (storage B,R)")
+		model    = fs.String("model", "quorum", "modeling style: quorum | single")
+		split    = fs.String("split", "none", "transition refinement: none | reply | quorum | combined")
+		search   = fs.String("search", "spor", "search: spor | unreduced | bfs | stateless | dpor")
+		wrong    = fs.Bool("wrong", false, "check the deliberately wrong storage specification")
+		sym      = fs.Bool("symmetry", false, "enable role-based symmetry reduction")
+		trace    = fs.Bool("trace", false, "print the annotated counterexample trace, if any")
+		budget   = fs.Duration("budget", 5*time.Minute, "wall-clock limit")
+		maxSt    = fs.Int("max-states", 0, "state limit (0 = unlimited)")
+		dotOut   = fs.String("dot", "", "write the full state graph (small models!) as Graphviz DOT to this file")
+		traceDot = fs.String("trace-dot", "", "write the counterexample trace as Graphviz DOT to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p, roles, err := cli.BuildProtocol(*protocol, *setting, *model, *wrong)
+	if err != nil {
+		return err
+	}
+	strat, err := cli.ParseSplit(*split)
+	if err != nil {
+		return err
+	}
+	if strat != refine.None {
+		if p, err = refine.Split(p, strat); err != nil {
+			return err
+		}
+	}
+
+	opts := explore.Options{
+		MaxDuration: *budget,
+		MaxStates:   *maxSt,
+		Store:       explore.NewHashStore(),
+		TrackTrace:  *trace || *traceDot != "",
+	}
+	if *sym {
+		canon, err := symmetry.New(p.N, roles)
+		if err != nil {
+			return err
+		}
+		opts.Canon = canon.Canon
+		fmt.Printf("symmetry group: %d permutations\n", canon.NumPermutations())
+	}
+
+	var engine func(*core.Protocol, explore.Options) (*explore.Result, error)
+	switch *search {
+	case "spor":
+		exp, err := por.NewExpander(p)
+		if err != nil {
+			return err
+		}
+		opts.Expander = exp
+		engine = explore.DFS
+	case "unreduced":
+		engine = explore.DFS
+	case "bfs":
+		engine = explore.BFS
+	case "stateless":
+		engine = explore.StatelessDFS
+	case "dpor":
+		engine = dpor.Explore
+	default:
+		return fmt.Errorf("unknown search %q", *search)
+	}
+
+	fmt.Printf("checking %s [%s, %s]\n", p.Name, *search, strat)
+	if *dotOut != "" {
+		if err := writeGraphDOT(p, *dotOut); err != nil {
+			return err
+		}
+	}
+	res, err := engine(p, opts)
+	if err != nil {
+		return err
+	}
+	report(res)
+	if *trace && len(res.Trace) > 0 {
+		fmt.Println("counterexample:")
+		if err := explore.RenderTrace(os.Stdout, p, res.Trace); err != nil {
+			return err
+		}
+	}
+	if *traceDot != "" && len(res.Trace) > 0 {
+		if err := writeTraceDOT(p, res.Trace, *traceDot); err != nil {
+			return err
+		}
+	}
+	if res.Verdict == explore.VerdictViolated {
+		os.Exit(2)
+	}
+	return nil
+}
+
+func report(res *explore.Result) {
+	st := res.Stats
+	fmt.Printf("verdict:   %s\n", res.Verdict)
+	if res.Violation != nil {
+		fmt.Printf("violation: %v\n", res.Violation)
+	}
+	fmt.Printf("states:    %d (%d revisits)\n", st.States, st.Revisits)
+	fmt.Printf("events:    %d\n", st.Events)
+	fmt.Printf("deadlocks: %d\n", st.Deadlocks)
+	fmt.Printf("depth:     %d\n", st.MaxDepth)
+	fmt.Printf("time:      %s\n", st.Duration.Round(time.Millisecond))
+	if st.ReducedExpansions+st.FullExpansions > 0 {
+		fmt.Printf("expansions: %d reduced / %d full\n", st.ReducedExpansions, st.FullExpansions)
+	}
+}
+
+func writeGraphDOT(p *core.Protocol, path string) error {
+	g, err := explore.BuildGraph(p, 200000)
+	if err != nil {
+		return fmt.Errorf("state graph for -dot: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.WriteDOT(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("state graph (%d states, %d edges) written to %s\n", len(g.Nodes), g.NumEdges(), path)
+	return nil
+}
+
+func writeTraceDOT(p *core.Protocol, trace []explore.Step, path string) error {
+	init, err := p.InitialState()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := explore.WriteTraceDOT(f, init.Key(), trace); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace written to %s\n", path)
+	return nil
+}

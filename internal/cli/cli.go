@@ -1,0 +1,106 @@
+// Package cli holds the testable core of the command-line tools: parsing
+// protocol settings and instantiating the bundled protocol models.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mpbasset/internal/core"
+	"mpbasset/internal/protocols/multicast"
+	"mpbasset/internal/protocols/paxos"
+	"mpbasset/internal/protocols/storage"
+	"mpbasset/internal/refine"
+)
+
+// ParseInts parses a comma-separated setting like "2,3,1".
+func ParseInts(s string, want int, what string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != want {
+		return nil, fmt.Errorf("setting %q: want %d comma-separated numbers (%s)", s, want, what)
+	}
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("setting %q: %v", s, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// BuildProtocol instantiates a bundled protocol from CLI-style arguments.
+// It returns the protocol plus its symmetry roles. Supported protocols:
+// "paxos", "faulty-paxos", "multicast", "storage"; model is "quorum"
+// (default) or "single"; wrong selects the deliberately wrong storage
+// specification. An empty setting selects the paper's default instance.
+func BuildProtocol(protocol, setting, model string, wrong bool) (*core.Protocol, [][]core.ProcessID, error) {
+	single := model == "single"
+	if model != "" && model != "quorum" && !single {
+		return nil, nil, fmt.Errorf("unknown model %q (want quorum or single)", model)
+	}
+	switch protocol {
+	case "paxos", "faulty-paxos":
+		if setting == "" {
+			setting = "2,3,1"
+		}
+		v, err := ParseInts(setting, 3, "proposers,acceptors,learners")
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := paxos.Config{Proposers: v[0], Acceptors: v[1], Learners: v[2], Faulty: protocol == "faulty-paxos"}
+		if single {
+			cfg.Model = paxos.ModelSingle
+		}
+		p, err := paxos.New(cfg)
+		return p, cfg.Roles(), err
+	case "multicast":
+		if setting == "" {
+			setting = "3,0,1,1"
+		}
+		v, err := ParseInts(setting, 4, "honest receivers,honest initiators,byzantine receivers,byzantine initiators")
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := multicast.Config{HonestReceivers: v[0], HonestInitiators: v[1], ByzantineReceivers: v[2], ByzantineInitiators: v[3]}
+		if single {
+			cfg.Model = multicast.ModelSingle
+		}
+		p, err := multicast.New(cfg)
+		return p, cfg.Roles(), err
+	case "storage":
+		if setting == "" {
+			setting = "3,1"
+		}
+		v, err := ParseInts(setting, 2, "objects,readers")
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := storage.Config{Objects: v[0], Readers: v[1], WrongRegularity: wrong}
+		if single {
+			cfg.Model = storage.ModelSingle
+		}
+		p, err := storage.New(cfg)
+		return p, cfg.Roles(), err
+	default:
+		return nil, nil, fmt.Errorf("unknown protocol %q (want paxos, faulty-paxos, multicast or storage)", protocol)
+	}
+}
+
+// ParseSplit maps a CLI split name to a refinement strategy.
+func ParseSplit(s string) (refine.Strategy, error) {
+	switch s {
+	case "", "none":
+		return refine.None, nil
+	case "reply":
+		return refine.Reply, nil
+	case "quorum":
+		return refine.Quorum, nil
+	case "combined":
+		return refine.Combined, nil
+	default:
+		return 0, fmt.Errorf("unknown split %q (want none, reply, quorum or combined)", s)
+	}
+}

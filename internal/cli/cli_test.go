@@ -1,0 +1,100 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"mpbasset/internal/refine"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts(" 2, 3 ,1", 3, "x")
+	if err != nil || got[0] != 2 || got[1] != 3 || got[2] != 1 {
+		t.Fatalf("ParseInts = %v, %v", got, err)
+	}
+	if _, err := ParseInts("2,3", 3, "x"); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := ParseInts("2,a,1", 3, "x"); err == nil {
+		t.Error("non-numeric accepted")
+	}
+}
+
+func TestBuildProtocolDefaults(t *testing.T) {
+	cases := []struct {
+		protocol string
+		wantName string
+		wantN    int
+	}{
+		{"paxos", "Paxos(2,3,1)/quorum", 6},
+		{"faulty-paxos", "FaultyPaxos(2,3,1)/quorum", 6},
+		{"multicast", "EchoMulticast(3,0,1,1)/quorum", 5},
+		{"storage", "RegularStorage(3,1)/quorum", 5},
+	}
+	for _, tc := range cases {
+		p, roles, err := BuildProtocol(tc.protocol, "", "", false)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.protocol, err)
+		}
+		if p.Name != tc.wantName {
+			t.Errorf("%s: name %q, want %q", tc.protocol, p.Name, tc.wantName)
+		}
+		if p.N != tc.wantN {
+			t.Errorf("%s: N = %d, want %d", tc.protocol, p.N, tc.wantN)
+		}
+		if len(roles) == 0 {
+			t.Errorf("%s: no symmetry roles", tc.protocol)
+		}
+	}
+}
+
+func TestBuildProtocolVariants(t *testing.T) {
+	p, _, err := BuildProtocol("paxos", "1,5,2", "single", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Name, "(1,5,2)/single") {
+		t.Errorf("name = %q", p.Name)
+	}
+	w, _, err := BuildProtocol("storage", "3,2", "quorum", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(w.Name, "WrongRegularity") {
+		t.Errorf("wrong-spec name = %q", w.Name)
+	}
+}
+
+func TestBuildProtocolErrors(t *testing.T) {
+	if _, _, err := BuildProtocol("nope", "", "", false); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if _, _, err := BuildProtocol("paxos", "1,2", "", false); err == nil {
+		t.Error("wrong setting arity accepted")
+	}
+	if _, _, err := BuildProtocol("paxos", "2,3,1", "weird", false); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, _, err := BuildProtocol("multicast", "0,0,0,0", "", false); err == nil {
+		t.Error("empty multicast accepted")
+	}
+}
+
+func TestParseSplit(t *testing.T) {
+	want := map[string]refine.Strategy{
+		"":         refine.None,
+		"none":     refine.None,
+		"reply":    refine.Reply,
+		"quorum":   refine.Quorum,
+		"combined": refine.Combined,
+	}
+	for in, w := range want {
+		got, err := ParseSplit(in)
+		if err != nil || got != w {
+			t.Errorf("ParseSplit(%q) = %v, %v; want %v", in, got, err, w)
+		}
+	}
+	if _, err := ParseSplit("bogus"); err == nil {
+		t.Error("bogus split accepted")
+	}
+}

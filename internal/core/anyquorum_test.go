@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func anyQuorumProtocol(t *testing.T, guard Guard) *Protocol {
+	t.Helper()
+	p := &Protocol{
+		Name: "anyquorum",
+		N:    4,
+		Init: func() []LocalState {
+			return []LocalState{&counterState{}, &counterState{}, &counterState{}, &counterState{}}
+		},
+		Transitions: []*Transition{{
+			Name:    "ANY",
+			Proc:    3,
+			MsgType: "Q",
+			Quorum:  AnyQuorum,
+			Peers:   []ProcessID{0, 1, 2},
+			Guard:   guard,
+			Apply: func(c *Ctx) {
+				c.Local.(*counterState).N += len(c.Msgs)
+			},
+		}},
+	}
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAnyQuorumEnumeratesPowerset(t *testing.T) {
+	p := anyQuorumProtocol(t, nil)
+	s := stateWithMsgs(p, t, msg(0, 3, "Q", 1), msg(1, 3, "Q", 2), msg(2, 3, "Q", 3))
+	events := p.Enabled(s)
+	// 2^3 - 1 non-empty subsets — the paper's §IV-A example: "these are
+	// 2^3 sets compared to only three messages".
+	if len(events) != 7 {
+		t.Fatalf("got %d events, want 7", len(events))
+	}
+	sizes := map[int]int{}
+	for _, ev := range events {
+		sizes[len(ev.Msgs)]++
+	}
+	if sizes[1] != 3 || sizes[2] != 3 || sizes[3] != 1 {
+		t.Fatalf("subset size histogram wrong: %v", sizes)
+	}
+}
+
+func TestAnyQuorumGuardFilters(t *testing.T) {
+	// Guard accepts only exact pairs from distinct senders — the subset
+	// semantics then coincides with an exact quorum of 2.
+	guard := func(_ LocalState, msgs []Message) bool {
+		return len(msgs) == 2 && len(Senders(msgs)) == 2
+	}
+	pAny := anyQuorumProtocol(t, guard)
+	sAny := stateWithMsgs(pAny, t, msg(0, 3, "Q", 1), msg(1, 3, "Q", 2), msg(2, 3, "Q", 3))
+	anyEvents := pAny.Enabled(sAny)
+
+	pExact := quorumTestProtocol(t, 2, nil)
+	sExact := stateWithMsgs(pExact, t, msg(0, 3, "Q", 1), msg(1, 3, "Q", 2), msg(2, 3, "Q", 3))
+	exactEvents := pExact.Enabled(sExact)
+
+	if len(anyEvents) != len(exactEvents) {
+		t.Fatalf("AnyQuorum+guard (%d events) should coincide with exact quorum (%d events)",
+			len(anyEvents), len(exactEvents))
+	}
+	seen := map[string]bool{}
+	for _, ev := range anyEvents {
+		seen[fmt.Sprint(ev.Senders())] = true
+	}
+	for _, ev := range exactEvents {
+		if !seen[fmt.Sprint(ev.Senders())] {
+			t.Fatalf("sender combination %v missing from AnyQuorum enumeration", ev.Senders())
+		}
+	}
+}
+
+func TestAnyQuorumMultipleMessagesPerSender(t *testing.T) {
+	p := anyQuorumProtocol(t, nil)
+	// Two distinct payloads from one sender: subsets may take both.
+	s := stateWithMsgs(p, t, msg(0, 3, "Q", 1), msg(0, 3, "Q", 2))
+	events := p.Enabled(s)
+	if len(events) != 3 { // {m1}, {m2}, {m1,m2}
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	both := false
+	for _, ev := range events {
+		if len(ev.Msgs) == 2 {
+			both = true
+			if got := len(ev.Senders()); got != 1 {
+				t.Fatalf("two-message subset has %d senders, want 1", got)
+			}
+		}
+	}
+	if !both {
+		t.Fatal("subset with both messages missing")
+	}
+}
+
+func TestAnyQuorumExecution(t *testing.T) {
+	p := anyQuorumProtocol(t, nil)
+	s := stateWithMsgs(p, t, msg(0, 3, "Q", 1), msg(1, 3, "Q", 2))
+	var full Event
+	for _, ev := range p.Enabled(s) {
+		if len(ev.Msgs) == 2 {
+			full = ev
+		}
+	}
+	ns, err := p.Execute(s, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.Msgs.Len() != 0 || ns.Local(3).(*counterState).N != 2 {
+		t.Fatalf("subset execution wrong: msgs=%d n=%d", ns.Msgs.Len(), ns.Local(3).(*counterState).N)
+	}
+}
+
+func TestAnyQuorumPendingCap(t *testing.T) {
+	p := anyQuorumProtocol(t, nil)
+	msgs := make([]Message, 0, maxAnyQuorumPending+1)
+	for i := 0; i <= maxAnyQuorumPending; i++ {
+		msgs = append(msgs, msg(ProcessID(i%3), 3, "Q", i))
+	}
+	s := stateWithMsgs(p, t, msgs...)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic above the AnyQuorum pending cap")
+		}
+	}()
+	p.Enabled(s)
+}
+
+func TestAnyQuorumStructurallyEnabled(t *testing.T) {
+	p := anyQuorumProtocol(t, nil)
+	tr := p.Transitions[0]
+	s0, err := p.InitialState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.StructurallyEnabled(tr, s0) {
+		t.Fatal("no candidates: must be structurally disabled")
+	}
+	s := stateWithMsgs(p, t, msg(0, 3, "Q", 1))
+	if !p.StructurallyEnabled(tr, s) {
+		t.Fatal("one candidate should structurally enable an AnyQuorum transition")
+	}
+}
+
+func TestAnyQuorumValidation(t *testing.T) {
+	p := anyQuorumProtocol(t, nil)
+	p.Transitions[0].Quorum = -7
+	p2 := p.Clone()
+	if err := p2.Finalize(); err == nil {
+		t.Fatal("arbitrary negative quorum accepted")
+	}
+}

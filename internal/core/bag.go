@@ -1,0 +1,149 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bag is a multiset of in-flight messages: the union of all channel
+// contents. Channels are unordered per the MP model, so a counted set keyed
+// by canonical message encoding represents them faithfully.
+//
+// The zero value is not ready to use; call NewBag.
+type Bag struct {
+	entries map[string]bagEntry
+	size    int
+}
+
+type bagEntry struct {
+	msg Message
+	n   int
+}
+
+// NewBag returns an empty bag.
+func NewBag() *Bag {
+	return &Bag{entries: make(map[string]bagEntry)}
+}
+
+// Add inserts one copy of m.
+func (b *Bag) Add(m Message) {
+	k := m.Key()
+	e := b.entries[k]
+	e.msg = m
+	e.n++
+	b.entries[k] = e
+	b.size++
+}
+
+// Remove deletes one copy of m. It reports whether a copy was present.
+func (b *Bag) Remove(m Message) bool {
+	k := m.Key()
+	e, ok := b.entries[k]
+	if !ok {
+		return false
+	}
+	if e.n == 1 {
+		delete(b.entries, k)
+	} else {
+		e.n--
+		b.entries[k] = e
+	}
+	b.size--
+	return true
+}
+
+// Count returns the number of copies of m in the bag.
+func (b *Bag) Count(m Message) int { return b.entries[m.Key()].n }
+
+// Len returns the total number of messages (counting multiplicity).
+func (b *Bag) Len() int { return b.size }
+
+// Distinct returns the number of distinct messages.
+func (b *Bag) Distinct() int { return len(b.entries) }
+
+// Clone returns an independent copy of the bag.
+func (b *Bag) Clone() *Bag {
+	nb := &Bag{entries: make(map[string]bagEntry, len(b.entries)), size: b.size}
+	for k, e := range b.entries {
+		nb.entries[k] = e
+	}
+	return nb
+}
+
+// Each calls f for every distinct message with its multiplicity, in
+// unspecified order.
+func (b *Bag) Each(f func(m Message, n int)) {
+	for _, e := range b.entries {
+		f(e.msg, e.n)
+	}
+}
+
+// MatchingBySender collects the distinct pending messages addressed to
+// proc with the given type whose sender is allowed by peers (nil peers =
+// any sender). It returns the sorted list of senders that have at least one
+// candidate, and the candidates per sender sorted by message key.
+//
+// Multiplicity is irrelevant here: consuming any one of several identical
+// copies yields the same successor state, so one representative suffices.
+func (b *Bag) MatchingBySender(proc ProcessID, typ string, peers []ProcessID) ([]ProcessID, map[ProcessID][]Message) {
+	var allowed map[ProcessID]bool
+	if peers != nil {
+		allowed = make(map[ProcessID]bool, len(peers))
+		for _, p := range peers {
+			allowed[p] = true
+		}
+	}
+	bySender := make(map[ProcessID][]Message)
+	for _, e := range b.entries {
+		m := e.msg
+		if m.To != proc || m.Type != typ {
+			continue
+		}
+		if allowed != nil && !allowed[m.From] {
+			continue
+		}
+		bySender[m.From] = append(bySender[m.From], m)
+	}
+	senders := make([]ProcessID, 0, len(bySender))
+	for p, msgs := range bySender {
+		sort.Slice(msgs, func(i, j int) bool { return msgs[i].Key() < msgs[j].Key() })
+		bySender[p] = msgs
+		senders = append(senders, p)
+	}
+	sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
+	return senders, bySender
+}
+
+// HasMatching reports whether at least one pending message is addressed to
+// proc with the given type from an allowed sender.
+func (b *Bag) HasMatching(proc ProcessID, typ string, peers []ProcessID) bool {
+	senders, _ := b.MatchingBySender(proc, typ, peers)
+	return len(senders) > 0
+}
+
+// appendKey writes the canonical encoding of the bag: sorted message keys
+// with multiplicities.
+func (b *Bag) appendKey(sb *strings.Builder) {
+	keys := make([]string, 0, len(b.entries))
+	for k := range b.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := b.entries[k]
+		sb.WriteByte(';')
+		sb.WriteString(k)
+		if e.n > 1 {
+			sb.WriteByte('*')
+			sb.WriteString(strconv.Itoa(e.n))
+		}
+	}
+}
+
+// Key returns the canonical encoding of the bag contents.
+func (b *Bag) Key() string {
+	var sb strings.Builder
+	b.appendKey(&sb)
+	return sb.String()
+}

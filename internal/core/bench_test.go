@@ -1,0 +1,147 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+)
+
+func benchBag(n int) *Bag {
+	b := NewBag()
+	for i := 0; i < n; i++ {
+		b.Add(msg(ProcessID(i%4), ProcessID((i+1)%4), "T"+strconv.Itoa(i%3), i))
+	}
+	return b
+}
+
+func BenchmarkBagAddRemove(b *testing.B) {
+	m := msg(0, 1, "T", 42)
+	bag := benchBag(24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bag.Add(m)
+		bag.Remove(m)
+	}
+}
+
+func BenchmarkBagClone(b *testing.B) {
+	bag := benchBag(24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bag.Clone()
+	}
+}
+
+func BenchmarkBagKey(b *testing.B) {
+	bag := benchBag(24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bag.Key()
+	}
+}
+
+func BenchmarkStateKey(b *testing.B) {
+	locals := []LocalState{
+		&counterState{N: 1}, &counterState{N: 2}, &counterState{N: 3}, &counterState{N: 4},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewState(locals, benchBag(16))
+		_ = s.Key()
+	}
+}
+
+// BenchmarkEnabledQuorum measures the exact-quorum enumeration against
+// sender counts — the cost §IV-A discusses (our combinations vs the
+// original powerset).
+func BenchmarkEnabledQuorum(b *testing.B) {
+	for _, senders := range []int{3, 5, 7} {
+		senders := senders
+		b.Run("senders="+strconv.Itoa(senders), func(b *testing.B) {
+			peers := make([]ProcessID, senders)
+			for i := range peers {
+				peers[i] = ProcessID(i)
+			}
+			p := &Protocol{
+				Name: "bench",
+				N:    senders + 1,
+				Init: func() []LocalState {
+					ls := make([]LocalState, senders+1)
+					for i := range ls {
+						ls[i] = &counterState{}
+					}
+					return ls
+				},
+				Transitions: []*Transition{{
+					Name:    "COLLECT",
+					Proc:    ProcessID(senders),
+					MsgType: "Q",
+					Quorum:  senders/2 + 1,
+					Peers:   peers,
+				}},
+			}
+			if err := p.Finalize(); err != nil {
+				b.Fatal(err)
+			}
+			s, err := p.InitialState()
+			if err != nil {
+				b.Fatal(err)
+			}
+			bag := s.Msgs.Clone()
+			for i := 0; i < senders; i++ {
+				bag.Add(msg(ProcessID(i), ProcessID(senders), "Q", i))
+			}
+			s = NewState(s.Locals, bag)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = p.Enabled(s)
+			}
+		})
+	}
+}
+
+func BenchmarkExecute(b *testing.B) {
+	p := quorumBenchProtocol(b)
+	s, err := p.InitialState()
+	if err != nil {
+		b.Fatal(err)
+	}
+	bag := s.Msgs.Clone()
+	bag.Add(msg(0, 3, "Q", 1))
+	bag.Add(msg(1, 3, "Q", 2))
+	s = NewState(s.Locals, bag)
+	events := p.Enabled(s)
+	if len(events) == 0 {
+		b.Fatal("no events")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Execute(s, events[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func quorumBenchProtocol(b *testing.B) *Protocol {
+	b.Helper()
+	p := &Protocol{
+		Name: "exec-bench",
+		N:    4,
+		Init: func() []LocalState {
+			return []LocalState{&counterState{}, &counterState{}, &counterState{}, &counterState{}}
+		},
+		Transitions: []*Transition{{
+			Name:    "COLLECT",
+			Proc:    3,
+			MsgType: "Q",
+			Quorum:  2,
+			Peers:   []ProcessID{0, 1, 2},
+			Apply: func(c *Ctx) {
+				c.Local.(*counterState).N++
+			},
+		}},
+	}
+	if err := p.Finalize(); err != nil {
+		b.Fatal(err)
+	}
+	return p
+}

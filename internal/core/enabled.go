@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AnyQuorum, used as a Transition.Quorum value, selects unrestricted
+// subset consumption: every non-empty guard-accepted subset of matching
+// pending messages is a separate event. This is the paper's original
+// MP-Basset enumeration (§IV-A), exponential in the number of pending
+// messages — the cost the exact-quorum specialization avoids.
+const AnyQuorum = -1
+
+// maxAnyQuorumPending bounds the powerset enumeration: an AnyQuorum
+// transition facing more pending candidates than this indicates a modeling
+// error (unbounded message accumulation), and enumeration panics with a
+// diagnostic rather than silently exploding.
+const maxAnyQuorumPending = 20
+
+// Enabled enumerates every executable event of state s: every pair (t, X)
+// such that X consists of exactly t.Quorum messages of t's type from
+// t.Quorum distinct allowed senders and t's guard holds (§II-A). Events
+// are returned in deterministic order (transition index, then message
+// keys).
+//
+// This is the exact-quorum specialization of MP-Basset's "enabled set of
+// messages" computation (§IV-A): instead of enumerating the full powerset
+// of pending messages, only sender combinations of the declared quorum size
+// are generated. PowersetSize quantifies the cost the paper's unrestricted
+// enumeration would pay.
+func (p *Protocol) Enabled(s *State) []Event {
+	var out []Event
+	for _, t := range p.Transitions {
+		out = appendEventsFor(out, t, s)
+	}
+	return out
+}
+
+// EnabledFor enumerates the executable events of a single transition.
+func (p *Protocol) EnabledFor(t *Transition, s *State) []Event {
+	return appendEventsFor(nil, t, s)
+}
+
+func appendEventsFor(out []Event, t *Transition, s *State) []Event {
+	if t.Spontaneous() {
+		if t.guardOK(s.Locals[t.Proc], nil) {
+			out = append(out, Event{T: t})
+		}
+		return out
+	}
+	if !t.LocalGuardOK(s.Locals[t.Proc]) {
+		return out
+	}
+	senders, bySender := s.Msgs.MatchingBySender(t.Proc, t.MsgType, t.Peers)
+	local := s.Locals[t.Proc]
+	if t.Quorum == AnyQuorum {
+		return appendSubsetEvents(out, t, local, senders, bySender)
+	}
+	if len(senders) < t.Quorum {
+		return out
+	}
+	// Enumerate every size-q combination of senders; within a combination
+	// every per-sender alternative (distinct payloads from the same sender
+	// are alternative choices, §II-A non-determinism).
+	combo := make([]ProcessID, t.Quorum)
+	var rec func(start, depth int)
+	pick := make([]Message, t.Quorum)
+	var cartesian func(d int)
+	cartesian = func(d int) {
+		if d == t.Quorum {
+			x := make([]Message, t.Quorum)
+			copy(x, pick)
+			SortMessages(x)
+			if t.guardOK(local, x) {
+				out = append(out, Event{T: t, Msgs: x})
+			}
+			return
+		}
+		for _, m := range bySender[combo[d]] {
+			pick[d] = m
+			cartesian(d + 1)
+		}
+	}
+	rec = func(start, depth int) {
+		if depth == t.Quorum {
+			cartesian(0)
+			return
+		}
+		for i := start; i <= len(senders)-(t.Quorum-depth); i++ {
+			combo[depth] = senders[i]
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+// appendSubsetEvents enumerates every non-empty subset of the matching
+// pending messages (AnyQuorum semantics). All messages across senders are
+// flattened; subsets are generated in deterministic bitmask order.
+func appendSubsetEvents(out []Event, t *Transition, local LocalState, senders []ProcessID, bySender map[ProcessID][]Message) []Event {
+	var all []Message
+	for _, q := range senders {
+		all = append(all, bySender[q]...)
+	}
+	if len(all) == 0 {
+		return out
+	}
+	if len(all) > maxAnyQuorumPending {
+		panic(fmt.Sprintf("core: AnyQuorum transition %s faces %d pending messages (cap %d); bound the model",
+			t, len(all), maxAnyQuorumPending))
+	}
+	SortMessages(all)
+	for mask := 1; mask < 1<<len(all); mask++ {
+		x := make([]Message, 0, len(all))
+		for i := range all {
+			if mask&(1<<i) != 0 {
+				x = append(x, all[i])
+			}
+		}
+		if t.guardOK(local, x) {
+			out = append(out, Event{T: t, Msgs: x})
+		}
+	}
+	return out
+}
+
+// StructurallyEnabled reports whether t has at least the quorum of distinct
+// allowed senders with pending messages in s, ignoring the guard. Package
+// por uses the distinction to pick necessary enabling sets. AnyQuorum
+// transitions are structurally enabled once a single candidate is pending.
+func (p *Protocol) StructurallyEnabled(t *Transition, s *State) bool {
+	if t.Spontaneous() {
+		return true
+	}
+	senders, _ := s.Msgs.MatchingBySender(t.Proc, t.MsgType, t.Peers)
+	if t.Quorum == AnyQuorum {
+		return len(senders) > 0
+	}
+	return len(senders) >= t.Quorum
+}
+
+// MissingSenders returns the allowed peers of t that currently have no
+// pending candidate message, when t is structurally disabled in s. For
+// transitions with nil Peers it returns nil (any process could supply the
+// missing messages). Package por's NET optimization narrows necessary
+// enabling transitions to feeders executed by missing senders.
+func (p *Protocol) MissingSenders(t *Transition, s *State) []ProcessID {
+	if t.Peers == nil {
+		return nil
+	}
+	senders, _ := s.Msgs.MatchingBySender(t.Proc, t.MsgType, t.Peers)
+	have := make(map[ProcessID]bool, len(senders))
+	for _, q := range senders {
+		have[q] = true
+	}
+	var missing []ProcessID
+	for _, q := range t.Peers {
+		if !have[q] {
+			missing = append(missing, q)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+	return missing
+}
+
+// PowersetSize returns 2^k capped at maxInt, the number of message subsets
+// MP-Basset's unrestricted quorum enumeration inspects for k pending
+// messages (§IV-A: "these are 2^3 sets compared to only three messages").
+// It exists for the evaluation harness's cost analysis.
+func PowersetSize(k int) int {
+	if k >= 62 {
+		return int(^uint(0) >> 1)
+	}
+	return 1 << k
+}

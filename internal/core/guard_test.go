@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLocalGuardIsNecessaryCondition(t *testing.T) {
+	// guardOK must be false whenever LocalGuard is false, regardless of
+	// the content guard.
+	tr := &Transition{
+		Name:    "T",
+		Proc:    0,
+		MsgType: "M",
+		Quorum:  1,
+		LocalGuard: func(ls LocalState) bool {
+			return ls.(*counterState).N == 0
+		},
+		Guard: func(LocalState, []Message) bool { return true },
+	}
+	if !tr.guardOK(&counterState{N: 0}, []Message{msg(1, 0, "M", 1)}) {
+		t.Fatal("guard should pass when both conditions hold")
+	}
+	if tr.guardOK(&counterState{N: 1}, []Message{msg(1, 0, "M", 1)}) {
+		t.Fatal("local guard false must disable the transition")
+	}
+	if !tr.LocalGuardOK(&counterState{N: 0}) || tr.LocalGuardOK(&counterState{N: 1}) {
+		t.Fatal("LocalGuardOK wrong")
+	}
+	// Nil guards are permissive.
+	tr2 := &Transition{Name: "U", Proc: 0, MsgType: "M", Quorum: 1}
+	if !tr2.guardOK(&counterState{}, nil) || !tr2.LocalGuardOK(&counterState{}) {
+		t.Fatal("nil guards must be permissive")
+	}
+}
+
+func TestCloneIsolationProperty(t *testing.T) {
+	// Mutating a clone never affects the original, for arbitrary
+	// mutation sequences.
+	f := func(initial uint8, tags []string, bumps uint8) bool {
+		orig := &counterState{N: int(initial), Tags: append([]string(nil), tags...)}
+		origKey := orig.Key()
+		c := orig.Clone().(*counterState)
+		for i := 0; i < int(bumps%8); i++ {
+			c.N++
+			c.Tags = append(c.Tags, "x")
+		}
+		return orig.Key() == origKey
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateImmutabilityThroughExecution(t *testing.T) {
+	// Executing every enabled event from one state must leave the state's
+	// key unchanged (copy-on-write discipline), for generated protocols.
+	p := pingPong(t)
+	s, err := p.InitialState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for depth := 0; depth < 4; depth++ {
+		key := s.Key()
+		events := p.Enabled(s)
+		if len(events) == 0 {
+			break
+		}
+		var next *State
+		for _, ev := range events {
+			ns, err := p.Execute(s, ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			next = ns
+		}
+		if s.Key() != key {
+			t.Fatalf("depth %d: source state mutated by Execute", depth)
+		}
+		s = next
+	}
+}
+
+func TestEnabledDoesNotMutateState(t *testing.T) {
+	p := quorumTestProtocol(t, 2, nil)
+	s := stateWithMsgs(p, t, msg(0, 3, "Q", 1), msg(1, 3, "Q", 2), msg(2, 3, "Q", 3))
+	key := s.Key()
+	for i := 0; i < 3; i++ {
+		_ = p.Enabled(s)
+	}
+	if s.Key() != key {
+		t.Fatal("Enabled mutated the state")
+	}
+	if s.Msgs.Len() != 3 {
+		t.Fatal("Enabled consumed messages")
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ProcessID identifies a process of the system. Processes are numbered
+// 0..N-1 within a Protocol.
+type ProcessID int
+
+// String returns the decimal representation of the ID.
+func (p ProcessID) String() string { return strconv.Itoa(int(p)) }
+
+// Payload is the immutable content of a message beyond its addressing
+// envelope. Implementations must be treated as values: once a message is
+// sent, its payload must never be mutated.
+type Payload interface {
+	// Key returns a canonical, collision-free encoding of the payload.
+	// Two payloads are considered equal iff their keys are equal.
+	Key() string
+}
+
+// NoPayload is the payload of messages that carry no content (pure
+// signals).
+type NoPayload struct{}
+
+// Key implements Payload.
+func (NoPayload) Key() string { return "" }
+
+// Message is a message in transit from one process to another. The paper's
+// channel c_{i,j} is recovered from the From/To fields, so a single global
+// bag of messages represents all channels.
+type Message struct {
+	From    ProcessID
+	To      ProcessID
+	Type    string
+	Payload Payload
+}
+
+// Key returns the canonical encoding of the message. Messages are equal iff
+// their keys are equal.
+func (m Message) Key() string {
+	var sb strings.Builder
+	sb.Grow(16 + len(m.Type))
+	m.appendKey(&sb)
+	return sb.String()
+}
+
+func (m Message) appendKey(sb *strings.Builder) {
+	sb.WriteString(strconv.Itoa(int(m.From)))
+	sb.WriteByte('>')
+	sb.WriteString(strconv.Itoa(int(m.To)))
+	sb.WriteByte(':')
+	sb.WriteString(m.Type)
+	if m.Payload != nil {
+		if k := m.Payload.Key(); k != "" {
+			sb.WriteByte('{')
+			sb.WriteString(k)
+			sb.WriteByte('}')
+		}
+	}
+}
+
+// String returns a human-readable rendering of the message.
+func (m Message) String() string { return m.Key() }
+
+// SortMessages orders msgs by canonical key, in place. Transitions receive
+// their consumed message sets in this order; per the MP semantics the order
+// carries no meaning, but a deterministic order keeps searches reproducible.
+func SortMessages(msgs []Message) {
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i].Key() < msgs[j].Key() })
+}
+
+// Senders returns the set of distinct senders of msgs, ascending.
+func Senders(msgs []Message) []ProcessID {
+	seen := make(map[ProcessID]bool, len(msgs))
+	var out []ProcessID
+	for _, m := range msgs {
+		if !seen[m.From] {
+			seen[m.From] = true
+			out = append(out, m.From)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func validProtocol() *Protocol {
+	return &Protocol{
+		Name: "valid",
+		N:    2,
+		Init: func() []LocalState {
+			return []LocalState{&counterState{}, &counterState{}}
+		},
+		Transitions: []*Transition{
+			{Name: "T", Proc: 0, MsgType: "M", Quorum: 1},
+		},
+	}
+}
+
+func TestFinalizeValid(t *testing.T) {
+	p := validProtocol()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent.
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Transitions[0].Index() != 0 {
+		t.Fatal("transition index not assigned")
+	}
+	if len(p.ByProc(0)) != 1 || len(p.ByProc(1)) != 0 {
+		t.Fatal("ByProc grouping wrong")
+	}
+}
+
+func TestFinalizeRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Protocol)
+		want   string
+	}{
+		{"zero N", func(p *Protocol) { p.N = 0 }, "N must be positive"},
+		{"nil Init", func(p *Protocol) { p.Init = nil }, "Init is required"},
+		{"no transitions", func(p *Protocol) { p.Transitions = nil }, "at least one transition"},
+		{"nil transition", func(p *Protocol) { p.Transitions = []*Transition{nil} }, "is nil"},
+		{"proc out of range", func(p *Protocol) { p.Transitions[0].Proc = 5 }, "out of range"},
+		{"empty name", func(p *Protocol) { p.Transitions[0].Name = "" }, "empty name"},
+		{"negative quorum", func(p *Protocol) { p.Transitions[0].Quorum = -2 }, "negative quorum"}, // -1 is AnyQuorum
+		{"spontaneous with type", func(p *Protocol) { p.Transitions[0].Quorum = 0 }, "spontaneous"},
+		{"quorum without type", func(p *Protocol) { p.Transitions[0].MsgType = "" }, "spontaneous"},
+		{
+			"peers below quorum",
+			func(p *Protocol) { p.Transitions[0].Quorum = 2; p.Transitions[0].Peers = []ProcessID{1} },
+			"cannot satisfy quorum",
+		},
+		{
+			"peer out of range",
+			func(p *Protocol) { p.Transitions[0].Peers = []ProcessID{9} },
+			"peer 9 out of range",
+		},
+		{
+			"duplicate transition",
+			func(p *Protocol) {
+				dup := *p.Transitions[0]
+				p.Transitions = append(p.Transitions, &dup)
+			},
+			"duplicate transition",
+		},
+		{
+			"send recipient out of range",
+			func(p *Protocol) { p.Transitions[0].Sends = []SendSpec{{Type: "X", To: []ProcessID{9}}} },
+			"out of range",
+		},
+		{
+			"empty send type",
+			func(p *Protocol) { p.Transitions[0].Sends = []SendSpec{{}} },
+			"empty type",
+		},
+		{
+			"global read out of range",
+			func(p *Protocol) { p.Transitions[0].GlobalReads = []ProcessID{7} },
+			"out of range",
+		},
+		{
+			"initial message out of range",
+			func(p *Protocol) { p.InitialMessages = []Message{{From: 0, To: 9, Type: "M"}} },
+			"out of range",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := validProtocol()
+			tc.mutate(p)
+			err := p.Finalize()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Finalize() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestInitialStateChecksInit(t *testing.T) {
+	p := validProtocol()
+	p.Init = func() []LocalState { return []LocalState{&counterState{}} } // wrong length
+	if _, err := p.InitialState(); err == nil {
+		t.Fatal("short Init slice not rejected")
+	}
+	p2 := validProtocol()
+	p2.Init = func() []LocalState { return []LocalState{&counterState{}, nil} }
+	if _, err := p2.InitialState(); err == nil {
+		t.Fatal("nil local not rejected")
+	}
+}
+
+func TestInitialMessagesSeedBag(t *testing.T) {
+	p := validProtocol()
+	p.InitialMessages = []Message{{From: 1, To: 0, Type: "M"}}
+	s, err := p.InitialState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Msgs.Len() != 1 {
+		t.Fatal("initial messages not seeded")
+	}
+}
+
+func TestProtocolClone(t *testing.T) {
+	p := validProtocol()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	c := p.Clone()
+	c.Transitions[0].Name = "RENAMED"
+	c.Transitions[0].Peers = []ProcessID{0}
+	if p.Transitions[0].Name != "T" || p.Transitions[0].Peers != nil {
+		t.Fatal("clone aliases source transitions")
+	}
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckInvariantNil(t *testing.T) {
+	p := validProtocol()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := p.InitialState()
+	if err := p.CheckInvariant(s); err != nil {
+		t.Fatal("nil invariant must hold vacuously")
+	}
+}
+
+func TestTransitionHelpers(t *testing.T) {
+	tr := &Transition{Name: "X", Proc: 3, MsgType: "M", Quorum: 2, Peers: []ProcessID{1, 2}}
+	if tr.String() != "3/X" {
+		t.Fatalf("String = %q", tr.String())
+	}
+	if tr.Spontaneous() {
+		t.Fatal("quorum transition reported spontaneous")
+	}
+	if !tr.AllowsSender(1) || tr.AllowsSender(0) {
+		t.Fatal("AllowsSender wrong with peers")
+	}
+	tr2 := &Transition{Name: "Y", Proc: 0}
+	if !tr2.Spontaneous() || !tr2.AllowsSender(7) {
+		t.Fatal("spontaneous/nil-peers helpers wrong")
+	}
+}
+
+func TestEventKeyAndString(t *testing.T) {
+	p := pingPong(t)
+	s0, _ := p.InitialState()
+	ev := p.Enabled(s0)[0]
+	if ev.Key() == "" || !strings.Contains(ev.String(), "START") {
+		t.Fatalf("event rendering wrong: key=%q str=%q", ev.Key(), ev.String())
+	}
+	s1, _ := p.Execute(s0, ev)
+	ev2 := p.Enabled(s1)[0]
+	if !strings.Contains(ev2.String(), "PING") || !strings.Contains(ev2.String(), "0>1") {
+		t.Fatalf("event string %q should mention consumed message", ev2.String())
+	}
+	if ev.Key() == ev2.Key() {
+		t.Fatal("distinct events share a key")
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import "strings"
+
+// LocalState is the state of a single process. Implementations must provide
+// a canonical encoding and a deep clone; transitions mutate only the clone
+// handed to them by the execution engine.
+type LocalState interface {
+	// Key returns a canonical, collision-free encoding of the local state.
+	Key() string
+	// Clone returns an independent deep copy.
+	Clone() LocalState
+}
+
+// State is a global protocol state: one local state per process plus the
+// multiset of in-flight messages. States are immutable once constructed;
+// Protocol.Execute builds successor states copy-on-write.
+type State struct {
+	Locals []LocalState
+	Msgs   *Bag
+
+	key string // lazily computed canonical encoding
+}
+
+// NewState builds a state from locals and a bag. The arguments are owned by
+// the new state and must not be mutated afterwards.
+func NewState(locals []LocalState, msgs *Bag) *State {
+	if msgs == nil {
+		msgs = NewBag()
+	}
+	return &State{Locals: locals, Msgs: msgs}
+}
+
+// Key returns the canonical encoding of the state. Two states are equal iff
+// their keys are equal. The key is cached; State must not be mutated after
+// the first call.
+func (s *State) Key() string {
+	if s.key == "" {
+		var sb strings.Builder
+		sb.Grow(64)
+		for i, l := range s.Locals {
+			if i > 0 {
+				sb.WriteByte('|')
+			}
+			sb.WriteString(l.Key())
+		}
+		sb.WriteByte('#')
+		s.Msgs.appendKey(&sb)
+		s.key = sb.String()
+	}
+	return s.key
+}
+
+// Local returns the local state of process p.
+func (s *State) Local(p ProcessID) LocalState { return s.Locals[p] }
+
+// String returns the canonical key (useful in error messages and traces).
+func (s *State) String() string { return s.Key() }
+
+// GlobalView grants read access to the pre-state of every process. It is
+// available inside Apply only to transitions annotated with ReadsGlobal and
+// exists for specification instrumentation (history/observer variables), in
+// the spirit of the escape hatch the paper documents in its appendix
+// (footnote 7). Using it makes the transition conservatively dependent on
+// the processes it reads (see package por).
+type GlobalView struct {
+	locals []LocalState
+}
+
+// Local returns the pre-state local state of process p. The returned value
+// must not be mutated.
+func (v GlobalView) Local(p ProcessID) LocalState { return v.locals[p] }

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// counterState is a minimal LocalState for tests.
+type counterState struct {
+	N    int
+	Tags []string
+}
+
+func (s *counterState) Key() string {
+	return "c" + strconv.Itoa(s.N) + "[" + strings.Join(s.Tags, ",") + "]"
+}
+
+func (s *counterState) Clone() LocalState {
+	c := &counterState{N: s.N, Tags: append([]string(nil), s.Tags...)}
+	return c
+}
+
+func TestStateKeyComposition(t *testing.T) {
+	bag := NewBag()
+	bag.Add(msg(0, 1, "A", 1))
+	s := NewState([]LocalState{&counterState{N: 1}, &counterState{N: 2}}, bag)
+	k := s.Key()
+	if !strings.Contains(k, "c1") || !strings.Contains(k, "c2") || !strings.Contains(k, "0>1:A") {
+		t.Fatalf("state key %q misses components", k)
+	}
+	// Key is cached and stable.
+	if s.Key() != k {
+		t.Fatal("state key not stable")
+	}
+}
+
+func TestStateKeyDistinguishesLocalOrder(t *testing.T) {
+	s1 := NewState([]LocalState{&counterState{N: 1}, &counterState{N: 2}}, NewBag())
+	s2 := NewState([]LocalState{&counterState{N: 2}, &counterState{N: 1}}, NewBag())
+	if s1.Key() == s2.Key() {
+		t.Fatal("states with swapped locals share a key")
+	}
+}
+
+func TestNewStateNilBag(t *testing.T) {
+	s := NewState([]LocalState{&counterState{}}, nil)
+	if s.Msgs == nil || s.Msgs.Len() != 0 {
+		t.Fatal("nil bag not replaced by empty bag")
+	}
+}
+
+func TestLocalAccess(t *testing.T) {
+	s := NewState([]LocalState{&counterState{N: 7}, &counterState{N: 9}}, nil)
+	if s.Local(1).(*counterState).N != 9 {
+		t.Fatal("Local returned wrong process state")
+	}
+}

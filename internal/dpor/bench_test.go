@@ -1,0 +1,62 @@
+package dpor
+
+import (
+	"testing"
+	"time"
+
+	"mpbasset/internal/core"
+	"mpbasset/internal/explore"
+	"mpbasset/internal/protocols/storage"
+)
+
+// BenchmarkDPOR compares the stateless baselines on the single-message
+// storage model: full stateless search, DPOR without sleep sets, and DPOR
+// with sleep sets (the configuration Table I's first column uses).
+func BenchmarkDPOR(b *testing.B) {
+	cases := []struct {
+		name string
+		run  func(b *testing.B)
+	}{
+		{"stateless-full", func(b *testing.B) {
+			p := mustStorage(b)
+			res, err := explore.StatelessDFS(p, explore.Options{MaxDuration: 15 * time.Second})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Stats.States), "states")
+		}},
+		{"dpor-plain", func(b *testing.B) {
+			p := mustStorage(b)
+			res, err := ExploreWith(p, explore.Options{MaxDuration: 15 * time.Second}, Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Stats.States), "states")
+		}},
+		{"dpor-sleep", func(b *testing.B) {
+			p := mustStorage(b)
+			res, err := ExploreWith(p, explore.Options{MaxDuration: 15 * time.Second}, Config{SleepSets: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Stats.States), "states")
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tc.run(b)
+			}
+		})
+	}
+}
+
+func mustStorage(b *testing.B) *core.Protocol {
+	b.Helper()
+	p, err := storage.New(storage.Config{Objects: 3, Readers: 1, Model: storage.ModelSingle, Writes: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}

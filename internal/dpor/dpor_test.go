@@ -1,0 +1,171 @@
+package dpor
+
+import (
+	"testing"
+	"time"
+
+	"mpbasset/internal/core"
+	"mpbasset/internal/explore"
+	"mpbasset/internal/mptest"
+	"mpbasset/internal/protocols/multicast"
+	"mpbasset/internal/protocols/paxos"
+	"mpbasset/internal/protocols/storage"
+)
+
+// compare runs full stateless search and DPOR on the same protocol and
+// checks the DPOR guarantees: identical verdicts and identical
+// deadlock-state sets (here: counts of distinct terminal states, obtained
+// from a stateful full search since stateless runs count revisits), with
+// DPOR never visiting more nodes than the full stateless search.
+func compare(t *testing.T, p *core.Protocol) {
+	t.Helper()
+	full, err := explore.StatelessDFS(p, explore.Options{MaxDuration: time.Minute})
+	if err != nil {
+		t.Fatalf("%s stateless: %v", p.Name, err)
+	}
+	red, err := Explore(p, explore.Options{MaxDuration: time.Minute})
+	if err != nil {
+		t.Fatalf("%s dpor: %v", p.Name, err)
+	}
+	if full.Verdict == explore.VerdictLimit {
+		// The unreduced stateless baseline timed out (revisit explosion —
+		// the very thing Table I shows); nothing to compare against.
+		return
+	}
+	if full.Verdict != red.Verdict {
+		t.Errorf("%s: verdict mismatch: stateless %s, DPOR %s", p.Name, full.Verdict, red.Verdict)
+	}
+	if full.Verdict != explore.VerdictVerified {
+		// Counterexample searches stop at the first bug; node counts and
+		// deadlock sets are incomparable across exploration orders.
+		return
+	}
+	if red.Stats.States > full.Stats.States {
+		t.Errorf("%s: DPOR visited more nodes (%d) than full stateless (%d)", p.Name, red.Stats.States, full.Stats.States)
+	}
+	// Deadlock preservation: compare distinct terminal states against a
+	// stateful reference.
+	ref, err := explore.DFS(p, explore.Options{MaxDuration: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := DeadlockStates(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist) != ref.Stats.Deadlocks {
+		t.Errorf("%s: DPOR reached %d distinct deadlock states, reference has %d", p.Name, len(dist), ref.Stats.Deadlocks)
+	}
+}
+
+func TestDPORMatchesStatelessOnRandomProtocols(t *testing.T) {
+	for seed := int64(0); seed < 120; seed++ {
+		for _, thr := range []int{0, 2} {
+			p, err := mptest.Random(mptest.GenConfig{Seed: seed, Threshold: thr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			compare(t, p)
+		}
+	}
+}
+
+func TestDPORRejectsQuorumModels(t *testing.T) {
+	p, err := paxos.New(paxos.Config{Proposers: 1, Acceptors: 3, Learners: 1, Model: paxos.ModelQuorum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Explore(p, explore.Options{}); err == nil {
+		t.Fatal("DPOR must reject quorum models (as Basset does)")
+	}
+}
+
+func TestDPOROnBundledSingleModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bundled DPOR sweep is slow")
+	}
+	px, err := paxos.New(paxos.Config{Proposers: 1, Acceptors: 3, Learners: 1, Model: paxos.ModelSingle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compare(t, px)
+	fp, err := paxos.New(paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1, Model: paxos.ModelSingle, Faulty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compare(t, fp)
+	mc, err := multicast.New(multicast.Config{HonestReceivers: 2, HonestInitiators: 1, ByzantineInitiators: 1, Model: multicast.ModelSingle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compare(t, mc)
+	st, err := storage.New(storage.Config{Objects: 3, Readers: 1, Model: storage.ModelSingle, Writes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compare(t, st)
+}
+
+func TestDPORReducesWork(t *testing.T) {
+	// On genuinely concurrent protocols DPOR should visit strictly fewer
+	// nodes than full stateless search; assert it on a bundled model where
+	// the effect is unambiguous.
+	p, err := storage.New(storage.Config{Objects: 3, Readers: 1, Model: storage.ModelSingle, Writes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := explore.StatelessDFS(p, explore.Options{MaxDuration: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := Explore(p, explore.Options{MaxDuration: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Stats.States >= full.Stats.States {
+		t.Errorf("DPOR visited %d nodes, full stateless %d — no reduction", red.Stats.States, full.Stats.States)
+	}
+}
+
+func TestSleepSetsPreserveResults(t *testing.T) {
+	// Sleep sets must not change verdicts or lose deadlock states, only
+	// reduce node visits.
+	for seed := int64(0); seed < 80; seed++ {
+		p, err := mptest.Random(mptest.GenConfig{Seed: seed, Threshold: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		with, err := ExploreWith(p, explore.Options{MaxDuration: time.Minute}, Config{SleepSets: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		without, err := ExploreWith(p, explore.Options{MaxDuration: time.Minute}, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if with.Verdict != without.Verdict {
+			t.Errorf("seed %d: verdict %s (sleep) vs %s (plain)", seed, with.Verdict, without.Verdict)
+		}
+		if with.Verdict == explore.VerdictVerified && with.Stats.States > without.Stats.States {
+			t.Errorf("seed %d: sleep sets increased nodes %d > %d", seed, with.Stats.States, without.Stats.States)
+		}
+	}
+}
+
+func TestSleepSetsReduceVisits(t *testing.T) {
+	p, err := storage.New(storage.Config{Objects: 3, Readers: 1, Model: storage.ModelSingle, Writes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := ExploreWith(p, explore.Options{MaxDuration: time.Minute}, Config{SleepSets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := ExploreWith(p, explore.Options{MaxDuration: time.Minute}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Stats.States >= without.Stats.States {
+		t.Errorf("sleep sets gave no reduction: %d vs %d", with.Stats.States, without.Stats.States)
+	}
+}

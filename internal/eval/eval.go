@@ -1,0 +1,131 @@
+// Package eval defines the paper's evaluation as executable experiments:
+// the quorum-semantics comparison of Table I, the transition-refinement
+// comparison of Table II, and the interleaving-cost analysis of §II-C.
+// cmd/mpbench prints the tables; the root bench_test.go exposes each row
+// as a Go benchmark.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"mpbasset/internal/core"
+	"mpbasset/internal/dpor"
+	"mpbasset/internal/explore"
+	"mpbasset/internal/por"
+	"mpbasset/internal/refine"
+)
+
+// Options configures a table run.
+type Options struct {
+	// Budget bounds each cell's wall-clock time (the analogue of the
+	// paper's 48 h timeout); default 60 s.
+	Budget time.Duration
+	// MaxStates bounds each cell's state count; 0 = unlimited.
+	MaxStates int
+	// Paper selects the paper-scale workloads (larger settings where our
+	// defaults are reduced); currently this enables the Echo Multicast
+	// (3,1,1,1) row of Table II and doubles the Paxos ballots.
+	Paper bool
+}
+
+func (o Options) budget() time.Duration {
+	if o.Budget > 0 {
+		return o.Budget
+	}
+	return time.Minute
+}
+
+// Cell is one measurement of a table.
+type Cell struct {
+	Column   string
+	Verdict  explore.Verdict
+	States   int
+	Events   int
+	Duration time.Duration
+	Note     string
+	Err      error
+}
+
+// Row is one protocol/property line of a table.
+type Row struct {
+	Protocol string
+	Setting  string
+	Property string
+	Cells    []Cell
+}
+
+// run executes one search and converts the result into a cell.
+func run(column string, p *core.Protocol, opts Options, search func(*core.Protocol, explore.Options) (*explore.Result, error), xo explore.Options) Cell {
+	xo.MaxDuration = opts.budget()
+	xo.MaxStates = opts.MaxStates
+	if xo.Store == nil {
+		xo.Store = explore.NewHashStore()
+	}
+	res, err := search(p, xo)
+	if err != nil {
+		return Cell{Column: column, Err: err}
+	}
+	c := Cell{
+		Column:   column,
+		Verdict:  res.Verdict,
+		States:   res.Stats.States,
+		Events:   res.Stats.Events,
+		Duration: res.Stats.Duration,
+	}
+	if res.Verdict == explore.VerdictLimit {
+		c.Note = "timeout"
+	}
+	return c
+}
+
+// RunSPOR is the standard stateful DFS + static POR cell used across both
+// tables.
+func RunSPOR(column string, p *core.Protocol, opts Options) Cell {
+	exp, err := por.NewExpander(p)
+	if err != nil {
+		return Cell{Column: column, Err: err}
+	}
+	return run(column, p, opts, explore.DFS, explore.Options{Expander: exp})
+}
+
+// RunDPOR is the stateless dynamic-POR cell (single-message models only).
+func RunDPOR(column string, p *core.Protocol, opts Options) Cell {
+	return run(column, p, opts, dpor.Explore, explore.Options{})
+}
+
+// RunUnreduced is the plain stateful DFS cell.
+func RunUnreduced(column string, p *core.Protocol, opts Options) Cell {
+	return run(column, p, opts, explore.DFS, explore.Options{})
+}
+
+// split refines p and runs SPOR (Table II cells).
+func runSplit(p *core.Protocol, strat refine.Strategy, opts Options) Cell {
+	sp, err := refine.Split(p, strat)
+	if err != nil {
+		return Cell{Column: strat.String(), Err: err}
+	}
+	return RunSPOR(strat.String(), sp, opts)
+}
+
+// FormatRows renders rows in the paper's table style.
+func FormatRows(w io.Writer, title string, rows []Row) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	for _, r := range rows {
+		fmt.Fprintf(w, "\n%s %s — %s\n", r.Protocol, r.Setting, r.Property)
+		for _, c := range r.Cells {
+			if c.Err != nil {
+				fmt.Fprintf(w, "  %-22s ERROR: %v\n", c.Column, c.Err)
+				continue
+			}
+			note := ""
+			if c.Note != "" {
+				note = " (" + c.Note + ")"
+			}
+			fmt.Fprintf(w, "  %-22s %-8s states=%-9d events=%-10d time=%s%s\n",
+				c.Column, c.Verdict, c.States, c.Events, c.Duration.Round(time.Millisecond), note)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mpbasset/internal/explore"
+)
+
+func TestTable1VerdictsMatchPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table generation is slow")
+	}
+	rows, err := Table1(Options{Budget: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("Table I rows = %d, want 7 (as in the paper)", len(rows))
+	}
+	if err := Verify(rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if len(r.Cells) != 3 {
+			t.Fatalf("%s %s: %d cells, want 3 columns", r.Protocol, r.Setting, len(r.Cells))
+		}
+	}
+	// The headline claim: the quorum model explores fewer states than the
+	// single-message model under the same reduction, on every exhaustive
+	// verification row.
+	for _, r := range rows {
+		spor, quorum := r.Cells[1], r.Cells[2]
+		if spor.Verdict != explore.VerdictVerified || quorum.Verdict != explore.VerdictVerified {
+			continue
+		}
+		if quorum.States >= spor.States {
+			t.Errorf("%s %s: quorum states %d not below single-message states %d",
+				r.Protocol, r.Setting, quorum.States, spor.States)
+		}
+	}
+}
+
+func TestTable2VerdictsAndShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table generation is slow")
+	}
+	rows, err := Table2(Options{Budget: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("Table II rows = %d, want 7 (8th row is paper-scale only)", len(rows))
+	}
+	if err := Verify(rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if len(r.Cells) != 4 {
+			t.Fatalf("%s %s: %d cells, want 4 split columns", r.Protocol, r.Setting, len(r.Cells))
+		}
+		// Splits never enlarge the explored space on exhaustive rows
+		// (same state graph, finer reduction).
+		unsplit := r.Cells[0]
+		if unsplit.Verdict != explore.VerdictVerified {
+			continue
+		}
+		for _, c := range r.Cells[1:] {
+			if c.States > unsplit.States {
+				t.Errorf("%s %s [%s]: %d states above unsplit %d",
+					r.Protocol, r.Setting, c.Column, c.States, unsplit.States)
+			}
+		}
+	}
+}
+
+func TestAnalysisNumbers(t *testing.T) {
+	if got := InterleavingBound(3).Int64(); got != 18 { // 3!·3
+		t.Errorf("InterleavingBound(3) = %d, want 18", got)
+	}
+	if got := InterleavingBound(0).Int64(); got != 1 {
+		t.Errorf("InterleavingBound(0) = %d, want 1", got)
+	}
+	if got := SingleMessagePenalty(11, 2).Int64(); got != 169 {
+		t.Errorf("SingleMessagePenalty(11,2) = %d, want 169 (the paper's example)", got)
+	}
+	_, _, penalty := SmallestPaxosExample()
+	if penalty.Int64() != 169 {
+		t.Errorf("SmallestPaxosExample penalty = %s, want 169", penalty)
+	}
+	subsets, singles := PowersetCost(3)
+	if subsets != 8 || singles != 3 {
+		t.Errorf("PowersetCost(3) = %d,%d, want 8,3 (the paper's §IV-A example)", subsets, singles)
+	}
+	var sb strings.Builder
+	PrintAnalysis(&sb)
+	if !strings.Contains(sb.String(), "169") {
+		t.Error("analysis output misses the paper's example number")
+	}
+}
+
+func TestFormatRows(t *testing.T) {
+	rows := []Row{{
+		Protocol: "Demo",
+		Setting:  "(1,1)",
+		Property: "P",
+		Cells: []Cell{
+			{Column: "a", Verdict: explore.VerdictVerified, States: 42, Duration: time.Second},
+			{Column: "b", Verdict: explore.VerdictLimit, States: 7, Note: "timeout"},
+		},
+	}}
+	var sb strings.Builder
+	FormatRows(&sb, "T", rows)
+	out := sb.String()
+	for _, want := range []string{"Demo", "states=42", "timeout", "Verified"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table misses %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package eval
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// jsonCell is the machine-readable form of a Cell.
+type jsonCell struct {
+	Column     string  `json:"column"`
+	Verdict    string  `json:"verdict"`
+	States     int     `json:"states"`
+	Events     int     `json:"events"`
+	DurationMS float64 `json:"durationMillis"`
+	Note       string  `json:"note,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// jsonRow is the machine-readable form of a Row.
+type jsonRow struct {
+	Protocol string     `json:"protocol"`
+	Setting  string     `json:"setting"`
+	Property string     `json:"property"`
+	Cells    []jsonCell `json:"cells"`
+}
+
+// WriteJSON renders rows as a JSON document (one object with a "rows"
+// array), for downstream tooling and plotting.
+func WriteJSON(w io.Writer, title string, rows []Row) error {
+	type doc struct {
+		Title string    `json:"title"`
+		Rows  []jsonRow `json:"rows"`
+	}
+	d := doc{Title: title}
+	for _, r := range rows {
+		jr := jsonRow{Protocol: r.Protocol, Setting: r.Setting, Property: r.Property}
+		for _, c := range r.Cells {
+			jc := jsonCell{
+				Column:     c.Column,
+				Verdict:    c.Verdict.String(),
+				States:     c.States,
+				Events:     c.Events,
+				DurationMS: float64(c.Duration) / float64(time.Millisecond),
+				Note:       c.Note,
+			}
+			if c.Err != nil {
+				jc.Error = c.Err.Error()
+			}
+			jr.Cells = append(jr.Cells, jc)
+		}
+		d.Rows = append(d.Rows, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

@@ -1,0 +1,59 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mpbasset/internal/explore"
+)
+
+func TestWriteJSON(t *testing.T) {
+	rows := []Row{{
+		Protocol: "Demo",
+		Setting:  "(1,1)",
+		Property: "P",
+		Cells: []Cell{
+			{Column: "a", Verdict: explore.VerdictVerified, States: 42, Events: 7, Duration: 1500 * time.Millisecond},
+			{Column: "b", Verdict: explore.VerdictLimit, Note: "timeout"},
+			{Column: "c", Err: errors.New("boom")},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "T", rows); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Title string `json:"title"`
+		Rows  []struct {
+			Protocol string `json:"protocol"`
+			Cells    []struct {
+				Column     string  `json:"column"`
+				Verdict    string  `json:"verdict"`
+				States     int     `json:"states"`
+				DurationMS float64 `json:"durationMillis"`
+				Note       string  `json:"note"`
+				Error      string  `json:"error"`
+			} `json:"cells"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if parsed.Title != "T" || len(parsed.Rows) != 1 || len(parsed.Rows[0].Cells) != 3 {
+		t.Fatalf("structure wrong: %+v", parsed)
+	}
+	c := parsed.Rows[0].Cells[0]
+	if c.Verdict != "Verified" || c.States != 42 || c.DurationMS != 1500 {
+		t.Errorf("cell wrong: %+v", c)
+	}
+	if parsed.Rows[0].Cells[1].Note != "timeout" {
+		t.Error("note lost")
+	}
+	if !strings.Contains(parsed.Rows[0].Cells[2].Error, "boom") {
+		t.Error("error lost")
+	}
+}

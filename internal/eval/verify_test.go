@@ -1,0 +1,51 @@
+package eval
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mpbasset/internal/explore"
+)
+
+func TestVerifyAcceptsExpectedVerdicts(t *testing.T) {
+	rows := []Row{
+		{Protocol: "Paxos", Setting: "(2,3,1)", Property: "Consensus",
+			Cells: []Cell{{Column: "a", Verdict: explore.VerdictVerified}}},
+		{Protocol: "Faulty Paxos", Setting: "(2,3,1)", Property: "Consensus",
+			Cells: []Cell{{Column: "a", Verdict: explore.VerdictViolated}}},
+		{Protocol: "Regular storage", Setting: "(3,2)", Property: "Wrong regularity",
+			Cells: []Cell{{Column: "a", Verdict: explore.VerdictViolated}}},
+		{Protocol: "Echo Multicast", Setting: "(2,1,2,1)", Property: "Wrong agreement",
+			Cells: []Cell{{Column: "a", Verdict: explore.VerdictViolated}}},
+	}
+	if err := Verify(rows); err != nil {
+		t.Fatalf("expected verdicts rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongVerdicts(t *testing.T) {
+	rows := []Row{{Protocol: "Paxos", Setting: "(2,3,1)", Property: "Consensus",
+		Cells: []Cell{{Column: "a", Verdict: explore.VerdictViolated}}}}
+	err := Verify(rows)
+	if err == nil || !strings.Contains(err.Error(), "verdict") {
+		t.Fatalf("false counterexample accepted: %v", err)
+	}
+	rows = []Row{{Protocol: "Faulty Paxos", Setting: "(2,3,1)", Property: "Consensus",
+		Cells: []Cell{{Column: "a", Verdict: explore.VerdictVerified}}}}
+	if Verify(rows) == nil {
+		t.Fatal("missed bug accepted")
+	}
+}
+
+func TestVerifyToleratesTimeoutsAndReportsErrors(t *testing.T) {
+	rows := []Row{{Protocol: "Paxos", Setting: "(2,3,1)", Property: "Consensus",
+		Cells: []Cell{{Column: "a", Verdict: explore.VerdictLimit}}}}
+	if err := Verify(rows); err != nil {
+		t.Fatalf("timeout cell rejected: %v", err)
+	}
+	rows[0].Cells = append(rows[0].Cells, Cell{Column: "b", Err: errors.New("boom")})
+	if Verify(rows) == nil {
+		t.Fatal("error cell accepted")
+	}
+}

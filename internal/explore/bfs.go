@@ -1,0 +1,132 @@
+package explore
+
+import (
+	"mpbasset/internal/core"
+)
+
+type noStack struct{}
+
+func (noStack) OnStack(string) bool { return false }
+
+type parentLink struct {
+	parent string
+	ev     core.Event
+}
+
+// BFS runs a stateful breadth-first search. Counterexamples are
+// shortest-path when TrackTrace is set. BFS has no stack, so the cycle
+// proviso degenerates: combining BFS with a reducing expander is sound only
+// on acyclic state graphs (which all bundled protocol models are); prefer
+// DFS otherwise.
+func BFS(p *core.Protocol, opts Options) (*Result, error) {
+	init, err := p.InitialState()
+	if err != nil {
+		return nil, err
+	}
+	var (
+		res     Result
+		store   = opts.store()
+		canon   = opts.canon()
+		exp     = opts.expander()
+		lim     = newLimiter(opts)
+		limited bool
+	)
+	defer func() { res.Stats.Duration = lim.elapsed() }()
+
+	type node struct {
+		st    *core.State
+		key   string
+		depth int
+	}
+	var parents map[string]parentLink
+	if opts.TrackTrace {
+		parents = make(map[string]parentLink)
+	}
+	trace := func(key string) []Step {
+		if parents == nil {
+			return nil
+		}
+		var rev []Step
+		for key != "" {
+			pl, ok := parents[key]
+			if !ok {
+				break
+			}
+			rev = append(rev, Step{Event: pl.ev, StateKey: key})
+			key = pl.parent
+		}
+		steps := make([]Step, len(rev))
+		for i := range rev {
+			steps[i] = rev[len(rev)-1-i]
+		}
+		return steps
+	}
+
+	ikey := canon(init)
+	store.Seen(ikey)
+	res.Stats.States = store.Len()
+	if verr := p.CheckInvariant(init); verr != nil {
+		res.Verdict = VerdictViolated
+		res.Violation = verr
+		return &res, nil
+	}
+	queue := []node{{st: init, key: ikey}}
+
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n.depth > res.Stats.MaxDepth {
+			res.Stats.MaxDepth = n.depth
+		}
+		if lim.depthExceeded(n.depth) {
+			limited = true
+			continue
+		}
+		enabled := p.Enabled(n.st)
+		if len(enabled) == 0 {
+			res.Stats.Deadlocks++
+			continue
+		}
+		chosen := exp.Expand(n.st, enabled, noStack{})
+		if len(chosen) < len(enabled) {
+			res.Stats.ReducedExpansions++
+		} else {
+			res.Stats.FullExpansions++
+		}
+		for _, ev := range chosen {
+			ns, err := p.Execute(n.st, ev)
+			if err != nil {
+				return nil, err
+			}
+			res.Stats.Events++
+			key := canon(ns)
+			if store.Seen(key) {
+				res.Stats.Revisits++
+				continue
+			}
+			res.Stats.States = store.Len()
+			if parents != nil {
+				parents[key] = parentLink{parent: n.key, ev: ev}
+			}
+			if verr := p.CheckInvariant(ns); verr != nil {
+				res.Verdict = VerdictViolated
+				res.Violation = verr
+				res.Trace = trace(key)
+				return &res, nil
+			}
+			if lim.statesExceeded(store.Len()) || lim.timeExceeded() {
+				limited = true
+				queue = queue[:0]
+				break
+			}
+			queue = append(queue, node{st: ns, key: key, depth: n.depth + 1})
+		}
+	}
+
+	if limited {
+		res.Verdict = VerdictLimit
+	} else {
+		res.Verdict = VerdictVerified
+	}
+	return &res, nil
+}

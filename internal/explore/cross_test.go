@@ -1,0 +1,102 @@
+package explore
+
+import (
+	"testing"
+	"time"
+
+	"mpbasset/internal/core"
+	"mpbasset/internal/mptest"
+)
+
+// TestStatefulAndStatelessAgreeOnTerminals cross-checks the engines on
+// randomized acyclic protocols: stateless search must find exactly the
+// deadlock states the stateful search stores (counting distinct ones).
+func TestStatefulAndStatelessAgreeOnTerminals(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		p, err := mptest.Random(mptest.GenConfig{Seed: seed, Quorums: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stateful, err := DFS(p, Options{MaxDuration: time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Enumerate distinct terminals reached statelessly.
+		terms := map[string]bool{}
+		if err := walkStateless(p, func(s *core.State, terminal bool) {
+			if terminal {
+				terms[s.Key()] = true
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(terms) != stateful.Stats.Deadlocks {
+			t.Errorf("seed %d: stateless found %d distinct terminals, stateful %d",
+				seed, len(terms), stateful.Stats.Deadlocks)
+		}
+	}
+}
+
+// walkStateless exhaustively walks every path (no visited set), calling f
+// on every visited state.
+func walkStateless(p *core.Protocol, f func(*core.State, bool)) error {
+	init, err := p.InitialState()
+	if err != nil {
+		return err
+	}
+	var rec func(s *core.State) error
+	rec = func(s *core.State) error {
+		events := p.Enabled(s)
+		f(s, len(events) == 0)
+		for _, ev := range events {
+			ns, err := p.Execute(s, ev)
+			if err != nil {
+				return err
+			}
+			if err := rec(ns); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(init)
+}
+
+// TestExecuteDeterministic asserts that executing the same event from the
+// same state always produces the same successor key — the foundation of
+// stateful search.
+func TestExecuteDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		p, err := mptest.Random(mptest.GenConfig{Seed: seed, Quorums: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := p.InitialState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for depth := 0; depth < 6; depth++ {
+			events := p.Enabled(s)
+			if len(events) == 0 {
+				break
+			}
+			a, err := p.Execute(s, events[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := p.Execute(s, events[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Key() != b.Key() {
+				t.Fatalf("seed %d depth %d: nondeterministic execution:\n%s\n%s", seed, depth, a.Key(), b.Key())
+			}
+			// Enabled enumeration is order-stable too.
+			again := p.Enabled(s)
+			if len(again) != len(events) || again[0].Key() != events[0].Key() {
+				t.Fatalf("seed %d depth %d: enabled enumeration unstable", seed, depth)
+			}
+			s = a
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package explore
+
+import (
+	"mpbasset/internal/core"
+)
+
+type dfsSucc struct {
+	ev  core.Event
+	st  *core.State
+	key string
+}
+
+type dfsFrame struct {
+	key   string
+	via   core.Event // event that led into this frame (zero for the root)
+	succs []dfsSucc
+	next  int
+}
+
+type dfsStack struct {
+	onStack map[string]bool
+}
+
+func (d *dfsStack) OnStack(key string) bool { return d.onStack[key] }
+
+// DFS runs a stateful depth-first search: every distinct state is visited
+// once, the invariant is checked on each visit, and the search stops at the
+// first violation with a counterexample trace (the paper's "first bug"
+// debugging mode) or when the state space is exhausted.
+//
+// DFS cooperates with reducing expanders: when a reduced expansion would
+// close a cycle back onto the search stack, the state is re-expanded fully
+// (cycle proviso C3), keeping POR sound on cyclic state graphs.
+func DFS(p *core.Protocol, opts Options) (*Result, error) {
+	init, err := p.InitialState()
+	if err != nil {
+		return nil, err
+	}
+	var (
+		res     Result
+		store   = opts.store()
+		canon   = opts.canon()
+		exp     = opts.expander()
+		lim     = newLimiter(opts)
+		stack   []dfsFrame
+		sinfo   = &dfsStack{onStack: make(map[string]bool)}
+		limited bool
+	)
+	defer func() { res.Stats.Duration = lim.elapsed() }()
+
+	expand := func(s *core.State) ([]dfsSucc, error) {
+		enabled := p.Enabled(s)
+		if len(enabled) == 0 {
+			res.Stats.Deadlocks++
+			return nil, nil
+		}
+		chosen := exp.Expand(s, enabled, sinfo)
+		reduced := len(chosen) < len(enabled)
+		succs, err := execAll(p, s, chosen, canon)
+		if err != nil {
+			return nil, err
+		}
+		if reduced {
+			// Cycle proviso (C3): a reduced expansion must not close a
+			// cycle on the stack, or the deferred events could be ignored
+			// forever.
+			closes := false
+			for _, sc := range succs {
+				if sinfo.onStack[sc.key] {
+					closes = true
+					break
+				}
+			}
+			if closes {
+				reduced = false
+				if succs, err = execAll(p, s, enabled, canon); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if reduced {
+			res.Stats.ReducedExpansions++
+		} else {
+			res.Stats.FullExpansions++
+		}
+		return succs, nil
+	}
+
+	push := func(s *core.State, key string, via core.Event) error {
+		sinfo.onStack[key] = true
+		succs, err := expand(s)
+		if err != nil {
+			return err
+		}
+		stack = append(stack, dfsFrame{key: key, via: via, succs: succs})
+		if len(stack) > res.Stats.MaxDepth {
+			res.Stats.MaxDepth = len(stack)
+		}
+		return nil
+	}
+
+	trace := func(last *dfsSucc) []Step {
+		var steps []Step
+		for _, f := range stack[1:] {
+			steps = append(steps, Step{Event: f.via, StateKey: f.key})
+		}
+		if last != nil {
+			steps = append(steps, Step{Event: last.ev, StateKey: last.key})
+		}
+		return steps
+	}
+
+	ikey := canon(init)
+	store.Seen(ikey)
+	res.Stats.States = store.Len()
+	if verr := p.CheckInvariant(init); verr != nil {
+		res.Verdict = VerdictViolated
+		res.Violation = verr
+		return &res, nil
+	}
+	if err := push(init, ikey, core.Event{}); err != nil {
+		return nil, err
+	}
+
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next >= len(f.succs) {
+			delete(sinfo.onStack, f.key)
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		sc := f.succs[f.next]
+		f.next++
+		res.Stats.Events++
+		if store.Seen(sc.key) {
+			res.Stats.Revisits++
+			continue
+		}
+		res.Stats.States = store.Len()
+		if verr := p.CheckInvariant(sc.st); verr != nil {
+			res.Verdict = VerdictViolated
+			res.Violation = verr
+			res.Trace = trace(&sc)
+			return &res, nil
+		}
+		if lim.statesExceeded(store.Len()) || lim.timeExceeded() {
+			limited = true
+			break
+		}
+		if lim.depthExceeded(len(stack)) {
+			limited = true
+			continue
+		}
+		if err := push(sc.st, sc.key, sc.ev); err != nil {
+			return nil, err
+		}
+	}
+
+	if limited {
+		res.Verdict = VerdictLimit
+	} else {
+		res.Verdict = VerdictVerified
+	}
+	return &res, nil
+}
+
+func execAll(p *core.Protocol, s *core.State, events []core.Event, canon func(*core.State) string) ([]dfsSucc, error) {
+	succs := make([]dfsSucc, 0, len(events))
+	for _, ev := range events {
+		ns, err := p.Execute(s, ev)
+		if err != nil {
+			return nil, err
+		}
+		succs = append(succs, dfsSucc{ev: ev, st: ns, key: canon(ns)})
+	}
+	return succs, nil
+}

@@ -1,0 +1,13 @@
+// Package explore provides the explicit-state search engines of the model
+// checker: stateful DFS and BFS over canonical state keys, a stateless DFS
+// (the search mode required by dynamic POR, §III-A), invariant checking
+// with counterexample traces, deadlock detection, and a full state-graph
+// builder used to validate transition refinement (Theorem 2: refined and
+// unrefined systems generate the same state graph).
+//
+// Searches are parameterized by an Expander, the hook through which
+// partial-order reduction restricts the explored events of a state. The
+// stateful DFS engine implements the cycle proviso (ample condition C3):
+// whenever a reduced expansion would close a cycle on the search stack, the
+// state is fully expanded.
+package explore

@@ -1,0 +1,94 @@
+package explore
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the state graph in Graphviz DOT format: nodes are
+// canonical state keys (abbreviated), the initial state is marked, and
+// terminal (deadlock) states are drawn as double circles. Useful for
+// inspecting small models:
+//
+//	g, _ := explore.BuildGraph(p, 10000)
+//	g.WriteDOT(os.Stdout)
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("digraph states {\n")
+	sb.WriteString("  rankdir=TB;\n  node [shape=circle, fontsize=9];\n")
+
+	// Stable node numbering: lexicographic over keys.
+	keys := make([]string, 0, len(g.Nodes))
+	for k := range g.Nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	id := make(map[string]int, len(keys))
+	for i, k := range keys {
+		id[k] = i
+	}
+	for _, k := range keys {
+		attrs := fmt.Sprintf("label=%q, tooltip=%q", abbreviate(k, 24), k)
+		if k == g.Initial {
+			attrs += ", style=bold, color=blue"
+		}
+		if len(g.Edges[k]) == 0 {
+			attrs += ", shape=doublecircle"
+		}
+		fmt.Fprintf(&sb, "  n%d [%s];\n", id[k], attrs)
+	}
+	for _, from := range keys {
+		tos := make([]string, 0, len(g.Edges[from]))
+		for to := range g.Edges[from] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", id[from], id[to])
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteTraceDOT renders a counterexample as a linear DOT chain annotated
+// with the executed events, for sharing bug traces.
+func WriteTraceDOT(w io.Writer, initial string, trace []Step) error {
+	var sb strings.Builder
+	sb.WriteString("digraph trace {\n  rankdir=TB;\n  node [shape=box, fontsize=9];\n")
+	fmt.Fprintf(&sb, "  s0 [label=%q, style=bold, color=blue];\n", abbreviate(initial, 28))
+	for i, st := range trace {
+		attrs := fmt.Sprintf("label=%q, tooltip=%q", abbreviate(st.StateKey, 28), st.StateKey)
+		if i == len(trace)-1 {
+			attrs += ", color=red, style=bold"
+		}
+		fmt.Fprintf(&sb, "  s%d [%s];\n", i+1, attrs)
+		fmt.Fprintf(&sb, "  s%d -> s%d [label=%q];\n", i, i+1, st.Event.String())
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func abbreviate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// TerminalStates returns the keys of deadlock states, sorted — handy for
+// diffing outcomes across models.
+func (g *Graph) TerminalStates() []string {
+	var out []string
+	for k := range g.Nodes {
+		if len(g.Edges[k]) == 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,81 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	p := chain(t, 2, 0)
+	g, err := BuildGraph(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "digraph states {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatalf("not a DOT document:\n%s", out)
+	}
+	if strings.Count(out, "->") != g.NumEdges() {
+		t.Errorf("edge lines %d != graph edges %d", strings.Count(out, "->"), g.NumEdges())
+	}
+	if !strings.Contains(out, "doublecircle") {
+		t.Error("terminal states not marked")
+	}
+	if !strings.Contains(out, "color=blue") {
+		t.Error("initial state not marked")
+	}
+}
+
+func TestWriteTraceDOT(t *testing.T) {
+	p := chain(t, 3, 2)
+	res, err := DFS(p, Options{TrackTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictViolated {
+		t.Fatal("expected CE")
+	}
+	init, err := p.InitialState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteTraceDOT(&sb, init.Key(), res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "->") != len(res.Trace) {
+		t.Errorf("trace edges %d != steps %d", strings.Count(out, "->"), len(res.Trace))
+	}
+	if !strings.Contains(out, "color=red") {
+		t.Error("violating state not marked")
+	}
+}
+
+func TestTerminalStates(t *testing.T) {
+	p := chain(t, 2, 0)
+	g, err := BuildGraph(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := g.TerminalStates()
+	if len(terms) != 1 {
+		t.Fatalf("terminals = %v, want exactly one", terms)
+	}
+	if len(g.Edges[terms[0]]) != 0 {
+		t.Fatal("terminal state has outgoing edges")
+	}
+}
+
+func TestAbbreviate(t *testing.T) {
+	if abbreviate("short", 10) != "short" {
+		t.Error("short strings must pass through")
+	}
+	if got := abbreviate("0123456789abcdef", 8); len(got) > 10 { // ellipsis is multi-byte
+		t.Errorf("abbreviation too long: %q", got)
+	}
+}

@@ -1,0 +1,282 @@
+package explore
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mpbasset/internal/core"
+	"mpbasset/internal/mptest"
+)
+
+// chain builds a 1-deadlock protocol: proc 0 emits K tokens one by one to
+// proc 1, which absorbs them; the invariant (optional) fails when proc 1
+// absorbed `failAt` tokens.
+func chain(t *testing.T, k, failAt int) *core.Protocol {
+	t.Helper()
+	p := &core.Protocol{
+		Name: "chain",
+		N:    2,
+		Init: func() []core.LocalState {
+			return []core.LocalState{&mptest.Local{}, &mptest.Local{}}
+		},
+		Transitions: []*core.Transition{
+			{
+				Name:     "EMIT",
+				Proc:     0,
+				Priority: 1,
+				Sends:    []core.SendSpec{{Type: "TOK", To: []core.ProcessID{1}}},
+				LocalGuard: func(ls core.LocalState) bool {
+					return ls.(*mptest.Local).Rounds < k
+				},
+				Apply: func(c *core.Ctx) {
+					l := c.Local.(*mptest.Local)
+					l.Rounds++
+					c.Send(1, "TOK", core.NoPayload{})
+				},
+			},
+			{
+				Name:    "TOK",
+				Proc:    1,
+				MsgType: "TOK",
+				Quorum:  1,
+				Peers:   []core.ProcessID{0},
+				Apply: func(c *core.Ctx) {
+					c.Local.(*mptest.Local).Rounds++
+				},
+			},
+		},
+		ValidateSends: true,
+	}
+	if failAt > 0 {
+		p.Invariant = func(s *core.State) error {
+			if s.Local(1).(*mptest.Local).Rounds >= failAt {
+				return errors.New("absorbed too many tokens")
+			}
+			return nil
+		}
+	}
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEnginesAgreeOnChain(t *testing.T) {
+	p := chain(t, 3, 0)
+	dfs, err := DFS(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs, err := BFS(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := StatelessDFS(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfs.Verdict != VerdictVerified || bfs.Verdict != VerdictVerified || sl.Verdict != VerdictVerified {
+		t.Fatalf("verdicts: dfs=%s bfs=%s stateless=%s", dfs.Verdict, bfs.Verdict, sl.Verdict)
+	}
+	if dfs.Stats.States != bfs.Stats.States {
+		t.Errorf("stateful engines disagree on states: dfs=%d bfs=%d", dfs.Stats.States, bfs.Stats.States)
+	}
+	if dfs.Stats.Deadlocks != 1 || bfs.Stats.Deadlocks != 1 {
+		t.Errorf("deadlocks: dfs=%d bfs=%d, want 1", dfs.Stats.Deadlocks, bfs.Stats.Deadlocks)
+	}
+	// The chain's state graph is a DAG with sharing; stateless search
+	// revisits, so it sees at least as many nodes.
+	if sl.Stats.States < dfs.Stats.States {
+		t.Errorf("stateless visited fewer nodes (%d) than distinct states (%d)", sl.Stats.States, dfs.Stats.States)
+	}
+}
+
+func TestEnginesAgreeOnRandomProtocols(t *testing.T) {
+	for seed := int64(0); seed < 80; seed++ {
+		p, err := mptest.Random(mptest.GenConfig{Seed: seed, Quorums: true, Threshold: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dfs, err := DFS(p, Options{MaxDuration: time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bfs, err := BFS(p, Options{MaxDuration: time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dfs.Verdict != bfs.Verdict {
+			t.Errorf("seed %d: dfs=%s bfs=%s", seed, dfs.Verdict, bfs.Verdict)
+		}
+		if dfs.Verdict == VerdictVerified && dfs.Stats.States != bfs.Stats.States {
+			t.Errorf("seed %d: dfs states=%d bfs states=%d", seed, dfs.Stats.States, bfs.Stats.States)
+		}
+	}
+}
+
+func TestCounterexampleTraceReplays(t *testing.T) {
+	p := chain(t, 3, 2)
+	for name, search := range map[string]func(*core.Protocol, Options) (*Result, error){
+		"dfs":       DFS,
+		"bfs":       BFS,
+		"stateless": StatelessDFS,
+	} {
+		opts := Options{TrackTrace: true}
+		res, err := search(p, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Verdict != VerdictViolated {
+			t.Fatalf("%s: verdict %s, want CE", name, res.Verdict)
+		}
+		if len(res.Trace) == 0 {
+			t.Fatalf("%s: empty counterexample", name)
+		}
+		// Replay the trace from the initial state; it must end in a
+		// violating state.
+		s, err := p.InitialState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, step := range res.Trace {
+			s, err = p.Execute(s, step.Event)
+			if err != nil {
+				t.Fatalf("%s: step %d (%s) does not replay: %v", name, i, step.Event, err)
+			}
+		}
+		if p.CheckInvariant(s) == nil {
+			t.Errorf("%s: replayed trace ends in a non-violating state", name)
+		}
+		if !strings.Contains(res.TraceString(), "TOK") {
+			t.Errorf("%s: trace rendering misses events:\n%s", name, res.TraceString())
+		}
+	}
+}
+
+func TestBFSShortestCounterexample(t *testing.T) {
+	p := chain(t, 3, 1)
+	res, err := BFS(p, Options{TrackTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shortest violation: EMIT, TOK.
+	if len(res.Trace) != 2 {
+		t.Fatalf("BFS counterexample length = %d, want 2 (shortest)", len(res.Trace))
+	}
+}
+
+func TestLimits(t *testing.T) {
+	p := chain(t, 50, 0)
+	res, err := DFS(p, Options{MaxStates: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictLimit {
+		t.Fatalf("verdict = %s, want Limit", res.Verdict)
+	}
+	res, err = BFS(p, Options{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictLimit {
+		t.Fatalf("BFS depth-limited verdict = %s, want Limit", res.Verdict)
+	}
+	res, err = StatelessDFS(p, Options{MaxStates: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictLimit {
+		t.Fatalf("stateless verdict = %s, want Limit", res.Verdict)
+	}
+}
+
+func TestStores(t *testing.T) {
+	for name, s := range map[string]Store{"exact": NewExactStore(), "hash": NewHashStore()} {
+		if s.Seen("a") {
+			t.Fatalf("%s: fresh store claims to have seen a key", name)
+		}
+		if !s.Seen("a") || s.Seen("b") || s.Len() != 2 {
+			t.Fatalf("%s: store bookkeeping wrong (len=%d)", name, s.Len())
+		}
+	}
+}
+
+func TestHashStoreMatchesExactOnRealRun(t *testing.T) {
+	p := chain(t, 6, 0)
+	exact, err := DFS(p, Options{Store: NewExactStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashed, err := DFS(p, Options{Store: NewHashStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Stats.States != hashed.Stats.States {
+		t.Fatalf("stores disagree: exact=%d hashed=%d", exact.Stats.States, hashed.Stats.States)
+	}
+}
+
+func TestBuildGraph(t *testing.T) {
+	p := chain(t, 2, 0)
+	g, err := BuildGraph(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := DFS(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != ref.Stats.States {
+		t.Fatalf("graph nodes=%d, DFS states=%d", len(g.Nodes), ref.Stats.States)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges")
+	}
+	if !g.Equal(g) {
+		t.Fatal("graph not equal to itself")
+	}
+	// Limit enforcement.
+	if _, err := BuildGraph(p, 1); err == nil {
+		t.Fatal("BuildGraph must fail when exceeding the state cap")
+	}
+}
+
+func TestGraphDiff(t *testing.T) {
+	p1 := chain(t, 2, 0)
+	p2 := chain(t, 3, 0)
+	g1, err := BuildGraph(p1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := BuildGraph(p2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Diff(g2) == "" {
+		t.Fatal("different graphs reported equal")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if VerdictVerified.String() != "Verified" || VerdictViolated.String() != "CE" || VerdictLimit.String() != "Limit" {
+		t.Fatal("verdict strings diverge from the paper's vocabulary")
+	}
+}
+
+func TestViolatedInitialState(t *testing.T) {
+	p := chain(t, 1, 0)
+	p.Invariant = func(*core.State) error { return errors.New("always") }
+	for name, search := range map[string]func(*core.Protocol, Options) (*Result, error){
+		"dfs": DFS, "bfs": BFS, "stateless": StatelessDFS,
+	} {
+		res, err := search(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != VerdictViolated || len(res.Trace) != 0 {
+			t.Errorf("%s: initial violation not reported correctly (%s, trace %d)", name, res.Verdict, len(res.Trace))
+		}
+	}
+}

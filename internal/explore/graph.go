@@ -1,0 +1,107 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"mpbasset/internal/core"
+)
+
+// Graph is an explicit state graph (S, S0, Δ) — nodes are canonical state
+// keys, edges are state pairs with transition identities erased, exactly as
+// in the paper's Definition 1: two transition systems are refinements of
+// one another iff they generate the same state graph. Package refine's
+// Theorem 2 tests compare graphs built from unsplit and split protocols.
+type Graph struct {
+	Initial string
+	Nodes   map[string]struct{}
+	Edges   map[string]map[string]struct{}
+}
+
+// NumEdges returns the number of distinct (s, s') pairs.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, to := range g.Edges {
+		n += len(to)
+	}
+	return n
+}
+
+// Equal reports whether both graphs have the same initial state, node set
+// and edge set.
+func (g *Graph) Equal(h *Graph) bool { return g.Diff(h) == "" }
+
+// Diff returns a description of the first difference between the graphs,
+// or "" when they are equal. Intended for test failure messages.
+func (g *Graph) Diff(h *Graph) string {
+	if g.Initial != h.Initial {
+		return fmt.Sprintf("initial states differ: %q vs %q", g.Initial, h.Initial)
+	}
+	if len(g.Nodes) != len(h.Nodes) {
+		return fmt.Sprintf("node counts differ: %d vs %d", len(g.Nodes), len(h.Nodes))
+	}
+	for n := range g.Nodes {
+		if _, ok := h.Nodes[n]; !ok {
+			return fmt.Sprintf("node only in first graph: %q", n)
+		}
+	}
+	if ge, he := g.NumEdges(), h.NumEdges(); ge != he {
+		return fmt.Sprintf("edge counts differ: %d vs %d", ge, he)
+	}
+	froms := make([]string, 0, len(g.Edges))
+	for from := range g.Edges {
+		froms = append(froms, from)
+	}
+	sort.Strings(froms)
+	for _, from := range froms {
+		hTo := h.Edges[from]
+		for to := range g.Edges[from] {
+			if _, ok := hTo[to]; !ok {
+				return fmt.Sprintf("edge only in first graph: %q -> %q", from, to)
+			}
+		}
+	}
+	return ""
+}
+
+// BuildGraph exhaustively explores p (unreduced BFS) and returns its state
+// graph. maxStates guards against runaway models; 0 means unlimited. An
+// error is returned if the limit is hit, because a truncated graph must
+// never be used for equality checking.
+func BuildGraph(p *core.Protocol, maxStates int) (*Graph, error) {
+	init, err := p.InitialState()
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{
+		Initial: init.Key(),
+		Nodes:   make(map[string]struct{}),
+		Edges:   make(map[string]map[string]struct{}),
+	}
+	g.Nodes[g.Initial] = struct{}{}
+	queue := []*core.State{init}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		from := s.Key()
+		for _, ev := range p.Enabled(s) {
+			ns, err := p.Execute(s, ev)
+			if err != nil {
+				return nil, err
+			}
+			to := ns.Key()
+			if g.Edges[from] == nil {
+				g.Edges[from] = make(map[string]struct{})
+			}
+			g.Edges[from][to] = struct{}{}
+			if _, seen := g.Nodes[to]; !seen {
+				g.Nodes[to] = struct{}{}
+				if maxStates > 0 && len(g.Nodes) > maxStates {
+					return nil, fmt.Errorf("state graph of %s exceeds %d states", p.Name, maxStates)
+				}
+				queue = append(queue, ns)
+			}
+		}
+	}
+	return g, nil
+}

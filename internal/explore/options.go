@@ -1,0 +1,120 @@
+package explore
+
+import (
+	"time"
+
+	"mpbasset/internal/core"
+)
+
+// StackInfo exposes the search stack to expanders: the static POR needs it
+// for the cycle proviso, and diagnostic expanders may inspect it. Searches
+// without a stack (BFS) report nothing on it.
+type StackInfo interface {
+	// OnStack reports whether the state with the given canonical key is on
+	// the current search stack.
+	OnStack(key string) bool
+}
+
+// Expander selects the events to explore from a state. A nil Expander (or
+// the FullExpander) yields unreduced search; package por provides the
+// stubborn-set expander.
+//
+// Contract: the returned slice must be a subset of enabled. Returning a
+// slice of the same length as enabled counts as a full expansion.
+type Expander interface {
+	Expand(s *core.State, enabled []core.Event, stack StackInfo) []core.Event
+}
+
+// FullExpander explores every enabled event (no reduction).
+type FullExpander struct{}
+
+// Expand implements Expander.
+func (FullExpander) Expand(_ *core.State, enabled []core.Event, _ StackInfo) []core.Event {
+	return enabled
+}
+
+// Options configures a search.
+type Options struct {
+	// Expander restricts expansion (POR); nil means full expansion.
+	Expander Expander
+	// Store is the visited set; nil means a fresh ExactStore. Ignored by
+	// stateless search.
+	Store Store
+	// Canon maps a state to the key used for visited-set membership and
+	// stack identity. Nil means core.(*State).Key. Package symmetry
+	// provides canonicalizing implementations.
+	Canon func(*core.State) string
+	// MaxStates stops the search after this many distinct states
+	// (stateless: visited nodes); 0 means unlimited.
+	MaxStates int
+	// MaxDepth bounds the search depth; 0 means unlimited (stateless
+	// search defaults to 1 << 20 to guarantee termination on cyclic
+	// graphs).
+	MaxDepth int
+	// MaxDuration stops the search after the given wall-clock time;
+	// 0 means unlimited.
+	MaxDuration time.Duration
+	// TrackTrace records parent links so BFS can reconstruct
+	// counterexamples (DFS reconstructs from its stack for free).
+	TrackTrace bool
+}
+
+func (o *Options) store() Store {
+	if o.Store != nil {
+		return o.Store
+	}
+	return NewExactStore()
+}
+
+func (o *Options) canon() func(*core.State) string {
+	if o.Canon != nil {
+		return o.Canon
+	}
+	return func(s *core.State) string { return s.Key() }
+}
+
+func (o *Options) expander() Expander {
+	if o.Expander != nil {
+		return o.Expander
+	}
+	return FullExpander{}
+}
+
+// limiter tracks the stop conditions shared by the engines.
+type limiter struct {
+	maxStates int
+	maxDepth  int
+	deadline  time.Time
+	start     time.Time
+	checked   int
+}
+
+func newLimiter(o Options) *limiter {
+	l := &limiter{maxStates: o.MaxStates, maxDepth: o.MaxDepth, start: time.Now()}
+	if o.MaxDuration > 0 {
+		l.deadline = l.start.Add(o.MaxDuration)
+	}
+	return l
+}
+
+func (l *limiter) statesExceeded(n int) bool {
+	return l.maxStates > 0 && n >= l.maxStates
+}
+
+func (l *limiter) depthExceeded(d int) bool {
+	return l.maxDepth > 0 && d >= l.maxDepth
+}
+
+// timeExceeded polls the clock once every 1024 calls to stay cheap.
+func (l *limiter) timeExceeded() bool {
+	if l.deadline.IsZero() {
+		return false
+	}
+	l.checked++
+	if l.checked&1023 != 0 {
+		return false
+	}
+	return time.Now().After(l.deadline)
+}
+
+func (l *limiter) elapsed() time.Duration { return time.Since(l.start) }

@@ -1,0 +1,70 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"mpbasset/internal/core"
+)
+
+// eventForTest fabricates a single-message event for tr with a message
+// that was never sent — useful for negative replay tests.
+func eventForTest(tr *core.Transition) core.Event {
+	return core.Event{T: tr, Msgs: []core.Message{{From: 0, To: tr.Proc, Type: tr.MsgType}}}
+}
+
+func TestRenderTrace(t *testing.T) {
+	p := chain(t, 3, 2)
+	res, err := DFS(p, Options{TrackTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictViolated {
+		t.Fatal("expected CE")
+	}
+	var sb strings.Builder
+	if err := RenderTrace(&sb, p, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"EMIT", "+sent:", "-consumed:", "local ", "=> violation:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered trace misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTraceRejectsBogusTrace(t *testing.T) {
+	p := chain(t, 2, 0)
+	res, err := DFS(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	// A trace whose first event needs a message that is not pending.
+	var tok Step
+	for _, tr := range p.Transitions {
+		if tr.Name == "TOK" {
+			tok = Step{Event: eventForTest(tr)}
+		}
+	}
+	var sb strings.Builder
+	if err := RenderTrace(&sb, p, []Step{tok}); err == nil {
+		t.Fatal("bogus trace rendered without error")
+	}
+}
+
+func TestReplayViolationRejectsSatisfyingTrace(t *testing.T) {
+	p := chain(t, 3, 0) // no invariant: nothing violates
+	res, err := DFS(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictVerified {
+		t.Fatal("setup: expected verified")
+	}
+	// Empty trace ends in the initial state, which satisfies everything.
+	if _, err := ReplayViolation(p, nil); err == nil {
+		t.Fatal("ReplayViolation accepted a satisfying end state")
+	}
+}

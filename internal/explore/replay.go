@@ -1,0 +1,39 @@
+package explore
+
+import (
+	"fmt"
+
+	"mpbasset/internal/core"
+)
+
+// Replay re-executes a counterexample trace from the protocol's initial
+// state and returns the final state. It fails if any step does not apply —
+// the guarantee that reported traces are real executions, used by the test
+// suites and by tools that post-process counterexamples.
+func Replay(p *core.Protocol, trace []Step) (*core.State, error) {
+	s, err := p.InitialState()
+	if err != nil {
+		return nil, err
+	}
+	for i, step := range trace {
+		ns, err := p.Execute(s, step.Event)
+		if err != nil {
+			return nil, fmt.Errorf("replay step %d (%s): %w", i+1, step.Event, err)
+		}
+		s = ns
+	}
+	return s, nil
+}
+
+// ReplayViolation replays the trace and additionally checks that the final
+// state violates the protocol's invariant, returning the violation.
+func ReplayViolation(p *core.Protocol, trace []Step) (*core.State, error) {
+	s, err := Replay(p, trace)
+	if err != nil {
+		return nil, err
+	}
+	if verr := p.CheckInvariant(s); verr == nil {
+		return nil, fmt.Errorf("replayed trace ends in a state that satisfies the invariant")
+	}
+	return s, nil
+}

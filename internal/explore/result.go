@@ -1,0 +1,86 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mpbasset/internal/core"
+)
+
+// Verdict is the outcome of a search.
+type Verdict int
+
+const (
+	// VerdictVerified means the full (possibly reduced) state space was
+	// explored and no state violated the invariant.
+	VerdictVerified Verdict = iota + 1
+	// VerdictViolated means a violating state was found; the search
+	// stopped at the first counterexample, as in the paper's debugging
+	// experiments.
+	VerdictViolated
+	// VerdictLimit means a state, depth or time limit stopped the search
+	// before exhaustion (the analogue of the paper's 48 h timeouts).
+	VerdictLimit
+)
+
+// String returns the verdict in the paper's table vocabulary.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictVerified:
+		return "Verified"
+	case VerdictViolated:
+		return "CE"
+	case VerdictLimit:
+		return "Limit"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Step is one edge of a counterexample path.
+type Step struct {
+	// Event is the executed event.
+	Event core.Event
+	// StateKey is the canonical key of the state reached by the event.
+	StateKey string
+}
+
+// Stats aggregates search effort. States counts distinct stored states for
+// stateful searches and visited nodes (including revisits) for stateless
+// ones — matching how the paper's Tables I/II count states per column.
+type Stats struct {
+	States            int
+	Revisits          int
+	Events            int
+	Deadlocks         int
+	MaxDepth          int
+	FullExpansions    int
+	ReducedExpansions int
+	Duration          time.Duration
+}
+
+// Result is the outcome of a search run.
+type Result struct {
+	Verdict Verdict
+	// Violation describes the invariant violation when Verdict is
+	// VerdictViolated.
+	Violation error
+	// Trace is the counterexample path from the initial state to the
+	// violating state (empty when the initial state itself violates, or
+	// when trace tracking was disabled).
+	Trace []Step
+	Stats Stats
+}
+
+// TraceString renders the counterexample, one step per line.
+func (r *Result) TraceString() string {
+	if len(r.Trace) == 0 {
+		return "(empty trace)"
+	}
+	var sb strings.Builder
+	for i, st := range r.Trace {
+		fmt.Fprintf(&sb, "%3d. %s\n", i+1, st.Event)
+	}
+	return sb.String()
+}

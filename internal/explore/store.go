@@ -1,0 +1,70 @@
+package explore
+
+import "hash/fnv"
+
+// Store is the visited-state set of a stateful search.
+type Store interface {
+	// Seen records key and reports whether it was already present.
+	Seen(key string) bool
+	// Len returns the number of distinct keys recorded.
+	Len() int
+}
+
+// ExactStore keeps full canonical keys: collision-free, memory-hungry.
+// The zero value is ready to use.
+type ExactStore struct {
+	m map[string]struct{}
+}
+
+// NewExactStore returns an empty exact store.
+func NewExactStore() *ExactStore { return &ExactStore{} }
+
+// Seen implements Store.
+func (s *ExactStore) Seen(key string) bool {
+	if s.m == nil {
+		s.m = make(map[string]struct{})
+	}
+	if _, ok := s.m[key]; ok {
+		return true
+	}
+	s.m[key] = struct{}{}
+	return false
+}
+
+// Len implements Store.
+func (s *ExactStore) Len() int { return len(s.m) }
+
+// HashStore keeps 128-bit FNV-1a fingerprints instead of full keys,
+// trading a negligible collision probability for a large memory saving on
+// multi-million-state runs (the paper's larger table rows). The zero value
+// is ready to use.
+type HashStore struct {
+	m map[[16]byte]struct{}
+}
+
+// NewHashStore returns an empty hashed store.
+func NewHashStore() *HashStore { return &HashStore{} }
+
+// Seen implements Store.
+func (s *HashStore) Seen(key string) bool {
+	if s.m == nil {
+		s.m = make(map[[16]byte]struct{})
+	}
+	h := fnv.New128a()
+	h.Write([]byte(key))
+	var k [16]byte
+	h.Sum(k[:0])
+	if _, ok := s.m[k]; ok {
+		return true
+	}
+	s.m[k] = struct{}{}
+	return false
+}
+
+// Len implements Store.
+func (s *HashStore) Len() int { return len(s.m) }
+
+var (
+	_ Store = (*ExactStore)(nil)
+	_ Store = (*HashStore)(nil)
+)

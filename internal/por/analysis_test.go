@@ -1,0 +1,152 @@
+package por
+
+import (
+	"testing"
+
+	"mpbasset/internal/core"
+	"mpbasset/internal/protocols/paxos"
+	"mpbasset/internal/protocols/storage"
+	"mpbasset/internal/refine"
+)
+
+// findTransition returns the index of the first transition of proc with
+// the given name prefix.
+func findTransition(t *testing.T, p *core.Protocol, proc core.ProcessID, name string) int {
+	t.Helper()
+	for _, tr := range p.Transitions {
+		if tr.Proc == proc && tr.Name == name {
+			return tr.Index()
+		}
+	}
+	t.Fatalf("transition %d/%s not found", proc, name)
+	return -1
+}
+
+func TestDependenceRelationsOnPaxos(t *testing.T) {
+	cfg := paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1}
+	p, err := paxos.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalysis(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	propose0 := findTransition(t, p, cfg.ProposerID(0), "PROPOSE")
+	propose1 := findTransition(t, p, cfg.ProposerID(1), "PROPOSE")
+	collect0 := findTransition(t, p, cfg.ProposerID(0), paxos.MsgReadRepl)
+	read2 := findTransition(t, p, cfg.AcceptorID(0), paxos.MsgRead)
+	write2 := findTransition(t, p, cfg.AcceptorID(0), paxos.MsgWrite)
+	learner := findTransition(t, p, cfg.LearnerID(0), paxos.MsgAccept)
+
+	// Reflexive.
+	if !a.Dependent(propose0, propose0) {
+		t.Error("dependence must be reflexive")
+	}
+	// Two proposals are independent: different processes, no feeding.
+	if a.Dependent(propose0, propose1) {
+		t.Error("PROPOSE transitions of different proposers must be independent")
+	}
+	// PROPOSE feeds the acceptors' READ transitions.
+	if !a.Dependent(propose0, read2) {
+		t.Error("PROPOSE must be dependent with the acceptor READ it feeds")
+	}
+	// Same process: READ and WRITE of one acceptor conflict.
+	if !a.Dependent(read2, write2) {
+		t.Error("same-process transitions must be dependent")
+	}
+	// Acceptor READ feeds the proposer's collect.
+	if !a.Dependent(read2, collect0) {
+		t.Error("acceptor READ must be dependent with the proposer's READ_REPL")
+	}
+	// The learner's collect is fed by acceptor WRITE (ACCEPT messages),
+	// not by acceptor READ.
+	if !a.Dependent(write2, learner) {
+		t.Error("acceptor WRITE must feed the learner")
+	}
+	if a.Dependent(read2, learner) {
+		t.Error("acceptor READ must be independent of the learner")
+	}
+}
+
+func TestReplySplitSparsifiesDependence(t *testing.T) {
+	p, err := paxos.New(paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewAnalysis(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := refine.Split(p, refine.Reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := NewAnalysis(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After reply-split an acceptor's READ__0 feeds only proposer 0: it
+	// must be independent of proposer 1's collect.
+	cfg := paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1}
+	read0 := findTransition(t, sp, cfg.AcceptorID(0), paxos.MsgRead+"__0")
+	collect1 := findTransition(t, sp, cfg.ProposerID(1), paxos.MsgReadRepl)
+	if sa.Dependent(read0, collect1) {
+		t.Error("reply-split READ__0 must not feed proposer 1's collect")
+	}
+	// Average dependence degree must not grow (per-transition relations
+	// get sparser even though the transition count grows).
+	baseDeg := float64(base.DependenceCount()) / float64(len(p.Transitions))
+	splitDeg := float64(sa.DependenceCount()) / float64(len(sp.Transitions))
+	if splitDeg > baseDeg {
+		t.Errorf("reply-split increased average dependence degree: %.2f -> %.2f", baseDeg, splitDeg)
+	}
+}
+
+func TestReadOnlyDecouplesProbes(t *testing.T) {
+	cfg := storage.Config{Objects: 2, Readers: 2}
+	p, err := storage.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := refine.Split(p, refine.Reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalysis(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After reply-split, the same object's probes for different readers
+	// are ReadOnly and touch disjoint messages: independent — the paper's
+	// isWrite annotation at work.
+	r1 := findTransition(t, sp, cfg.ObjectID(0), storage.MsgRead+core.PeerSuffix([]core.ProcessID{cfg.ReaderID(0)}))
+	r2 := findTransition(t, sp, cfg.ObjectID(0), storage.MsgRead+core.PeerSuffix([]core.ProcessID{cfg.ReaderID(1)}))
+	if a.Dependent(r1, r2) {
+		t.Error("read-only probes of different readers at one object must be independent")
+	}
+	// But each probe conflicts with the object's WRITE.
+	w := findTransition(t, sp, cfg.ObjectID(0), storage.MsgWrite)
+	if !a.Dependent(r1, w) {
+		t.Error("probe must be dependent with the object's WRITE")
+	}
+}
+
+func TestGlobalReadCoupling(t *testing.T) {
+	cfg := storage.Config{Objects: 3, Readers: 1}
+	p, err := storage.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalysis(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reader's R_START reads the writer's state (observer snapshot):
+	// dependent with the writer's state-writing transitions.
+	rstart := findTransition(t, p, cfg.ReaderID(0), "R_START")
+	wack := findTransition(t, p, cfg.WriterID(), storage.MsgAck)
+	if !a.Dependent(rstart, wack) {
+		t.Error("observer snapshot must couple the reader start to the writer's completion")
+	}
+}

@@ -1,0 +1,27 @@
+// Package por implements the static partial-order reduction of the paper's
+// MP-Basset checker (the MP-LPOR algorithm, §III-A/§IV): stubborn sets
+// computed per state from a seed transition, over a *precomputed,
+// state-independent* dependence relation specialized to the message-passing
+// model, with the necessary-enabling-transitions (NET) optimization that
+// narrows enabling candidates to the senders a disabled transition is still
+// missing.
+//
+// Dependence in the MP model (the relation MP-LPOR precomputes):
+//
+//   - transitions of the same process are dependent (they share the local
+//     state and compete for the process's incoming messages);
+//   - t is dependent on u if t may send a message u may consume, taking
+//     static send specifications, peer restrictions and reply discipline
+//     into account — this is where transition refinement (package refine)
+//     pays off: split transitions declare narrower peers/recipients, so
+//     fewer pairs are dependent and "can-enable" edges become sparser
+//     (§III-C/D);
+//   - sends into channels commute, so transitions of different processes
+//     that only send are independent;
+//   - transitions reading other processes' states (GlobalReads) are
+//     dependent on every transition of those processes.
+//
+// The expander implements the ample-set provisos: C2 (a reduced ample set
+// must contain no property-visible transition) here, and C3 (cycle
+// proviso) in cooperation with the DFS engine of package explore.
+package por

@@ -1,0 +1,150 @@
+package por
+
+import (
+	"sort"
+
+	"mpbasset/internal/explore"
+
+	"mpbasset/internal/core"
+)
+
+// Expander is the static-POR expander plugged into the searches of package
+// explore: at each state it tries seed transitions in heuristic order,
+// computes the stubborn set of each candidate, and explores only the
+// enabled part (the ample set) of the first candidate that passes the
+// reduction and visibility checks.
+type Expander struct {
+	a         *Analysis
+	seedOrder []int
+	// BestSeed makes the expander evaluate every enabled seed and keep
+	// the smallest valid ample set, instead of the first valid one in
+	// heuristic order. More time per state, sometimes fewer states.
+	//
+	// A note on a design alternative we rejected: a closure that applies
+	// enabling-set reasoning only to disabled members (leaving an enabled
+	// member's feeders out) looks attractive and reduces much more, but
+	// it is unsound for quorum transitions — a feeder can create *new*
+	// quorum choices for an already-enabled transition, and dropping it
+	// loses those behaviours including deadlock states. The property
+	// tests in this package demonstrate the unsoundness on generated
+	// protocols, which is why no such mode is offered.
+	BestSeed bool
+	// DisableNET replaces the missing-sender necessary-enabling sets with
+	// all feeders — the paper's plain-LPOR configuration (its appendix
+	// distinguishes LPOR from LPOR-NET via the fw.spor flag). Sound, less
+	// reductive; exists for the ablation benches.
+	DisableNET bool
+	// DisableUniqueness ignores UniquePerSender annotations, treating
+	// every feeder as able to grow an enabled quorum transition's event
+	// set. Sound, less reductive; exists for the ablation benches.
+	DisableUniqueness bool
+
+	// dropGrowthFeeders exists only so the tests can demonstrate the
+	// unsoundness described above; production code never sets it.
+	dropGrowthFeeders bool
+}
+
+var _ explore.Expander = (*Expander)(nil)
+
+// NewExpander builds a static-POR expander for p. Seeds are ordered by
+// decreasing Transition.Priority (the paper's "opposite transaction"
+// heuristic, §V-B), ties broken by transition index.
+func NewExpander(p *core.Protocol) (*Expander, error) {
+	a, err := NewAnalysis(p)
+	if err != nil {
+		return nil, err
+	}
+	return newExpander(a), nil
+}
+
+// NewExpanderFromAnalysis reuses a precomputed analysis.
+func NewExpanderFromAnalysis(a *Analysis) *Expander { return newExpander(a) }
+
+func newExpander(a *Analysis) *Expander {
+	order := make([]int, len(a.p.Transitions))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		tx, ty := a.p.Transitions[order[x]], a.p.Transitions[order[y]]
+		if tx.Priority != ty.Priority {
+			return tx.Priority > ty.Priority
+		}
+		return order[x] < order[y]
+	})
+	return &Expander{a: a, seedOrder: order}
+}
+
+// Analysis exposes the underlying static analysis (diagnostics, tests).
+func (e *Expander) Analysis() *Analysis { return e.a }
+
+// Expand implements explore.Expander. The cycle proviso (C3) is enforced by
+// the DFS engine; Expand enforces C1 (stubbornness) and C2 (a reduced
+// ample set contains no visible transition).
+func (e *Expander) Expand(s *core.State, enabled []core.Event, _ explore.StackInfo) []core.Event {
+	if len(enabled) <= 1 {
+		return enabled
+	}
+	enabledSet := make(map[int]bool)
+	distinct := 0
+	for _, ev := range enabled {
+		idx := ev.T.Index()
+		if !enabledSet[idx] {
+			enabledSet[idx] = true
+			distinct++
+		}
+	}
+	if distinct <= 1 {
+		// A single (possibly non-deterministic) transition: all its
+		// events must be executed anyway (Figure 4(b)).
+		return enabled
+	}
+
+	var best map[int]bool
+	bestSize := distinct
+	for _, seed := range e.seedOrder {
+		if !enabledSet[seed] {
+			continue
+		}
+		stub := e.a.stubborn(seed, s, enabledSet, closureConfig{
+			disableNET:        e.DisableNET,
+			disableUniqueness: e.DisableUniqueness,
+			dropGrowthFeeders: e.dropGrowthFeeders,
+		})
+		size, visible := e.ampleInfo(stub, enabledSet)
+		if size >= bestSize || visible {
+			continue
+		}
+		if !e.BestSeed {
+			best = stub
+			break
+		}
+		best = stub
+		bestSize = size
+	}
+	if best == nil {
+		return enabled
+	}
+	out := make([]core.Event, 0, len(enabled))
+	for _, ev := range enabled {
+		if best[ev.T.Index()] {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// ampleInfo returns the number of distinct enabled transitions in the
+// stubborn set and whether any of them is visible.
+func (e *Expander) ampleInfo(stub, enabled map[int]bool) (size int, visible bool) {
+	for idx := range stub {
+		if !enabled[idx] {
+			continue
+		}
+		size++
+		if e.a.p.Transitions[idx].Visible {
+			visible = true
+		}
+	}
+	return size, visible
+}

@@ -1,0 +1,275 @@
+package por
+
+import (
+	"testing"
+	"time"
+
+	"mpbasset/internal/core"
+	"mpbasset/internal/explore"
+	"mpbasset/internal/mptest"
+	"mpbasset/internal/protocols/multicast"
+	"mpbasset/internal/protocols/paxos"
+	"mpbasset/internal/protocols/storage"
+)
+
+// runBoth explores p unreduced and SPOR-reduced and checks the soundness
+// contract: identical verdicts and identical deadlock-state counts (the
+// stubborn-set guarantee), with the reduced run never exploring more
+// states.
+func runBoth(t *testing.T, p *core.Protocol, search func(*core.Protocol, explore.Options) (*explore.Result, error)) {
+	t.Helper()
+	full, err := search(p, explore.Options{MaxDuration: time.Minute})
+	if err != nil {
+		t.Fatalf("%s unreduced: %v", p.Name, err)
+	}
+	exp, err := NewExpander(p)
+	if err != nil {
+		t.Fatalf("%s analysis: %v", p.Name, err)
+	}
+	red, err := search(p, explore.Options{Expander: exp, MaxDuration: time.Minute})
+	if err != nil {
+		t.Fatalf("%s reduced: %v", p.Name, err)
+	}
+	if full.Verdict != red.Verdict {
+		t.Errorf("%s: verdict mismatch: unreduced %s, SPOR %s", p.Name, full.Verdict, red.Verdict)
+	}
+	if full.Verdict == explore.VerdictVerified {
+		if full.Stats.Deadlocks != red.Stats.Deadlocks {
+			t.Errorf("%s: deadlock count mismatch: unreduced %d, SPOR %d (stubborn sets must preserve deadlocks)",
+				p.Name, full.Stats.Deadlocks, red.Stats.Deadlocks)
+		}
+		// Exhaustive runs: the reduction must never enlarge the explored
+		// space. (A violated run may legitimately visit more states before
+		// hitting its — possibly different — counterexample.)
+		if red.Stats.States > full.Stats.States {
+			t.Errorf("%s: SPOR explored more states (%d) than unreduced (%d)", p.Name, red.Stats.States, full.Stats.States)
+		}
+	}
+}
+
+func TestSoundnessOnRandomProtocols(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		for _, thr := range []int{0, 1, 2} {
+			p, err := mptest.Random(mptest.GenConfig{Seed: seed, Quorums: true, Threshold: thr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runBoth(t, p, explore.DFS)
+		}
+	}
+}
+
+func TestSoundnessWithAnyQuorumTransitions(t *testing.T) {
+	// Unrestricted-subset (AnyQuorum) transitions exercise the
+	// conservative branches of the closure (no missing-sender NETs, no
+	// uniqueness shortcuts).
+	for seed := int64(0); seed < 80; seed++ {
+		p, err := mptest.Random(mptest.GenConfig{Seed: seed, Quorums: true, AnyQuorums: true, Threshold: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runBoth(t, p, explore.DFS)
+	}
+}
+
+func TestSoundnessOnCyclicProtocols(t *testing.T) {
+	// Cyclic state graphs exercise the DFS cycle proviso (C3).
+	for seed := int64(0); seed < 60; seed++ {
+		p, err := mptest.Random(mptest.GenConfig{Seed: seed, Quorums: true, Cycles: true, Threshold: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runBoth(t, p, explore.DFS)
+	}
+}
+
+func TestSoundnessOnBundledProtocols(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bundled-protocol soundness sweep is slow")
+	}
+	var ps []*core.Protocol
+	add := func(p *core.Protocol, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.ValidateSends = true
+		ps = append(ps, p)
+	}
+	for _, m := range []paxos.Model{paxos.ModelQuorum, paxos.ModelSingle} {
+		add(paxos.New(paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1, Model: m}))
+		add(paxos.New(paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1, Model: m, Faulty: true}))
+	}
+	add(multicast.New(multicast.Config{HonestReceivers: 3, ByzantineReceivers: 1, ByzantineInitiators: 1}))
+	add(multicast.New(multicast.Config{HonestReceivers: 2, HonestInitiators: 1, ByzantineInitiators: 1}))
+	add(multicast.New(multicast.Config{HonestReceivers: 2, HonestInitiators: 1, ByzantineReceivers: 2, ByzantineInitiators: 1}))
+	add(multicast.New(multicast.Config{HonestReceivers: 3, HonestInitiators: 1, ByzantineReceivers: 1, ByzantineInitiators: 1}))
+	add(storage.New(storage.Config{Objects: 3, Readers: 1}))
+	add(storage.New(storage.Config{Objects: 3, Readers: 2, WrongRegularity: true}))
+	add(storage.New(storage.Config{Objects: 3, Readers: 1, Model: storage.ModelSingle}))
+	for _, p := range ps {
+		runBoth(t, p, explore.DFS)
+	}
+}
+
+func TestSoundnessBFS(t *testing.T) {
+	// Generated protocols without Cycles are acyclic, where BFS+POR is
+	// declared sound.
+	for seed := int64(0); seed < 60; seed++ {
+		p, err := mptest.Random(mptest.GenConfig{Seed: seed, Quorums: true, Threshold: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runBoth(t, p, explore.BFS)
+	}
+}
+
+// TestDroppingGrowthFeedersIsUnsound documents why the expander offers no
+// "enabled members pull conflicts only" mode: a closure that ignores the
+// feeders of enabled quorum transitions loses quorum-choice behaviours —
+// demonstrably including deadlock states — on generated protocols. The
+// test asserts that at least one seed exposes the deadlock loss.
+func TestDroppingGrowthFeedersIsUnsound(t *testing.T) {
+	exposed := 0
+	for seed := int64(0); seed < 100; seed++ {
+		p, err := mptest.Random(mptest.GenConfig{Seed: seed, Quorums: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := explore.DFS(p, explore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := NewAnalysis(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp := NewExpanderFromAnalysis(a)
+		exp.dropGrowthFeeders = true // test-only backdoor
+		red, err := explore.DFS(p, explore.Options{Expander: exp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.Stats.Deadlocks != red.Stats.Deadlocks {
+			exposed++
+		}
+	}
+	if exposed == 0 {
+		t.Fatal("expected at least one seed to expose the unsoundness of dropping growth feeders")
+	}
+	t.Logf("deadlock loss exposed on %d/100 seeds", exposed)
+}
+
+func TestAblationModesStillSound(t *testing.T) {
+	// DisableNET and DisableUniqueness replace sets by supersets: less
+	// reduction, never unsoundness.
+	for seed := int64(0); seed < 60; seed++ {
+		p, err := mptest.Random(mptest.GenConfig{Seed: seed, Quorums: true, Threshold: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := explore.DFS(p, explore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []struct {
+			name string
+			set  func(*Expander)
+		}{
+			{"no-NET", func(e *Expander) { e.DisableNET = true }},
+			{"no-uniqueness", func(e *Expander) { e.DisableUniqueness = true }},
+			{"both", func(e *Expander) { e.DisableNET = true; e.DisableUniqueness = true }},
+		} {
+			exp, err := NewExpander(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mode.set(exp)
+			red, err := explore.DFS(p, explore.Options{Expander: exp})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if red.Verdict != full.Verdict {
+				t.Errorf("seed %d %s: verdict %s, want %s", seed, mode.name, red.Verdict, full.Verdict)
+			}
+			if full.Verdict == explore.VerdictVerified && red.Stats.Deadlocks != full.Stats.Deadlocks {
+				t.Errorf("seed %d %s: deadlocks %d, want %d", seed, mode.name, red.Stats.Deadlocks, full.Stats.Deadlocks)
+			}
+		}
+	}
+}
+
+func TestNETOptimizationImproves(t *testing.T) {
+	// On the bundled storage model the NET optimization must not explore
+	// more states than its disabled counterpart; on at least one bundled
+	// protocol it should explore strictly fewer.
+	strictly := false
+	for _, mk := range []func() (*core.Protocol, error){
+		func() (*core.Protocol, error) {
+			return paxos.New(paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1})
+		},
+		func() (*core.Protocol, error) {
+			return storage.New(storage.Config{Objects: 3, Readers: 2, WrongRegularity: true})
+		},
+		func() (*core.Protocol, error) {
+			return multicast.New(multicast.Config{HonestReceivers: 3, HonestInitiators: 1, ByzantineReceivers: 1, ByzantineInitiators: 1})
+		},
+	} {
+		p, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		withNET, err := NewExpander(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resNET, err := explore.DFS(p, explore.Options{Expander: withNET, MaxDuration: 2 * time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		woNET, err := NewExpander(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		woNET.DisableNET = true
+		resNo, err := explore.DFS(p, explore.Options{Expander: woNET, MaxDuration: 2 * time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resNET.Verdict == explore.VerdictVerified && resNo.Verdict == explore.VerdictVerified {
+			if resNET.Stats.States > resNo.Stats.States {
+				t.Errorf("%s: NET explored more states (%d) than no-NET (%d)", p.Name, resNET.Stats.States, resNo.Stats.States)
+			}
+			if resNET.Stats.States < resNo.Stats.States {
+				strictly = true
+			}
+		}
+	}
+	if !strictly {
+		t.Log("note: NET gave no strict improvement on the sampled protocols this run")
+	}
+}
+
+func TestBestSeedStillSound(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		p, err := mptest.Random(mptest.GenConfig{Seed: seed, Quorums: true, Threshold: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := explore.DFS(p, explore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp, err := NewExpander(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp.BestSeed = true
+		red, err := explore.DFS(p, explore.Options{Expander: exp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.Verdict != red.Verdict {
+			t.Errorf("seed %d: verdict %s (full) vs %s (best-seed)", seed, full.Verdict, red.Verdict)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package multicast models Reiter's Echo Multicast (the consistent
+// multicast of Rampart, "Secure Agreement Protocols"), the paper's
+// Byzantine evaluation target.
+//
+// An initiator sends its message to all receivers; each honest receiver
+// echoes (signs) the first message it sees from that initiator; once the
+// initiator collects echoes from ⌈(n+f+1)/2⌉ distinct receivers it sends a
+// commit carrying the echo certificate, and receivers deliver a commit
+// with a valid certificate. Agreement — no two honest receivers deliver
+// different messages from one initiator — follows from quorum
+// intersection: two certificates of that size share at least f+1
+// receivers, hence at least one honest receiver, and an honest receiver
+// echoes only one message per initiator.
+//
+// Byzantine behaviour follows the paper's attack strategies (§V-A):
+//
+//   - a Byzantine initiator "attempts to violate the agreement property by
+//     sending different messages to each of two groups of honest
+//     receivers" and collects echo quorums for both;
+//   - a Byzantine receiver "sends invalid confirmations to an honest
+//     initiator and cooperates with a Byzantine initiator by confirming
+//     (signing) both of its messages".
+//
+// Signatures are abstracted into unforgeable certificates: commit messages
+// can only be constructed by collect transitions from genuinely received
+// echoes, and certificates list the distinct echoing receivers.
+//
+// The "wrong agreement" settings exceed the threshold assumption (more
+// Byzantine receivers than the protocol tolerates), and the model checker
+// finds the agreement counterexample.
+package multicast
+
+import (
+	"fmt"
+	"strconv"
+
+	"mpbasset/internal/core"
+)
+
+// Model selects quorum vs single-message (counting) modeling of the echo
+// collection.
+type Model int
+
+const (
+	// ModelQuorum collects an echo quorum in one transition.
+	ModelQuorum Model = iota + 1
+	// ModelSingle counts echoes one message at a time.
+	ModelSingle
+)
+
+// String names the model.
+func (m Model) String() string {
+	if m == ModelSingle {
+		return "single"
+	}
+	return "quorum"
+}
+
+// Config is an Echo Multicast setting, the paper's (HR,HI,BR,BI) tuple.
+type Config struct {
+	HonestReceivers     int
+	HonestInitiators    int
+	ByzantineReceivers  int
+	ByzantineInitiators int
+	// Tolerance is the number of Byzantine receivers the protocol is
+	// configured to tolerate (f); default 1. A setting with
+	// ByzantineReceivers > Tolerance exceeds the threshold assumption —
+	// the paper's "wrong agreement" experiments.
+	Tolerance int
+	// Model selects quorum vs single-message modeling; default quorum.
+	Model Model
+}
+
+func (c *Config) withDefaults() Config {
+	cc := *c
+	if cc.Model == 0 {
+		cc.Model = ModelQuorum
+	}
+	if cc.Tolerance == 0 {
+		cc.Tolerance = 1
+	}
+	return cc
+}
+
+// Setting renders the configuration as the paper writes it, e.g.
+// "(3,0,1,1)".
+func (c Config) Setting() string {
+	return fmt.Sprintf("(%d,%d,%d,%d)", c.HonestReceivers, c.HonestInitiators, c.ByzantineReceivers, c.ByzantineInitiators)
+}
+
+// Receivers returns the total number of receivers (n).
+func (c Config) Receivers() int { return c.HonestReceivers + c.ByzantineReceivers }
+
+// Threshold returns the echo-quorum size ⌈(n+f+1)/2⌉.
+func (c Config) Threshold() int { return (c.Receivers() + c.Tolerance + 2) / 2 }
+
+// Process layout: honest receivers, Byzantine receivers, honest initiators,
+// Byzantine initiators.
+
+// HonestReceiverID returns the process ID of the i-th honest receiver.
+func (c Config) HonestReceiverID(i int) core.ProcessID { return core.ProcessID(i) }
+
+// ByzantineReceiverID returns the process ID of the i-th Byzantine receiver.
+func (c Config) ByzantineReceiverID(i int) core.ProcessID {
+	return core.ProcessID(c.HonestReceivers + i)
+}
+
+// HonestInitiatorID returns the process ID of the i-th honest initiator.
+func (c Config) HonestInitiatorID(i int) core.ProcessID {
+	return core.ProcessID(c.Receivers() + i)
+}
+
+// ByzantineInitiatorID returns the process ID of the i-th Byzantine
+// initiator.
+func (c Config) ByzantineInitiatorID(i int) core.ProcessID {
+	return core.ProcessID(c.Receivers() + c.HonestInitiators + i)
+}
+
+// ReceiverIDs returns all receiver process IDs (honest then Byzantine).
+func (c Config) ReceiverIDs() []core.ProcessID {
+	ids := make([]core.ProcessID, 0, c.Receivers())
+	for i := 0; i < c.HonestReceivers; i++ {
+		ids = append(ids, c.HonestReceiverID(i))
+	}
+	for i := 0; i < c.ByzantineReceivers; i++ {
+		ids = append(ids, c.ByzantineReceiverID(i))
+	}
+	return ids
+}
+
+// InitiatorIDs returns all initiator process IDs (honest then Byzantine).
+func (c Config) InitiatorIDs() []core.ProcessID {
+	ids := make([]core.ProcessID, 0, c.HonestInitiators+c.ByzantineInitiators)
+	for i := 0; i < c.HonestInitiators; i++ {
+		ids = append(ids, c.HonestInitiatorID(i))
+	}
+	for i := 0; i < c.ByzantineInitiators; i++ {
+		ids = append(ids, c.ByzantineInitiatorID(i))
+	}
+	return ids
+}
+
+// Roles groups symmetric processes for package symmetry. Byzantine
+// receivers are interchangeable (they all cooperate identically), and so
+// are honest receivers — except that a Byzantine initiator's equivocation
+// splits the honest receivers into two target groups, which breaks the
+// symmetry between groups: with Byzantine initiators present, each
+// equivocation group is its own role. Initiators propose distinct values
+// and always stand alone.
+func (c Config) Roles() [][]core.ProcessID {
+	var hrRoles [][]core.ProcessID
+	if c.ByzantineInitiators > 0 {
+		groupA, groupB := byzGroups(c)
+		hrRoles = append(hrRoles, groupA, groupB)
+	} else {
+		hrRoles = append(hrRoles, honestReceivers(c))
+	}
+	var br []core.ProcessID
+	for i := 0; i < c.ByzantineReceivers; i++ {
+		br = append(br, c.ByzantineReceiverID(i))
+	}
+	roles := [][]core.ProcessID{}
+	for _, r := range hrRoles {
+		if len(r) > 0 {
+			roles = append(roles, r)
+		}
+	}
+	if len(br) > 0 {
+		roles = append(roles, br)
+	}
+	for _, id := range c.InitiatorIDs() {
+		roles = append(roles, []core.ProcessID{id})
+	}
+	return roles
+}
+
+// Message types. Echo messages are typed per value: an echo is an
+// abstract signature over one specific value (in Rampart the echo covers
+// the message digest), so a signature for value v is a different kind of
+// message than one for value w — and each receiver signs a given value at
+// most once, the per-sender uniqueness the static POR exploits.
+const (
+	MsgInit   = "INIT"   // initiator -> receivers: {Val}
+	MsgEcho   = "ECHO"   // receiver  -> initiator: typed EchoType(v)
+	MsgCommit = "COMMIT" // initiator -> receivers: {Val, Cert}
+)
+
+// EchoType returns the message type of an echo (signature) for value v.
+func EchoType(v int) string { return MsgEcho + "#" + strconv.Itoa(v) }
+
+// Values: honest initiator i multicasts 100+i; Byzantine initiator i uses
+// the pair (200+2i, 201+2i); a Byzantine receiver's invalid confirmation to
+// an honest initiator is the initiator's value plus 1000.
+func honestValue(i int) int { return 100 + i }
+func byzValueA(i int) int   { return 200 + 2*i }
+func byzValueB(i int) int   { return 201 + 2*i }
+func invalidEcho(v int) int { return v + 1000 }
+
+// New builds the Echo Multicast model for the given setting.
+func New(cfg Config) (*core.Protocol, error) {
+	c := cfg.withDefaults()
+	if cfg.Tolerance < 0 || c.HonestReceivers < 0 || c.ByzantineReceivers < 0 ||
+		c.HonestInitiators < 0 || c.ByzantineInitiators < 0 {
+		return nil, fmt.Errorf("multicast: negative counts in setting %s (tolerance %d)", c.Setting(), cfg.Tolerance)
+	}
+	if c.Receivers() < 1 || c.HonestInitiators+c.ByzantineInitiators < 1 {
+		return nil, fmt.Errorf("multicast: invalid setting %s", c.Setting())
+	}
+	if c.Threshold() > c.Receivers() {
+		return nil, fmt.Errorf("multicast: threshold %d exceeds %d receivers in setting %s", c.Threshold(), c.Receivers(), c.Setting())
+	}
+	n := c.Receivers() + c.HonestInitiators + c.ByzantineInitiators
+
+	var ts []*core.Transition
+	for i := 0; i < c.HonestReceivers; i++ {
+		ts = append(ts, honestReceiverTransitions(c, i)...)
+	}
+	for i := 0; i < c.ByzantineReceivers; i++ {
+		ts = append(ts, byzantineReceiverTransitions(c, i)...)
+	}
+	for i := 0; i < c.HonestInitiators; i++ {
+		ts = append(ts, honestInitiatorTransitions(c, i)...)
+	}
+	for i := 0; i < c.ByzantineInitiators; i++ {
+		ts = append(ts, byzantineInitiatorTransitions(c, i)...)
+	}
+
+	p := &core.Protocol{
+		Name: fmt.Sprintf("EchoMulticast%s/%s", c.Setting(), c.Model),
+		N:    n,
+		Init: func() []core.LocalState {
+			locals := make([]core.LocalState, n)
+			for i := 0; i < c.HonestReceivers; i++ {
+				locals[c.HonestReceiverID(i)] = newReceiverState()
+			}
+			for i := 0; i < c.ByzantineReceivers; i++ {
+				locals[c.ByzantineReceiverID(i)] = newReceiverState()
+			}
+			for i := 0; i < c.HonestInitiators; i++ {
+				locals[c.HonestInitiatorID(i)] = newInitiatorState()
+			}
+			for i := 0; i < c.ByzantineInitiators; i++ {
+				locals[c.ByzantineInitiatorID(i)] = newInitiatorState()
+			}
+			return locals
+		},
+		Transitions: ts,
+		Invariant:   agreementInvariant(c),
+	}
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// agreementInvariant: no two honest receivers deliver different values for
+// the same initiator.
+func agreementInvariant(c Config) core.Invariant {
+	return func(s *core.State) error {
+		for _, init := range c.InitiatorIDs() {
+			prev := 0
+			prevAt := -1
+			for i := 0; i < c.HonestReceivers; i++ {
+				rs := s.Local(c.HonestReceiverID(i)).(*receiverState)
+				v, ok := rs.Delivered[init]
+				if !ok {
+					continue
+				}
+				if prev != 0 && v != prev {
+					return fmt.Errorf("agreement violated: honest receivers %d and %d delivered %d and %d from initiator %d", prevAt, i, prev, v, init)
+				}
+				prev = v
+				prevAt = i
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,210 @@
+package multicast
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mpbasset/internal/core"
+	"mpbasset/internal/explore"
+	"mpbasset/internal/por"
+)
+
+func mustNew(t *testing.T, cfg Config) *core.Protocol {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ValidateSends = true
+	return p
+}
+
+func check(t *testing.T, p *core.Protocol) *explore.Result {
+	t.Helper()
+	exp, err := por.NewExpander(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := explore.DFS(p, explore.Options{Expander: exp, TrackTrace: true, MaxDuration: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestVerdictsMatchPaperSettings(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want explore.Verdict
+	}{
+		// Table I / II settings.
+		{Config{HonestReceivers: 3, HonestInitiators: 0, ByzantineReceivers: 1, ByzantineInitiators: 1}, explore.VerdictVerified},
+		{Config{HonestReceivers: 2, HonestInitiators: 1, ByzantineReceivers: 0, ByzantineInitiators: 1}, explore.VerdictVerified},
+		{Config{HonestReceivers: 2, HonestInitiators: 1, ByzantineReceivers: 2, ByzantineInitiators: 1}, explore.VerdictViolated},
+		{Config{HonestReceivers: 3, HonestInitiators: 1, ByzantineReceivers: 1, ByzantineInitiators: 1}, explore.VerdictVerified},
+		// Single-message variants.
+		{Config{HonestReceivers: 3, HonestInitiators: 0, ByzantineReceivers: 1, ByzantineInitiators: 1, Model: ModelSingle}, explore.VerdictVerified},
+		{Config{HonestReceivers: 2, HonestInitiators: 1, ByzantineReceivers: 2, ByzantineInitiators: 1, Model: ModelSingle}, explore.VerdictViolated},
+		// Honest-only worlds are always safe.
+		{Config{HonestReceivers: 3, HonestInitiators: 2}, explore.VerdictVerified},
+	}
+	for _, tc := range cases {
+		p := mustNew(t, tc.cfg)
+		res := check(t, p)
+		if res.Verdict != tc.want {
+			t.Errorf("%s: verdict %s, want %s (%v)", p.Name, res.Verdict, tc.want, res.Violation)
+		}
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want int
+	}{
+		{Config{HonestReceivers: 3, ByzantineReceivers: 1, Tolerance: 1}, 3}, // ceil((4+1+1)/2)
+		{Config{HonestReceivers: 2, Tolerance: 1}, 2},                        // ceil((2+1+1)/2)
+		{Config{HonestReceivers: 4, ByzantineReceivers: 2, Tolerance: 2}, 5}, // ceil((6+2+1)/2)
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.Threshold(); got != tc.want {
+			t.Errorf("%s tolerance %d: threshold %d, want %d", tc.cfg.Setting(), tc.cfg.Tolerance, got, tc.want)
+		}
+	}
+}
+
+func TestQuorumIntersectionGuaranteesAgreement(t *testing.T) {
+	// With at most Tolerance Byzantine receivers, two certificates of
+	// threshold size must share an honest receiver — agreement holds for
+	// every attack in the model. Checked for a spread of safe settings.
+	for _, cfg := range []Config{
+		{HonestReceivers: 3, ByzantineReceivers: 1, ByzantineInitiators: 1},
+		{HonestReceivers: 4, ByzantineReceivers: 1, ByzantineInitiators: 1},
+	} {
+		res := check(t, mustNew(t, cfg))
+		if res.Verdict != explore.VerdictVerified {
+			t.Errorf("%s: %s (%v)", cfg.Setting(), res.Verdict, res.Violation)
+		}
+	}
+}
+
+func TestEquivocationCounterexampleReplays(t *testing.T) {
+	cfg := Config{HonestReceivers: 2, HonestInitiators: 1, ByzantineReceivers: 2, ByzantineInitiators: 1}
+	p := mustNew(t, cfg)
+	res, err := explore.BFS(p, explore.Options{TrackTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != explore.VerdictViolated {
+		t.Fatalf("verdict %s, want CE", res.Verdict)
+	}
+	if _, err := explore.ReplayViolation(p, res.Trace); err != nil {
+		t.Fatalf("counterexample does not replay to an agreement violation: %v", err)
+	}
+	if !strings.Contains(res.Violation.Error(), "agreement violated") {
+		t.Fatalf("violation message: %v", res.Violation)
+	}
+}
+
+func TestHonestReceiverEchoesOnlyFirstValue(t *testing.T) {
+	// Drive by hand: after echoing value A for an initiator, a second
+	// INIT from the same initiator must not produce another signature.
+	cfg := Config{HonestReceivers: 1, HonestInitiators: 1, ByzantineReceivers: 1}
+	p := mustNew(t, cfg)
+	s, err := p.InitialState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MCAST, then the honest receiver echoes.
+	for steps := 0; steps < 2; steps++ {
+		evs := p.Enabled(s)
+		if len(evs) == 0 {
+			t.Fatal("protocol stalled")
+		}
+		if s, err = p.Execute(s, evs[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs := s.Local(cfg.HonestReceiverID(0)).(*receiverState)
+	if len(rs.Echoed) != 1 {
+		t.Fatalf("echoed map = %v, want one entry", rs.Echoed)
+	}
+}
+
+func TestProcessLayoutAndRoles(t *testing.T) {
+	cfg := Config{HonestReceivers: 2, HonestInitiators: 1, ByzantineReceivers: 1, ByzantineInitiators: 1}
+	if cfg.HonestReceiverID(1) != 1 || cfg.ByzantineReceiverID(0) != 2 ||
+		cfg.HonestInitiatorID(0) != 3 || cfg.ByzantineInitiatorID(0) != 4 {
+		t.Fatal("process layout wrong")
+	}
+	roles := cfg.Roles()
+	// With a Byzantine initiator present the honest receivers split into
+	// the two equivocation groups: groupA, groupB, byz receivers, and two
+	// singleton initiators.
+	if len(roles) != 5 {
+		t.Fatalf("roles = %d, want 5", len(roles))
+	}
+	if cfg.Setting() != "(2,1,1,1)" {
+		t.Fatalf("Setting = %s", cfg.Setting())
+	}
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	// Threshold exceeding the receiver count is unsatisfiable.
+	if _, err := New(Config{HonestReceivers: 1, HonestInitiators: 1, Tolerance: 3}); err == nil {
+		t.Error("unsatisfiable threshold accepted")
+	}
+}
+
+func TestCertificatesAreUnforgeable(t *testing.T) {
+	// Every COMMIT in any reachable state must carry a certificate of at
+	// least threshold size whose signers are receivers — commits are
+	// constructed only by collect transitions from real echo quorums.
+	cfg := Config{HonestReceivers: 3, HonestInitiators: 0, ByzantineReceivers: 1, ByzantineInitiators: 1}
+	p := mustNew(t, cfg)
+	thr := cfg.Threshold()
+	init, err := p.InitialState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{init.Key(): true}
+	queue := []*core.State{init}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		s.Msgs.Each(func(m core.Message, _ int) {
+			if m.Type != MsgCommit {
+				return
+			}
+			pl := m.Payload.(commitPayload)
+			if len(pl.Cert) < thr {
+				t.Fatalf("forged commit with %d signers: %s", len(pl.Cert), m)
+			}
+			for _, q := range pl.Cert {
+				if int(q) >= cfg.Receivers() {
+					t.Fatalf("commit signed by non-receiver %d", q)
+				}
+			}
+		})
+		for _, ev := range p.Enabled(s) {
+			ns, err := p.Execute(s, ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !seen[ns.Key()] {
+				seen[ns.Key()] = true
+				queue = append(queue, ns)
+			}
+		}
+	}
+}
+
+func TestNegativeToleranceRejected(t *testing.T) {
+	if _, err := New(Config{HonestReceivers: 3, HonestInitiators: 1, Tolerance: -1}); err == nil {
+		t.Fatal("negative tolerance accepted")
+	}
+}

@@ -1,0 +1,172 @@
+package multicast
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"mpbasset/internal/core"
+)
+
+// initPayload is the content of an INIT message.
+type initPayload struct {
+	Val int
+}
+
+func (p initPayload) Key() string { return "v" + strconv.Itoa(p.Val) }
+
+// echoPayload is the content of an ECHO message (an abstract signature on
+// the value: the signer is the message's From field).
+type echoPayload struct {
+	Val int
+}
+
+func (p echoPayload) Key() string { return "v" + strconv.Itoa(p.Val) }
+
+// commitPayload is the content of a COMMIT message: the value plus the
+// echo certificate (the distinct receivers whose echoes back it).
+type commitPayload struct {
+	Val  int
+	Cert []core.ProcessID // sorted, distinct
+}
+
+func (p commitPayload) Key() string {
+	var sb strings.Builder
+	sb.WriteByte('v')
+	sb.WriteString(strconv.Itoa(p.Val))
+	sb.WriteByte('c')
+	for i, q := range p.Cert {
+		if i > 0 {
+			sb.WriteByte('.')
+		}
+		sb.WriteString(strconv.Itoa(int(q)))
+	}
+	return sb.String()
+}
+
+// Remap implements the symmetry package's Remapper: certificates embed
+// receiver IDs, which must follow role permutations for canonicalization
+// to be sound.
+func (p commitPayload) Remap(f func(core.ProcessID) core.ProcessID) any {
+	cert := make([]core.ProcessID, len(p.Cert))
+	for i, q := range p.Cert {
+		cert[i] = f(q)
+	}
+	return commitPayload{Val: p.Val, Cert: newCert(cert)}
+}
+
+// newCert builds a sorted certificate from the senders of an echo quorum.
+func newCert(senders []core.ProcessID) []core.ProcessID {
+	cert := append([]core.ProcessID(nil), senders...)
+	sort.Slice(cert, func(i, j int) bool { return cert[i] < cert[j] })
+	return cert
+}
+
+// receiverState is the local state of a receiver (honest or Byzantine):
+// which initiators it echoed for and what it delivered per initiator.
+type receiverState struct {
+	Echoed    map[core.ProcessID]int // initiator -> echoed value
+	Delivered map[core.ProcessID]int // initiator -> delivered value
+}
+
+func newReceiverState() *receiverState {
+	return &receiverState{
+		Echoed:    make(map[core.ProcessID]int),
+		Delivered: make(map[core.ProcessID]int),
+	}
+}
+
+func (s *receiverState) Key() string {
+	var sb strings.Builder
+	sb.WriteByte('R')
+	appendPidMap(&sb, s.Echoed)
+	sb.WriteByte('/')
+	appendPidMap(&sb, s.Delivered)
+	return sb.String()
+}
+
+func appendPidMap(sb *strings.Builder, m map[core.ProcessID]int) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	sb.WriteByte('[')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(strconv.Itoa(k))
+		sb.WriteByte(':')
+		sb.WriteString(strconv.Itoa(m[core.ProcessID(k)]))
+	}
+	sb.WriteByte(']')
+}
+
+func (s *receiverState) Clone() core.LocalState {
+	c := newReceiverState()
+	for k, v := range s.Echoed {
+		c.Echoed[k] = v
+	}
+	for k, v := range s.Delivered {
+		c.Delivered[k] = v
+	}
+	return c
+}
+
+// initiatorState is the local state of an initiator. A Byzantine initiator
+// runs two collections, one per attack value; an honest one uses only the
+// first slot. CertA/CertB accumulate signers in the single-message
+// (counting) model and stay empty in the quorum model.
+type initiatorState struct {
+	Sent       bool
+	CommittedA bool
+	CommittedB bool
+	CertA      []core.ProcessID // sorted, distinct
+	CertB      []core.ProcessID // sorted, distinct
+}
+
+func newInitiatorState() *initiatorState { return &initiatorState{} }
+
+func (s *initiatorState) Key() string {
+	var sb strings.Builder
+	sb.WriteByte('I')
+	if s.Sent {
+		sb.WriteByte('s')
+	}
+	if s.CommittedA {
+		sb.WriteByte('a')
+	}
+	if s.CommittedB {
+		sb.WriteByte('b')
+	}
+	appendPids(&sb, s.CertA)
+	appendPids(&sb, s.CertB)
+	return sb.String()
+}
+
+func appendPids(sb *strings.Builder, ids []core.ProcessID) {
+	sb.WriteByte('[')
+	for i, q := range ids {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(strconv.Itoa(int(q)))
+	}
+	sb.WriteByte(']')
+}
+
+func (s *initiatorState) Clone() core.LocalState {
+	c := *s
+	c.CertA = append([]core.ProcessID(nil), s.CertA...)
+	c.CertB = append([]core.ProcessID(nil), s.CertB...)
+	return &c
+}
+
+var (
+	_ core.LocalState = (*receiverState)(nil)
+	_ core.LocalState = (*initiatorState)(nil)
+	_ core.Payload    = initPayload{}
+	_ core.Payload    = echoPayload{}
+	_ core.Payload    = commitPayload{}
+)

@@ -1,0 +1,317 @@
+package multicast
+
+import (
+	"sort"
+
+	"mpbasset/internal/core"
+)
+
+// honestReceivers returns the IDs of all honest receivers (commit
+// recipients). Byzantine receivers' reaction to commits cannot influence
+// any honest process — their message-generating behaviour is fully captured
+// by the attack-strategy transitions — so commits are delivered to honest
+// receivers only (modeling economy; the paper likewise models Byzantine
+// processes by hand-crafted attack strategies).
+func honestReceivers(c Config) []core.ProcessID {
+	ids := make([]core.ProcessID, c.HonestReceivers)
+	for i := range ids {
+		ids[i] = c.HonestReceiverID(i)
+	}
+	return ids
+}
+
+// byzGroups splits the honest receivers into the two target groups of a
+// Byzantine initiator's equivocation (first half gets value A, second half
+// value B); Byzantine receivers cooperate and receive both values.
+func byzGroups(c Config) (groupA, groupB []core.ProcessID) {
+	hr := honestReceivers(c)
+	half := (len(hr) + 1) / 2
+	return hr[:half], hr[half:]
+}
+
+func isHonestInitiator(c Config, p core.ProcessID) bool {
+	for i := 0; i < c.HonestInitiators; i++ {
+		if c.HonestInitiatorID(i) == p {
+			return true
+		}
+	}
+	return false
+}
+
+// honestEchoSends enumerates the echo types an honest receiver can emit:
+// one per value any initiator may legitimately show it.
+func honestEchoSends(c Config) []core.SendSpec {
+	var specs []core.SendSpec
+	for i := 0; i < c.HonestInitiators; i++ {
+		specs = append(specs, core.SendSpec{Type: EchoType(honestValue(i)), ToSenders: true})
+	}
+	for i := 0; i < c.ByzantineInitiators; i++ {
+		specs = append(specs,
+			core.SendSpec{Type: EchoType(byzValueA(i)), ToSenders: true},
+			core.SendSpec{Type: EchoType(byzValueB(i)), ToSenders: true})
+	}
+	return specs
+}
+
+// byzEchoSends enumerates the echo types of the Byzantine receiver
+// strategy: invalid confirmations toward honest initiators, genuine
+// signatures on both values toward Byzantine initiators.
+func byzEchoSends(c Config) []core.SendSpec {
+	var specs []core.SendSpec
+	for i := 0; i < c.HonestInitiators; i++ {
+		specs = append(specs, core.SendSpec{Type: EchoType(invalidEcho(honestValue(i))), ToSenders: true})
+	}
+	for i := 0; i < c.ByzantineInitiators; i++ {
+		specs = append(specs,
+			core.SendSpec{Type: EchoType(byzValueA(i)), ToSenders: true},
+			core.SendSpec{Type: EchoType(byzValueB(i)), ToSenders: true})
+	}
+	return specs
+}
+
+func honestReceiverTransitions(c Config, i int) []*core.Transition {
+	self := c.HonestReceiverID(i)
+	initiators := c.InitiatorIDs()
+	thr := c.Threshold()
+	echo := &core.Transition{
+		Name:     "ECHO_" + MsgInit,
+		Proc:     self,
+		MsgType:  MsgInit,
+		Quorum:   1,
+		Peers:    initiators,
+		Priority: 2,
+		IsReply:  true,
+		// Every initiator sends an honest receiver at most one INIT (a
+		// Byzantine initiator puts each honest receiver in exactly one
+		// target group).
+		UniquePerSender: true,
+		Sends:           honestEchoSends(c),
+		Apply: func(ctx *core.Ctx) {
+			s := ctx.Local.(*receiverState)
+			m := ctx.Msgs[0]
+			v := m.Payload.(initPayload).Val
+			if _, ok := s.Echoed[m.From]; ok {
+				return // echo only the first message per initiator
+			}
+			s.Echoed[m.From] = v
+			ctx.Send(m.From, EchoType(v), echoPayload{Val: v})
+		},
+	}
+	deliver := &core.Transition{
+		Name:     "DELIVER_" + MsgCommit,
+		Proc:     self,
+		MsgType:  MsgCommit,
+		Quorum:   1,
+		Peers:    initiators,
+		Priority: 0, // terminates an instance
+		Visible:  true,
+		// A Byzantine initiator may commit both of its values to the same
+		// receiver.
+		UniquePerSender: c.ByzantineInitiators == 0,
+		Apply: func(ctx *core.Ctx) {
+			s := ctx.Local.(*receiverState)
+			m := ctx.Msgs[0]
+			pl := m.Payload.(commitPayload)
+			if len(pl.Cert) < thr {
+				return // invalid certificate
+			}
+			if _, ok := s.Delivered[m.From]; ok {
+				return // deliver at most once per initiator
+			}
+			s.Delivered[m.From] = pl.Val
+		},
+	}
+	return []*core.Transition{echo, deliver}
+}
+
+func byzantineReceiverTransitions(c Config, i int) []*core.Transition {
+	self := c.ByzantineReceiverID(i)
+	initiators := c.InitiatorIDs()
+	echo := &core.Transition{
+		Name:     "BYZ_ECHO_" + MsgInit,
+		Proc:     self,
+		MsgType:  MsgInit,
+		Quorum:   1,
+		Peers:    initiators,
+		Priority: 2,
+		IsReply:  true,
+		// Confirming costs the attacker nothing and changes no local
+		// state (it signs anything it is shown).
+		ReadOnly: true,
+		// A Byzantine initiator sends this accomplice both of its values.
+		UniquePerSender: c.ByzantineInitiators == 0,
+		Sends:           byzEchoSends(c),
+		Apply: func(ctx *core.Ctx) {
+			m := ctx.Msgs[0]
+			v := m.Payload.(initPayload).Val
+			if isHonestInitiator(c, m.From) {
+				// Attack strategy: invalid confirmation to honest
+				// initiators.
+				ctx.Send(m.From, EchoType(invalidEcho(v)), echoPayload{Val: invalidEcho(v)})
+				return
+			}
+			// Cooperate with the Byzantine initiator: confirm both of its
+			// messages.
+			ctx.Send(m.From, EchoType(v), echoPayload{Val: v})
+		},
+	}
+	return []*core.Transition{echo}
+}
+
+func honestInitiatorTransitions(c Config, i int) []*core.Transition {
+	self := c.HonestInitiatorID(i)
+	receivers := c.ReceiverIDs()
+	commitTo := honestReceivers(c)
+	thr := c.Threshold()
+	v := honestValue(i)
+	start := &core.Transition{
+		Name:     "MCAST",
+		Proc:     self,
+		Priority: 3, // starts a new instance
+		Sends:    []core.SendSpec{{Type: MsgInit, To: receivers}},
+		LocalGuard: func(ls core.LocalState) bool {
+			return !ls.(*initiatorState).Sent
+		},
+		Apply: func(ctx *core.Ctx) {
+			s := ctx.Local.(*initiatorState)
+			s.Sent = true
+			for _, r := range receivers {
+				ctx.Send(r, MsgInit, initPayload{Val: v})
+			}
+		},
+	}
+	collect := collectTransition(c, self, MsgEcho+"_COLLECT", v, receivers, commitTo, thr, false)
+	return []*core.Transition{start, collect}
+}
+
+func byzantineInitiatorTransitions(c Config, i int) []*core.Transition {
+	self := c.ByzantineInitiatorID(i)
+	receivers := c.ReceiverIDs()
+	commitTo := honestReceivers(c)
+	thr := c.Threshold()
+	vA, vB := byzValueA(i), byzValueB(i)
+	groupA, groupB := byzGroups(c)
+	start := &core.Transition{
+		Name:     "BYZ_MCAST",
+		Proc:     self,
+		Priority: 3,
+		Sends:    []core.SendSpec{{Type: MsgInit, To: receivers}},
+		LocalGuard: func(ls core.LocalState) bool {
+			return !ls.(*initiatorState).Sent
+		},
+		Apply: func(ctx *core.Ctx) {
+			s := ctx.Local.(*initiatorState)
+			s.Sent = true
+			// Equivocate: value A to one group, value B to the other,
+			// both to the cooperating Byzantine receivers.
+			for _, r := range groupA {
+				ctx.Send(r, MsgInit, initPayload{Val: vA})
+			}
+			for _, r := range groupB {
+				ctx.Send(r, MsgInit, initPayload{Val: vB})
+			}
+			for j := 0; j < c.ByzantineReceivers; j++ {
+				br := c.ByzantineReceiverID(j)
+				ctx.Send(br, MsgInit, initPayload{Val: vA})
+				ctx.Send(br, MsgInit, initPayload{Val: vB})
+			}
+		},
+	}
+	collectA := collectTransition(c, self, MsgEcho+"_COLLECT_A", vA, receivers, commitTo, thr, false)
+	collectB := collectTransition(c, self, MsgEcho+"_COLLECT_B", vB, receivers, commitTo, thr, true)
+	return []*core.Transition{start, collectA, collectB}
+}
+
+// collectTransition builds the echo-collection transition for value v at
+// initiator self: the quorum version consumes thr echoes at once, the
+// single-message version counts them and accumulates the certificate (the
+// paper's Figure 3 style). slotB selects the second collection slot of a
+// Byzantine initiator's local state.
+func collectTransition(c Config, self core.ProcessID, name string, v int, receivers, commitTo []core.ProcessID, thr int, slotB bool) *core.Transition {
+	t := &core.Transition{
+		Name:     name,
+		Proc:     self,
+		MsgType:  EchoType(v),
+		Peers:    receivers,
+		Priority: 1,
+		// A receiver signs a given value at most once, honest or not.
+		UniquePerSender: true,
+		Sends:           []core.SendSpec{{Type: MsgCommit, To: commitTo}},
+		LocalGuard: func(ls core.LocalState) bool {
+			s := ls.(*initiatorState)
+			return s.Sent && !committed(s, slotB)
+		},
+	}
+	switch c.Model {
+	case ModelQuorum:
+		t.Quorum = thr
+		t.Guard = func(_ core.LocalState, msgs []core.Message) bool {
+			for _, m := range msgs {
+				if m.Payload.(echoPayload).Val != v {
+					return false
+				}
+			}
+			return true
+		}
+		t.Apply = func(ctx *core.Ctx) {
+			s := ctx.Local.(*initiatorState)
+			setCommitted(s, slotB)
+			cert := newCert(core.Senders(ctx.Msgs))
+			for _, r := range commitTo {
+				ctx.Send(r, MsgCommit, commitPayload{Val: v, Cert: cert})
+			}
+		}
+	case ModelSingle:
+		t.Quorum = 1
+		t.Guard = func(_ core.LocalState, msgs []core.Message) bool {
+			return msgs[0].Payload.(echoPayload).Val == v
+		}
+		t.Apply = func(ctx *core.Ctx) {
+			s := ctx.Local.(*initiatorState)
+			from := ctx.Msgs[0].From
+			cert := certSlot(s, slotB)
+			for _, q := range *cert {
+				if q == from {
+					return // defensive: ignore duplicate signers
+				}
+			}
+			*cert = append(*cert, from)
+			sort.Slice(*cert, func(x, y int) bool { return (*cert)[x] < (*cert)[y] })
+			if count(s, slotB) >= thr {
+				setCommitted(s, slotB)
+				sent := newCert(*cert)
+				*cert = nil
+				for _, r := range commitTo {
+					ctx.Send(r, MsgCommit, commitPayload{Val: v, Cert: sent})
+				}
+			}
+		}
+	}
+	return t
+}
+
+func committed(s *initiatorState, slotB bool) bool {
+	if slotB {
+		return s.CommittedB
+	}
+	return s.CommittedA
+}
+
+func setCommitted(s *initiatorState, slotB bool) {
+	if slotB {
+		s.CommittedB = true
+	} else {
+		s.CommittedA = true
+	}
+}
+
+func certSlot(s *initiatorState, slotB bool) *[]core.ProcessID {
+	if slotB {
+		return &s.CertB
+	}
+	return &s.CertA
+}
+
+func count(s *initiatorState, slotB bool) int {
+	return len(*certSlot(s, slotB))
+}

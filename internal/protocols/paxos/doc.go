@@ -1,0 +1,31 @@
+// Package paxos models single-decree Paxos (Lamport, "The Part-Time
+// Parliament") in the MP computation model, following the paper's §II
+// running example: proposers, acceptors and learners exchanging READ
+// (phase 1a), READ_REPL (1b), WRITE (2a) and ACCEPT (2b) messages.
+//
+// Two models are provided, mirroring the paper's Figures 2 and 3:
+//
+//   - the quorum model, where a proposer consumes a majority of READ_REPL
+//     messages in one quorum transition (and a learner a majority of
+//     ACCEPTs), and
+//   - the single-message model, where the same logic is "simulated" by
+//     counting transitions that consume one message at a time — the model
+//     style the paper shows inflates the state space (§II-C).
+//
+// The Faulty variant reproduces the paper's "Faulty Paxos" debugging
+// target: learners decide on any majority of ACCEPT messages without
+// comparing ballots and values, which breaks consensus.
+//
+// A setting (P,A,L) instantiates P proposers (IDs 0..P-1), A acceptors
+// (IDs P..P+A-1) and L learners (IDs P+A..P+A+L-1). Proposer i proposes
+// value i+1 with ballot i+1 (+P per extra round when MaxBallots > 1), so
+// ballots are globally unique.
+//
+// The Consensus invariant checked is the conjunction of
+//
+//	(1) at most one value is chosen — a value is chosen when a majority of
+//	    acceptors have ever accepted it under one ballot (history
+//	    variables record past acceptances);
+//	(2) every decided learner value is a chosen value;
+//	(3) no two learners decide differently.
+package paxos

@@ -1,0 +1,474 @@
+package paxos
+
+import (
+	"fmt"
+	"strconv"
+
+	"mpbasset/internal/core"
+)
+
+// Model selects between the paper's two modeling styles.
+type Model int
+
+const (
+	// ModelQuorum uses quorum transitions (the paper's Figure 2).
+	ModelQuorum Model = iota + 1
+	// ModelSingle simulates quorum collection with counting
+	// single-message transitions (the paper's Figure 3).
+	ModelSingle
+)
+
+// String names the model as in the paper's tables.
+func (m Model) String() string {
+	switch m {
+	case ModelQuorum:
+		return "quorum"
+	case ModelSingle:
+		return "single"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Config is a Paxos protocol setting, the paper's (P,A,L) triple plus
+// modeling choices.
+type Config struct {
+	Proposers int
+	Acceptors int
+	Learners  int
+	// Model selects quorum vs single-message modeling; default ModelQuorum.
+	Model Model
+	// Faulty makes learners decide without comparing ballots and values
+	// (the paper's "Faulty Paxos" debugging target).
+	Faulty bool
+	// MaxBallots bounds the number of ballots each proposer starts;
+	// default 1 (the smallest meaningful instance).
+	MaxBallots int
+}
+
+func (c *Config) withDefaults() Config {
+	cc := *c
+	if cc.Model == 0 {
+		cc.Model = ModelQuorum
+	}
+	if cc.MaxBallots == 0 {
+		cc.MaxBallots = 1
+	}
+	return cc
+}
+
+// Setting renders the configuration as the paper writes it, e.g. "(2,3,1)".
+func (c Config) Setting() string {
+	return fmt.Sprintf("(%d,%d,%d)", c.Proposers, c.Acceptors, c.Learners)
+}
+
+// Process index helpers.
+
+// ProposerID returns the process ID of the i-th proposer.
+func (c Config) ProposerID(i int) core.ProcessID { return core.ProcessID(i) }
+
+// AcceptorID returns the process ID of the i-th acceptor.
+func (c Config) AcceptorID(i int) core.ProcessID { return core.ProcessID(c.Proposers + i) }
+
+// LearnerID returns the process ID of the i-th learner.
+func (c Config) LearnerID(i int) core.ProcessID {
+	return core.ProcessID(c.Proposers + c.Acceptors + i)
+}
+
+// AcceptorIDs returns all acceptor process IDs.
+func (c Config) AcceptorIDs() []core.ProcessID {
+	ids := make([]core.ProcessID, c.Acceptors)
+	for i := range ids {
+		ids[i] = c.AcceptorID(i)
+	}
+	return ids
+}
+
+// ProposerIDs returns all proposer process IDs.
+func (c Config) ProposerIDs() []core.ProcessID {
+	ids := make([]core.ProcessID, c.Proposers)
+	for i := range ids {
+		ids[i] = c.ProposerID(i)
+	}
+	return ids
+}
+
+// LearnerIDs returns all learner process IDs.
+func (c Config) LearnerIDs() []core.ProcessID {
+	ids := make([]core.ProcessID, c.Learners)
+	for i := range ids {
+		ids[i] = c.LearnerID(i)
+	}
+	return ids
+}
+
+// Majority returns the quorum size used by proposers and learners.
+func (c Config) Majority() int { return c.Acceptors/2 + 1 }
+
+// Roles groups the processes into symmetry roles (proposers are not
+// symmetric — they propose distinct values — but acceptors and learners
+// are). Used by package symmetry.
+func (c Config) Roles() [][]core.ProcessID {
+	roles := [][]core.ProcessID{c.AcceptorIDs(), c.LearnerIDs()}
+	for _, p := range c.ProposerIDs() {
+		roles = append(roles, []core.ProcessID{p})
+	}
+	return roles
+}
+
+// New builds the Paxos protocol model for the given setting.
+func New(cfg Config) (*core.Protocol, error) {
+	c := cfg.withDefaults()
+	if c.Proposers < 1 || c.Acceptors < 1 || c.Learners < 0 {
+		return nil, fmt.Errorf("paxos: invalid setting %s", c.Setting())
+	}
+	if c.MaxBallots < 1 {
+		return nil, fmt.Errorf("paxos: MaxBallots must be at least 1, got %d", c.MaxBallots)
+	}
+	n := c.Proposers + c.Acceptors + c.Learners
+	maj := c.Majority()
+	acceptors := c.AcceptorIDs()
+	proposers := c.ProposerIDs()
+	learners := c.LearnerIDs()
+
+	var ts []*core.Transition
+	for i := 0; i < c.Proposers; i++ {
+		ts = append(ts, proposerTransitions(c, i, maj, acceptors)...)
+	}
+	for i := 0; i < c.Acceptors; i++ {
+		ts = append(ts, acceptorTransitions(c, i, proposers, learners)...)
+	}
+	for i := 0; i < c.Learners; i++ {
+		ts = append(ts, learnerTransitions(c, i, maj, acceptors)...)
+	}
+
+	name := "Paxos"
+	if c.Faulty {
+		name = "FaultyPaxos"
+	}
+	p := &core.Protocol{
+		Name: fmt.Sprintf("%s%s/%s", name, c.Setting(), c.Model),
+		N:    n,
+		Init: func() []core.LocalState {
+			locals := make([]core.LocalState, n)
+			for i := 0; i < c.Proposers; i++ {
+				locals[c.ProposerID(i)] = &proposerState{Phase: phaseIdle}
+			}
+			for i := 0; i < c.Acceptors; i++ {
+				locals[c.AcceptorID(i)] = &acceptorState{}
+			}
+			for i := 0; i < c.Learners; i++ {
+				locals[c.LearnerID(i)] = &learnerState{}
+			}
+			return locals
+		},
+		Transitions: ts,
+		Invariant:   consensusInvariant(c),
+	}
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ballotOf returns the ballot number proposer i uses in its r-th round
+// (r counted from 1): globally unique and increasing per proposer.
+func ballotOf(c Config, i, r int) int { return i + 1 + (r-1)*c.Proposers }
+
+// valueOf returns the value proposer i proposes.
+func valueOf(i int) int { return i + 1 }
+
+func proposerTransitions(c Config, i, maj int, acceptors []core.ProcessID) []*core.Transition {
+	self := c.ProposerID(i)
+	propose := &core.Transition{
+		Name:     "PROPOSE",
+		Proc:     self,
+		Priority: 3, // starts a new instance (opposite transaction heuristic)
+		Sends:    []core.SendSpec{{Type: MsgRead, To: acceptors}},
+		// A proposer may start a (higher) ballot at any moment — the
+		// asynchronous model's rendering of a timeout — until its ballot
+		// budget is exhausted. An abandoned phase leaves its messages
+		// unanswered.
+		LocalGuard: func(ls core.LocalState) bool {
+			return ls.(*proposerState).Rounds < c.MaxBallots
+		},
+		Apply: func(ctx *core.Ctx) {
+			s := ctx.Local.(*proposerState)
+			s.Rounds++
+			s.Ballot = ballotOf(c, i, s.Rounds)
+			s.Phase = phaseReading
+			s.Cnt = 0
+			s.HighestB = 0
+			s.HighestV = 0
+			for _, a := range acceptors {
+				ctx.Send(a, MsgRead, readPayload{Ballot: s.Ballot})
+			}
+		},
+	}
+
+	var collect *core.Transition
+	switch c.Model {
+	case ModelQuorum:
+		// The paper's Figure 2: consume READ_REPL from a majority of
+		// acceptors in one step.
+		collect = &core.Transition{
+			Name:     MsgReadRepl,
+			Proc:     self,
+			MsgType:  MsgReadRepl,
+			Quorum:   maj,
+			Peers:    acceptors,
+			Priority: 2,
+			// Each acceptor replies at most once per ballot, and with a
+			// single ballot per proposer at most once overall.
+			UniquePerSender: c.MaxBallots == 1,
+			Sends:           []core.SendSpec{{Type: MsgWrite, To: acceptors}},
+			LocalGuard: func(ls core.LocalState) bool {
+				return ls.(*proposerState).Phase == phaseReading
+			},
+			Guard: func(ls core.LocalState, msgs []core.Message) bool {
+				s := ls.(*proposerState)
+				for _, m := range msgs {
+					if m.Payload.(readReplPayload).Ballot != s.Ballot {
+						return false
+					}
+				}
+				return true
+			},
+			Apply: func(ctx *core.Ctx) {
+				s := ctx.Local.(*proposerState)
+				v := valueOf(i)
+				hb := 0
+				for _, m := range ctx.Msgs {
+					pl := m.Payload.(readReplPayload)
+					if pl.AccBallot > hb {
+						hb = pl.AccBallot
+						v = pl.AccVal
+					}
+				}
+				s.Phase = phaseWriting
+				for _, a := range acceptors {
+					ctx.Send(a, MsgWrite, writePayload{Ballot: s.Ballot, Val: v})
+				}
+			},
+		}
+	case ModelSingle:
+		// The paper's Figure 3: count messages one at a time.
+		collect = &core.Transition{
+			Name:            MsgReadRepl,
+			Proc:            self,
+			MsgType:         MsgReadRepl,
+			Quorum:          1,
+			Peers:           acceptors,
+			Priority:        2,
+			UniquePerSender: c.MaxBallots == 1,
+			Sends:           []core.SendSpec{{Type: MsgWrite, To: acceptors}},
+			LocalGuard: func(ls core.LocalState) bool {
+				return ls.(*proposerState).Phase == phaseReading
+			},
+			Guard: func(ls core.LocalState, msgs []core.Message) bool {
+				s := ls.(*proposerState)
+				return msgs[0].Payload.(readReplPayload).Ballot == s.Ballot
+			},
+			Apply: func(ctx *core.Ctx) {
+				s := ctx.Local.(*proposerState)
+				pl := ctx.Msgs[0].Payload.(readReplPayload)
+				s.Cnt++
+				if pl.AccBallot > s.HighestB {
+					s.HighestB = pl.AccBallot
+					s.HighestV = pl.AccVal
+				}
+				if s.Cnt >= maj {
+					v := valueOf(i)
+					if s.HighestB > 0 {
+						v = s.HighestV
+					}
+					s.Cnt = 0
+					s.HighestB = 0
+					s.HighestV = 0
+					s.Phase = phaseWriting
+					for _, a := range acceptors {
+						ctx.Send(a, MsgWrite, writePayload{Ballot: s.Ballot, Val: v})
+					}
+				}
+			},
+		}
+	default:
+		panic("paxos: unknown model " + strconv.Itoa(int(c.Model)))
+	}
+	return []*core.Transition{propose, collect}
+}
+
+func acceptorTransitions(c Config, i int, proposers, learners []core.ProcessID) []*core.Transition {
+	self := c.AcceptorID(i)
+	read := &core.Transition{
+		Name:            MsgRead,
+		Proc:            self,
+		MsgType:         MsgRead,
+		Quorum:          1,
+		Peers:           proposers,
+		Priority:        2,
+		IsReply:         true,
+		UniquePerSender: c.MaxBallots == 1,
+		Sends:           []core.SendSpec{{Type: MsgReadRepl, ToSenders: true}},
+		Apply: func(ctx *core.Ctx) {
+			s := ctx.Local.(*acceptorState)
+			m := ctx.Msgs[0]
+			b := m.Payload.(readPayload).Ballot
+			if b > s.Promised {
+				s.Promised = b
+				ctx.Send(m.From, MsgReadRepl, readReplPayload{
+					Ballot:    b,
+					AccBallot: s.AccBallot,
+					AccVal:    s.AccVal,
+				})
+			}
+		},
+	}
+	write := &core.Transition{
+		Name:            MsgWrite,
+		Proc:            self,
+		MsgType:         MsgWrite,
+		Quorum:          1,
+		Peers:           proposers,
+		Priority:        1,
+		UniquePerSender: c.MaxBallots == 1,
+		Visible:         true, // extends the acceptance history the invariant reads
+		Sends:           []core.SendSpec{{Type: MsgAccept, To: learners}},
+		Apply: func(ctx *core.Ctx) {
+			s := ctx.Local.(*acceptorState)
+			pl := ctx.Msgs[0].Payload.(writePayload)
+			if pl.Ballot >= s.Promised {
+				s.Promised = pl.Ballot
+				s.AccBallot = pl.Ballot
+				s.AccVal = pl.Val
+				s.record(proposal{Ballot: pl.Ballot, Val: pl.Val})
+				for _, l := range learners {
+					ctx.Send(l, MsgAccept, acceptPayload{Ballot: pl.Ballot, Val: pl.Val})
+				}
+			}
+		},
+	}
+	return []*core.Transition{read, write}
+}
+
+func learnerTransitions(c Config, i, maj int, acceptors []core.ProcessID) []*core.Transition {
+	self := c.LearnerID(i)
+	t := &core.Transition{
+		Name:     MsgAccept,
+		Proc:     self,
+		MsgType:  MsgAccept,
+		Priority: 0, // terminates an instance
+		Visible:  true,
+		Peers:    acceptors,
+	}
+	switch {
+	case c.Model == ModelQuorum && !c.Faulty:
+		t.Quorum = maj
+		t.LocalGuard = func(ls core.LocalState) bool {
+			return ls.(*learnerState).Decided == 0
+		}
+		t.Guard = func(_ core.LocalState, msgs []core.Message) bool {
+			first := msgs[0].Payload.(acceptPayload)
+			for _, m := range msgs[1:] {
+				if m.Payload.(acceptPayload) != first {
+					return false
+				}
+			}
+			return true
+		}
+		t.Apply = func(ctx *core.Ctx) {
+			s := ctx.Local.(*learnerState)
+			pl := ctx.Msgs[0].Payload.(acceptPayload)
+			s.Decided = pl.Val
+			s.DecidedBallot = pl.Ballot
+		}
+	case c.Model == ModelQuorum && c.Faulty:
+		// Faulty Paxos: decide on any majority without comparing contents.
+		t.Quorum = maj
+		t.LocalGuard = func(ls core.LocalState) bool {
+			return ls.(*learnerState).Decided == 0
+		}
+		t.Apply = func(ctx *core.Ctx) {
+			s := ctx.Local.(*learnerState)
+			pl := ctx.Msgs[0].Payload.(acceptPayload)
+			s.Decided = pl.Val
+			s.DecidedBallot = pl.Ballot
+		}
+	case c.Model == ModelSingle && !c.Faulty:
+		t.Quorum = 1
+		t.LocalGuard = func(ls core.LocalState) bool {
+			return ls.(*learnerState).Decided == 0
+		}
+		t.Apply = func(ctx *core.Ctx) {
+			s := ctx.Local.(*learnerState)
+			pl := ctx.Msgs[0].Payload.(acceptPayload)
+			pr := proposal{Ballot: pl.Ballot, Val: pl.Val}
+			if s.Counts == nil {
+				s.Counts = make(map[proposal]int)
+			}
+			s.Counts[pr]++
+			if s.Counts[pr] >= maj {
+				s.Decided = pr.Val
+				s.DecidedBallot = pr.Ballot
+				s.Counts = nil
+			}
+		}
+	default: // ModelSingle && Faulty
+		t.Quorum = 1
+		t.LocalGuard = func(ls core.LocalState) bool {
+			return ls.(*learnerState).Decided == 0
+		}
+		t.Apply = func(ctx *core.Ctx) {
+			s := ctx.Local.(*learnerState)
+			pl := ctx.Msgs[0].Payload.(acceptPayload)
+			s.Cnt++
+			if s.Cnt >= maj {
+				s.Decided = pl.Val
+				s.DecidedBallot = pl.Ballot
+				s.Cnt = 0
+			}
+		}
+	}
+	return []*core.Transition{t}
+}
+
+// consensusInvariant builds the Consensus property for the setting: at most
+// one chosen value, decided values are chosen, and learners agree.
+func consensusInvariant(c Config) core.Invariant {
+	return func(s *core.State) error {
+		// Chosen values: proposals accepted by a majority of acceptors
+		// (over history).
+		counts := make(map[proposal]int)
+		for i := 0; i < c.Acceptors; i++ {
+			as := s.Local(c.AcceptorID(i)).(*acceptorState)
+			for _, pr := range as.History {
+				counts[pr]++
+			}
+		}
+		maj := c.Majority()
+		chosen := make(map[int]proposal)
+		for pr, n := range counts {
+			if n >= maj {
+				chosen[pr.Val] = pr
+			}
+		}
+		if len(chosen) > 1 {
+			return fmt.Errorf("consensus violated: %d distinct values chosen", len(chosen))
+		}
+		prev := 0
+		for i := 0; i < c.Learners; i++ {
+			ls := s.Local(c.LearnerID(i)).(*learnerState)
+			if ls.Decided == 0 {
+				continue
+			}
+			if _, ok := chosen[ls.Decided]; !ok {
+				return fmt.Errorf("consensus violated: learner %d decided %d, which was never chosen", i, ls.Decided)
+			}
+			if prev != 0 && ls.Decided != prev {
+				return fmt.Errorf("consensus violated: learners decided %d and %d", prev, ls.Decided)
+			}
+			prev = ls.Decided
+		}
+		return nil
+	}
+}

@@ -1,0 +1,295 @@
+package paxos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mpbasset/internal/core"
+	"mpbasset/internal/explore"
+	"mpbasset/internal/por"
+)
+
+func mustNew(t *testing.T, cfg Config) *core.Protocol {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ValidateSends = true
+	return p
+}
+
+func check(t *testing.T, p *core.Protocol) *explore.Result {
+	t.Helper()
+	exp, err := por.NewExpander(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := explore.DFS(p, explore.Options{Expander: exp, TrackTrace: true, MaxDuration: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestVerdicts(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want explore.Verdict
+	}{
+		{Config{Proposers: 2, Acceptors: 3, Learners: 1}, explore.VerdictVerified},
+		{Config{Proposers: 2, Acceptors: 3, Learners: 1, Model: ModelSingle}, explore.VerdictVerified},
+		{Config{Proposers: 2, Acceptors: 3, Learners: 1, Faulty: true}, explore.VerdictViolated},
+		{Config{Proposers: 2, Acceptors: 3, Learners: 1, Faulty: true, Model: ModelSingle}, explore.VerdictViolated},
+		{Config{Proposers: 1, Acceptors: 3, Learners: 1}, explore.VerdictVerified},
+		{Config{Proposers: 1, Acceptors: 3, Learners: 1, Faulty: true}, explore.VerdictVerified}, // no contention: mixed quorums impossible
+		{Config{Proposers: 2, Acceptors: 3, Learners: 2}, explore.VerdictVerified},
+		{Config{Proposers: 2, Acceptors: 3, Learners: 0}, explore.VerdictVerified},
+		{Config{Proposers: 1, Acceptors: 3, Learners: 1, MaxBallots: 2}, explore.VerdictVerified},
+		{Config{Proposers: 1, Acceptors: 5, Learners: 1}, explore.VerdictVerified},
+	}
+	for _, tc := range cases {
+		p := mustNew(t, tc.cfg)
+		res := check(t, p)
+		if res.Verdict != tc.want {
+			t.Errorf("%s: verdict %s, want %s (%v)", p.Name, res.Verdict, tc.want, res.Violation)
+		}
+	}
+}
+
+func TestQuorumModelSmallerThanSingle(t *testing.T) {
+	// The paper's §II-C claim: simulating quorum transitions with
+	// counting single-message transitions inflates the state space.
+	q, err := explore.DFS(mustNew(t, Config{Proposers: 2, Acceptors: 3, Learners: 1}), explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := explore.DFS(mustNew(t, Config{Proposers: 2, Acceptors: 3, Learners: 1, Model: ModelSingle}), explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Stats.States >= s.Stats.States {
+		t.Errorf("quorum model (%d states) not smaller than single-message model (%d states)",
+			q.Stats.States, s.Stats.States)
+	}
+	// And clearly so: the paper reports multiples, not percents.
+	if 2*q.Stats.States > s.Stats.States {
+		t.Errorf("inflation below 2x: %d vs %d", q.Stats.States, s.Stats.States)
+	}
+}
+
+func TestFaultyCounterexampleReplays(t *testing.T) {
+	p := mustNew(t, Config{Proposers: 2, Acceptors: 3, Learners: 1, Faulty: true})
+	res := check(t, p)
+	if res.Verdict != explore.VerdictViolated {
+		t.Fatalf("verdict %s, want CE", res.Verdict)
+	}
+	if _, err := explore.ReplayViolation(p, res.Trace); err != nil {
+		t.Fatalf("counterexample does not replay to a consensus violation: %v", err)
+	}
+	if !strings.Contains(res.Violation.Error(), "consensus violated") {
+		t.Fatalf("unexpected violation message: %v", res.Violation)
+	}
+}
+
+// walkTerminals runs an unreduced BFS and calls f on every deadlock state.
+func walkTerminals(t *testing.T, p *core.Protocol, f func(*core.State)) {
+	t.Helper()
+	init, err := p.InitialState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{init.Key(): true}
+	queue := []*core.State{init}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		events := p.Enabled(s)
+		if len(events) == 0 {
+			f(s)
+			continue
+		}
+		for _, ev := range events {
+			ns, err := p.Execute(s, ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !seen[ns.Key()] {
+				seen[ns.Key()] = true
+				queue = append(queue, ns)
+			}
+		}
+	}
+}
+
+// decidedSets collects the set of learner-decision vectors reachable at
+// termination.
+func decidedSets(t *testing.T, p *core.Protocol, cfg Config) map[string]bool {
+	t.Helper()
+	out := make(map[string]bool)
+	walkTerminals(t, p, func(s *core.State) {
+		key := ""
+		for i := 0; i < cfg.Learners; i++ {
+			ls := s.Local(cfg.LearnerID(i)).(*learnerState)
+			key += "," + itoa(ls.Decided)
+		}
+		out[key] = true
+	})
+	return out
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	digits := ""
+	for v > 0 {
+		digits = string(rune('0'+v%10)) + digits
+		v /= 10
+	}
+	return digits
+}
+
+func TestQuorumAndSingleModelsReachSameOutcomes(t *testing.T) {
+	// Protocol-level cross-validation: both modeling styles must allow
+	// exactly the same sets of final learner decisions.
+	cfg := Config{Proposers: 2, Acceptors: 3, Learners: 1}
+	q := decidedSets(t, mustNew(t, cfg), cfg)
+	cfgS := cfg
+	cfgS.Model = ModelSingle
+	s := decidedSets(t, mustNew(t, cfgS), cfgS)
+	if len(q) == 0 || len(s) == 0 {
+		t.Fatal("no terminal decision sets found")
+	}
+	for k := range q {
+		if !s[k] {
+			t.Errorf("outcome %q reachable in quorum model only", k)
+		}
+	}
+	for k := range s {
+		if !q[k] {
+			t.Errorf("outcome %q reachable in single-message model only", k)
+		}
+	}
+	// In (2,3,1) every terminal state is decided: the highest ballot
+	// always completes (acceptors always answer it), so the learner
+	// always ends with a matching quorum. Both proposers' values must be
+	// decidable, though — contention resolves either way.
+	if len(q) < 2 {
+		t.Errorf("expected both proposers' values among outcomes, got %v", q)
+	}
+	if q[",0"] {
+		t.Errorf("unexpected undecided terminal state (the highest ballot always completes)")
+	}
+}
+
+func TestBallotsUnique(t *testing.T) {
+	c := Config{Proposers: 3, MaxBallots: 3}
+	seen := map[int]bool{}
+	for i := 0; i < c.Proposers; i++ {
+		for r := 1; r <= c.MaxBallots; r++ {
+			b := ballotOf(c, i, r)
+			if b <= 0 || seen[b] {
+				t.Fatalf("ballot %d (proposer %d round %d) not unique and positive", b, i, r)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	c := Config{Proposers: 2, Acceptors: 3, Learners: 1}
+	if c.Setting() != "(2,3,1)" {
+		t.Errorf("Setting = %s", c.Setting())
+	}
+	if c.Majority() != 2 {
+		t.Errorf("Majority = %d", c.Majority())
+	}
+	if c.AcceptorID(0) != 2 || c.LearnerID(0) != 5 {
+		t.Error("process layout wrong")
+	}
+	if got := len(c.Roles()); got != 4 { // acceptors, learners, 2x proposer
+		t.Errorf("roles = %d, want 4", got)
+	}
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	if _, err := New(Config{Proposers: 0, Acceptors: 3}); err == nil {
+		t.Error("zero proposers accepted")
+	}
+	if _, err := New(Config{Proposers: 1, Acceptors: 0}); err == nil {
+		t.Error("zero acceptors accepted")
+	}
+	if _, err := New(Config{Proposers: 1, Acceptors: 3, MaxBallots: -1}); err == nil {
+		t.Error("negative ballots accepted")
+	}
+}
+
+func TestAcceptorIgnoresStaleBallots(t *testing.T) {
+	// Drive by hand: acceptor promises ballot 2, then a stale READ with
+	// ballot 1 must be consumed without a reply.
+	cfg := Config{Proposers: 2, Acceptors: 1, Learners: 0}
+	p := mustNew(t, cfg)
+	s, err := p.InitialState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Propose from both proposers (ballots 1 and 2).
+	for _, idx := range []int{0, 1} {
+		for _, ev := range p.Enabled(s) {
+			if ev.T.Proc == cfg.ProposerID(idx) {
+				if s, err = p.Execute(s, ev); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+		}
+	}
+	// Deliver proposer 1's READ (ballot 2) first.
+	acc := cfg.AcceptorID(0)
+	deliver := func(from core.ProcessID) {
+		t.Helper()
+		for _, ev := range p.Enabled(s) {
+			if ev.T.Proc == acc && len(ev.Msgs) == 1 && ev.Msgs[0].From == from {
+				if s, err = p.Execute(s, ev); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+		}
+		t.Fatalf("no READ event from %d", from)
+	}
+	deliver(cfg.ProposerID(1))
+	if got := s.Local(acc).(*acceptorState).Promised; got != 2 {
+		t.Fatalf("promised = %d, want 2", got)
+	}
+	before := s.Msgs.Len()
+	deliver(cfg.ProposerID(0))
+	// The stale READ was consumed and nothing was sent.
+	if s.Msgs.Len() != before-1 {
+		t.Fatalf("stale READ should be dropped silently: bag %d -> %d", before, s.Msgs.Len())
+	}
+	if got := s.Local(acc).(*acceptorState).Promised; got != 2 {
+		t.Fatalf("stale READ changed promise to %d", got)
+	}
+}
+
+func TestAcceptorHistoryRecordsAcceptances(t *testing.T) {
+	st := &acceptorState{}
+	st.record(proposal{Ballot: 2, Val: 7})
+	st.record(proposal{Ballot: 1, Val: 5})
+	st.record(proposal{Ballot: 2, Val: 7}) // duplicate
+	if len(st.History) != 2 {
+		t.Fatalf("history = %v", st.History)
+	}
+	if st.History[0].Ballot != 1 || st.History[1].Ballot != 2 {
+		t.Fatalf("history not sorted: %v", st.History)
+	}
+	// Clone isolation.
+	c := st.Clone().(*acceptorState)
+	c.record(proposal{Ballot: 3, Val: 9})
+	if len(st.History) != 2 {
+		t.Fatal("clone aliases history")
+	}
+}

@@ -1,0 +1,69 @@
+package paxos
+
+import (
+	"strconv"
+	"strings"
+
+	"mpbasset/internal/core"
+)
+
+// Message type names, matching the paper's phase naming (§II, fn. 1).
+const (
+	MsgRead     = "READ"      // phase 1a: proposer -> acceptors
+	MsgReadRepl = "READ_REPL" // phase 1b: acceptor -> proposer
+	MsgWrite    = "WRITE"     // phase 2a: proposer -> acceptors
+	MsgAccept   = "ACCEPT"    // phase 2b: acceptor -> learners
+)
+
+// readPayload is the phase-1a content: the ballot being opened.
+type readPayload struct {
+	Ballot int
+}
+
+func (p readPayload) Key() string { return "b" + strconv.Itoa(p.Ballot) }
+
+// readReplPayload is the phase-1b content: the answered ballot plus the
+// acceptor's last accepted proposal (0,0 if none).
+type readReplPayload struct {
+	Ballot    int
+	AccBallot int
+	AccVal    int
+}
+
+func (p readReplPayload) Key() string {
+	var sb strings.Builder
+	sb.WriteByte('b')
+	sb.WriteString(strconv.Itoa(p.Ballot))
+	sb.WriteByte('a')
+	sb.WriteString(strconv.Itoa(p.AccBallot))
+	sb.WriteByte('v')
+	sb.WriteString(strconv.Itoa(p.AccVal))
+	return sb.String()
+}
+
+// writePayload is the phase-2a content: ballot and proposed value.
+type writePayload struct {
+	Ballot int
+	Val    int
+}
+
+func (p writePayload) Key() string {
+	return "b" + strconv.Itoa(p.Ballot) + "v" + strconv.Itoa(p.Val)
+}
+
+// acceptPayload is the phase-2b content: the accepted proposal.
+type acceptPayload struct {
+	Ballot int
+	Val    int
+}
+
+func (p acceptPayload) Key() string {
+	return "b" + strconv.Itoa(p.Ballot) + "v" + strconv.Itoa(p.Val)
+}
+
+var (
+	_ core.Payload = readPayload{}
+	_ core.Payload = readReplPayload{}
+	_ core.Payload = writePayload{}
+	_ core.Payload = acceptPayload{}
+)

@@ -1,0 +1,170 @@
+package paxos
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"mpbasset/internal/core"
+)
+
+// Proposer phases.
+const (
+	phaseIdle = iota
+	phaseReading
+	phaseWriting
+	phaseDone
+)
+
+// proposerState is the local state of a proposer. The counting fields
+// (Cnt, HighestB, HighestV) are used only by the single-message model's
+// simulated quorum collection (the paper's Figure 3) and stay zero in the
+// quorum model, so both models share one type.
+type proposerState struct {
+	Phase    int
+	Ballot   int // current ballot; 0 before the first PROPOSE
+	Rounds   int // ballots started so far
+	Cnt      int // single-message model: READ_REPL messages counted
+	HighestB int // single-message model: highest AccBallot seen
+	HighestV int // single-message model: value of HighestB
+}
+
+func (s *proposerState) Key() string {
+	var sb strings.Builder
+	sb.WriteString("P")
+	sb.WriteString(strconv.Itoa(s.Phase))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.Itoa(s.Ballot))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.Itoa(s.Rounds))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.Itoa(s.Cnt))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.Itoa(s.HighestB))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.Itoa(s.HighestV))
+	return sb.String()
+}
+
+func (s *proposerState) Clone() core.LocalState {
+	c := *s
+	return &c
+}
+
+// proposal is a (ballot, value) pair.
+type proposal struct {
+	Ballot int
+	Val    int
+}
+
+// acceptorState is the local state of an acceptor. History records every
+// proposal the acceptor has ever accepted — the history variable over which
+// the chosen-value part of the consensus invariant is stated.
+type acceptorState struct {
+	Promised  int
+	AccBallot int
+	AccVal    int
+	History   []proposal // sorted by (Ballot, Val), no duplicates
+}
+
+func (s *acceptorState) Key() string {
+	var sb strings.Builder
+	sb.WriteString("A")
+	sb.WriteString(strconv.Itoa(s.Promised))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.Itoa(s.AccBallot))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.Itoa(s.AccVal))
+	sb.WriteByte('[')
+	for i, pr := range s.History {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(strconv.Itoa(pr.Ballot))
+		sb.WriteByte(':')
+		sb.WriteString(strconv.Itoa(pr.Val))
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+func (s *acceptorState) Clone() core.LocalState {
+	c := *s
+	c.History = append([]proposal(nil), s.History...)
+	return &c
+}
+
+// record adds pr to the history set, keeping it sorted and duplicate-free.
+func (s *acceptorState) record(pr proposal) {
+	i := sort.Search(len(s.History), func(i int) bool {
+		h := s.History[i]
+		return h.Ballot > pr.Ballot || (h.Ballot == pr.Ballot && h.Val >= pr.Val)
+	})
+	if i < len(s.History) && s.History[i] == pr {
+		return
+	}
+	s.History = append(s.History, proposal{})
+	copy(s.History[i+1:], s.History[i:])
+	s.History[i] = pr
+}
+
+// learnerState is the local state of a learner. Counts is used only by the
+// single-message model: ACCEPT tallies per proposal.
+type learnerState struct {
+	Decided       int // 0 = undecided
+	DecidedBallot int
+	Counts        map[proposal]int
+	Cnt           int // faulty single-message model: raw ACCEPT count
+}
+
+func (s *learnerState) Key() string {
+	var sb strings.Builder
+	sb.WriteString("L")
+	sb.WriteString(strconv.Itoa(s.Decided))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.Itoa(s.DecidedBallot))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.Itoa(s.Cnt))
+	if len(s.Counts) > 0 {
+		props := make([]proposal, 0, len(s.Counts))
+		for pr := range s.Counts {
+			props = append(props, pr)
+		}
+		sort.Slice(props, func(i, j int) bool {
+			if props[i].Ballot != props[j].Ballot {
+				return props[i].Ballot < props[j].Ballot
+			}
+			return props[i].Val < props[j].Val
+		})
+		sb.WriteByte('[')
+		for i, pr := range props {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(strconv.Itoa(pr.Ballot))
+			sb.WriteByte(':')
+			sb.WriteString(strconv.Itoa(pr.Val))
+			sb.WriteByte('=')
+			sb.WriteString(strconv.Itoa(s.Counts[pr]))
+		}
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}
+
+func (s *learnerState) Clone() core.LocalState {
+	c := *s
+	if s.Counts != nil {
+		c.Counts = make(map[proposal]int, len(s.Counts))
+		for k, v := range s.Counts {
+			c.Counts[k] = v
+		}
+	}
+	return &c
+}
+
+var (
+	_ core.LocalState = (*proposerState)(nil)
+	_ core.LocalState = (*acceptorState)(nil)
+	_ core.LocalState = (*learnerState)(nil)
+)

@@ -1,0 +1,161 @@
+package storage
+
+import (
+	"strconv"
+	"strings"
+
+	"mpbasset/internal/core"
+)
+
+// writePayload is the content of a WRITE message.
+type writePayload struct {
+	TS  int
+	Val int
+}
+
+func (p writePayload) Key() string {
+	return "t" + strconv.Itoa(p.TS) + "v" + strconv.Itoa(p.Val)
+}
+
+// ackPayload is the content of an ACK message.
+type ackPayload struct {
+	TS int
+}
+
+func (p ackPayload) Key() string { return "t" + strconv.Itoa(p.TS) }
+
+// readPayload is the content of a READ probe.
+type readPayload struct {
+	RID int
+}
+
+func (p readPayload) Key() string { return "r" + strconv.Itoa(p.RID) }
+
+// valPayload is the content of a VAL reply.
+type valPayload struct {
+	RID int
+	TS  int
+	Val int
+}
+
+func (p valPayload) Key() string {
+	return "r" + strconv.Itoa(p.RID) + "t" + strconv.Itoa(p.TS) + "v" + strconv.Itoa(p.Val)
+}
+
+// writerState is the single writer's local state.
+type writerState struct {
+	Writing   bool
+	TS        int // timestamp of the current/last write
+	Done      int // completed writes
+	Completed int // timestamp of the last completed write
+	Cnt       int // single-message model: acknowledgements counted
+}
+
+func (s *writerState) Key() string {
+	var sb strings.Builder
+	sb.WriteByte('W')
+	if s.Writing {
+		sb.WriteByte('w')
+	}
+	sb.WriteString(strconv.Itoa(s.TS))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.Itoa(s.Done))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.Itoa(s.Completed))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.Itoa(s.Cnt))
+	return sb.String()
+}
+
+func (s *writerState) Clone() core.LocalState {
+	c := *s
+	return &c
+}
+
+// objectState is a base object's stored value.
+type objectState struct {
+	TS  int
+	Val int
+}
+
+func (s *objectState) Key() string {
+	return "O" + strconv.Itoa(s.TS) + "," + strconv.Itoa(s.Val)
+}
+
+func (s *objectState) Clone() core.LocalState {
+	c := *s
+	return &c
+}
+
+// readResult records one completed read with its observer snapshots.
+type readResult struct {
+	TS        int // timestamp of the returned value
+	SnapStart int // writer.Completed when the read started
+	SnapEnd   int // writer.Completed when the read completed
+}
+
+// readerState is a reader's local state.
+type readerState struct {
+	Reading   bool
+	RID       int
+	Done      int
+	SnapStart int
+	Cnt       int // single-message model: replies counted
+	BestTS    int // single-message model: best reply so far
+	BestVal   int
+	Results   []readResult
+}
+
+func (s *readerState) Key() string {
+	var sb strings.Builder
+	sb.WriteByte('R')
+	if s.Reading {
+		sb.WriteByte('r')
+	}
+	sb.WriteString(strconv.Itoa(s.RID))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.Itoa(s.Done))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.Itoa(s.SnapStart))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.Itoa(s.Cnt))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.Itoa(s.BestTS))
+	sb.WriteByte('[')
+	for i, r := range s.Results {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(strconv.Itoa(r.TS))
+		sb.WriteByte(':')
+		sb.WriteString(strconv.Itoa(r.SnapStart))
+		sb.WriteByte(':')
+		sb.WriteString(strconv.Itoa(r.SnapEnd))
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+func (s *readerState) Clone() core.LocalState {
+	c := *s
+	c.Results = append([]readResult(nil), s.Results...)
+	return &c
+}
+
+// complete records a finished read.
+func (s *readerState) complete(best valPayload, completedNow int) {
+	s.Results = append(s.Results, readResult{TS: best.TS, SnapStart: s.SnapStart, SnapEnd: completedNow})
+	s.Reading = false
+	s.Done++
+	s.SnapStart = 0
+}
+
+var (
+	_ core.LocalState = (*writerState)(nil)
+	_ core.LocalState = (*objectState)(nil)
+	_ core.LocalState = (*readerState)(nil)
+	_ core.Payload    = writePayload{}
+	_ core.Payload    = ackPayload{}
+	_ core.Payload    = readPayload{}
+	_ core.Payload    = valPayload{}
+)

@@ -1,0 +1,409 @@
+// Package storage models a message-based regular storage protocol in the
+// style of Attiya, Bar-Noy and Dolev ("Sharing Memory Robustly in
+// Message-Passing Systems"), the paper's third evaluation target: a single
+// writer and R readers accessing B crash-prone base objects, with majority
+// quorums for both writes and reads.
+//
+// A write sends timestamped values to every base object and completes on a
+// majority of acknowledgements; a read probes every object and returns the
+// highest-timestamped value from a majority of replies.
+//
+// Regularity is specified with observer snapshots (GlobalReads, the
+// mechanism the paper's appendix footnote 7 allows for specifications):
+// each read records the writer's last completed timestamp at its start
+// (SnapStart) and at its completion (SnapEnd). The correct property demands
+// result ≥ SnapStart — a read not preceded by a concurrent write returns at
+// least the last completed value. The paper's deliberately "wrong
+// regularity" variant demands result ≥ SnapEnd: a read completing after a
+// write must return that write even if the two were concurrent, which a
+// regular register does not guarantee — the model checker finds the
+// counterexample.
+package storage
+
+import (
+	"fmt"
+
+	"mpbasset/internal/core"
+)
+
+// Model selects quorum vs single-message (counting) modeling.
+type Model int
+
+const (
+	// ModelQuorum collects acknowledgements/replies in quorum transitions.
+	ModelQuorum Model = iota + 1
+	// ModelSingle counts them one message at a time.
+	ModelSingle
+)
+
+// String names the model.
+func (m Model) String() string {
+	if m == ModelSingle {
+		return "single"
+	}
+	return "quorum"
+}
+
+// Config is a storage setting: the paper's (B,R) pair plus workload and
+// modeling knobs.
+type Config struct {
+	// Objects is the number of base objects (B).
+	Objects int
+	// Readers is the number of reader processes (R).
+	Readers int
+	// Writes is the number of sequential writes the writer performs
+	// (default 2, so reads can be concurrent with an ongoing write while a
+	// completed one exists).
+	Writes int
+	// ReadsPerReader is the number of sequential reads per reader
+	// (default 1).
+	ReadsPerReader int
+	// Model selects quorum vs single-message modeling; default quorum.
+	Model Model
+	// WrongRegularity checks the paper's deliberately wrong specification
+	// instead of regularity.
+	WrongRegularity bool
+}
+
+func (c *Config) withDefaults() Config {
+	cc := *c
+	if cc.Model == 0 {
+		cc.Model = ModelQuorum
+	}
+	if cc.Writes == 0 {
+		cc.Writes = 2
+	}
+	if cc.ReadsPerReader == 0 {
+		cc.ReadsPerReader = 1
+	}
+	return cc
+}
+
+// Setting renders the configuration as the paper writes it, e.g. "(3,1)".
+func (c Config) Setting() string { return fmt.Sprintf("(%d,%d)", c.Objects, c.Readers) }
+
+// WriterID returns the writer's process ID (the protocol is single-writer).
+func (c Config) WriterID() core.ProcessID { return 0 }
+
+// ObjectID returns the process ID of the i-th base object.
+func (c Config) ObjectID(i int) core.ProcessID { return core.ProcessID(1 + i) }
+
+// ReaderID returns the process ID of the i-th reader.
+func (c Config) ReaderID(i int) core.ProcessID { return core.ProcessID(1 + c.Objects + i) }
+
+// ObjectIDs returns all base-object process IDs.
+func (c Config) ObjectIDs() []core.ProcessID {
+	ids := make([]core.ProcessID, c.Objects)
+	for i := range ids {
+		ids[i] = c.ObjectID(i)
+	}
+	return ids
+}
+
+// ReaderIDs returns all reader process IDs.
+func (c Config) ReaderIDs() []core.ProcessID {
+	ids := make([]core.ProcessID, c.Readers)
+	for i := range ids {
+		ids[i] = c.ReaderID(i)
+	}
+	return ids
+}
+
+// Majority returns the quorum size over base objects.
+func (c Config) Majority() int { return c.Objects/2 + 1 }
+
+// Roles groups processes into symmetry roles: base objects are
+// interchangeable, readers are interchangeable, the writer is alone.
+func (c Config) Roles() [][]core.ProcessID {
+	return [][]core.ProcessID{{c.WriterID()}, c.ObjectIDs(), c.ReaderIDs()}
+}
+
+// Message types.
+const (
+	MsgWrite = "WRITE" // writer  -> objects: {TS, Val}
+	MsgAck   = "ACK"   // object  -> writer:  {TS}
+	MsgRead  = "READ"  // reader  -> objects: {RID}
+	MsgVal   = "VAL"   // object  -> reader:  {RID, TS, Val}
+)
+
+// New builds the regular-storage protocol model for the given setting.
+func New(cfg Config) (*core.Protocol, error) {
+	c := cfg.withDefaults()
+	if c.Objects < 1 || c.Readers < 0 {
+		return nil, fmt.Errorf("storage: invalid setting %s", c.Setting())
+	}
+	if c.Writes < 1 || c.ReadsPerReader < 1 {
+		return nil, fmt.Errorf("storage: Writes and ReadsPerReader must be positive")
+	}
+	n := 1 + c.Objects + c.Readers
+	objects := c.ObjectIDs()
+	readers := c.ReaderIDs()
+	writer := c.WriterID()
+
+	ts := writerTransitions(c, objects)
+	for i := 0; i < c.Objects; i++ {
+		ts = append(ts, objectTransitions(c, i, writer, readers)...)
+	}
+	for i := 0; i < c.Readers; i++ {
+		ts = append(ts, readerTransitions(c, i, objects)...)
+	}
+
+	name := "RegularStorage"
+	if c.WrongRegularity {
+		name = "WrongRegularityStorage"
+	}
+	p := &core.Protocol{
+		Name: fmt.Sprintf("%s%s/%s", name, c.Setting(), c.Model),
+		N:    n,
+		Init: func() []core.LocalState {
+			locals := make([]core.LocalState, n)
+			locals[writer] = &writerState{}
+			for i := 0; i < c.Objects; i++ {
+				locals[c.ObjectID(i)] = &objectState{}
+			}
+			for i := 0; i < c.Readers; i++ {
+				locals[c.ReaderID(i)] = &readerState{}
+			}
+			return locals
+		},
+		Transitions: ts,
+		Invariant:   regularityInvariant(c),
+	}
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// valueOf returns the value written with timestamp ts.
+func valueOf(ts int) int { return 10 * ts }
+
+func writerTransitions(c Config, objects []core.ProcessID) []*core.Transition {
+	writer := c.WriterID()
+	maj := c.Majority()
+	start := &core.Transition{
+		Name:     "W_START",
+		Proc:     writer,
+		Priority: 3, // starts a new write instance
+		Sends:    []core.SendSpec{{Type: MsgWrite, To: objects}},
+		LocalGuard: func(ls core.LocalState) bool {
+			s := ls.(*writerState)
+			return !s.Writing && s.Done < c.Writes
+		},
+		Apply: func(ctx *core.Ctx) {
+			s := ctx.Local.(*writerState)
+			s.TS++
+			s.Writing = true
+			for _, o := range objects {
+				ctx.Send(o, MsgWrite, writePayload{TS: s.TS, Val: valueOf(s.TS)})
+			}
+		},
+	}
+
+	collect := &core.Transition{
+		Name:     MsgAck,
+		Proc:     writer,
+		MsgType:  MsgAck,
+		Peers:    objects,
+		Priority: 1,
+		// Each object acknowledges a timestamp once; with a single write
+		// no two acknowledgements from one object can be pending together.
+		UniquePerSender: c.Writes == 1,
+		LocalGuard: func(ls core.LocalState) bool {
+			return ls.(*writerState).Writing
+		},
+	}
+	switch c.Model {
+	case ModelQuorum:
+		collect.Quorum = maj
+		collect.Guard = func(ls core.LocalState, msgs []core.Message) bool {
+			s := ls.(*writerState)
+			for _, m := range msgs {
+				if m.Payload.(ackPayload).TS != s.TS {
+					return false
+				}
+			}
+			return true
+		}
+		collect.Apply = func(ctx *core.Ctx) {
+			s := ctx.Local.(*writerState)
+			s.Writing = false
+			s.Done++
+			s.Completed = s.TS
+		}
+	case ModelSingle:
+		collect.Quorum = 1
+		collect.Guard = func(ls core.LocalState, msgs []core.Message) bool {
+			return msgs[0].Payload.(ackPayload).TS == ls.(*writerState).TS
+		}
+		collect.Apply = func(ctx *core.Ctx) {
+			s := ctx.Local.(*writerState)
+			s.Cnt++
+			if s.Cnt >= maj {
+				s.Cnt = 0
+				s.Writing = false
+				s.Done++
+				s.Completed = s.TS
+			}
+		}
+	}
+	return []*core.Transition{start, collect}
+}
+
+func objectTransitions(c Config, i int, writer core.ProcessID, readers []core.ProcessID) []*core.Transition {
+	self := c.ObjectID(i)
+	write := &core.Transition{
+		Name:            MsgWrite,
+		Proc:            self,
+		MsgType:         MsgWrite,
+		Quorum:          1,
+		Peers:           []core.ProcessID{writer},
+		Priority:        2,
+		IsReply:         true,
+		UniquePerSender: c.Writes == 1,
+		Sends:           []core.SendSpec{{Type: MsgAck, ToSenders: true}},
+		Apply: func(ctx *core.Ctx) {
+			s := ctx.Local.(*objectState)
+			pl := ctx.Msgs[0].Payload.(writePayload)
+			if pl.TS > s.TS {
+				s.TS = pl.TS
+				s.Val = pl.Val
+			}
+			ctx.Send(ctx.Msgs[0].From, MsgAck, ackPayload{TS: pl.TS})
+		},
+	}
+	var read *core.Transition
+	if len(readers) > 0 {
+		read = &core.Transition{
+			Name:     MsgRead,
+			Proc:     self,
+			MsgType:  MsgRead,
+			Quorum:   1,
+			Peers:    readers,
+			Priority: 2,
+			IsReply:  true,
+			// Answering a probe does not change the object: probes of
+			// different readers commute (the paper's isWrite=false).
+			ReadOnly:        true,
+			UniquePerSender: c.ReadsPerReader == 1,
+			Sends:           []core.SendSpec{{Type: MsgVal, ToSenders: true}},
+			Apply: func(ctx *core.Ctx) {
+				s := ctx.Local.(*objectState)
+				pl := ctx.Msgs[0].Payload.(readPayload)
+				ctx.Send(ctx.Msgs[0].From, MsgVal, valPayload{RID: pl.RID, TS: s.TS, Val: s.Val})
+			},
+		}
+		return []*core.Transition{write, read}
+	}
+	return []*core.Transition{write}
+}
+
+func readerTransitions(c Config, i int, objects []core.ProcessID) []*core.Transition {
+	self := c.ReaderID(i)
+	writer := c.WriterID()
+	maj := c.Majority()
+	start := &core.Transition{
+		Name:        "R_START",
+		Proc:        self,
+		Priority:    3, // starts a new read instance
+		Sends:       []core.SendSpec{{Type: MsgRead, To: objects}},
+		GlobalReads: []core.ProcessID{writer}, // observer snapshot (spec only)
+		LocalGuard: func(ls core.LocalState) bool {
+			s := ls.(*readerState)
+			return !s.Reading && s.Done < c.ReadsPerReader
+		},
+		Apply: func(ctx *core.Ctx) {
+			s := ctx.Local.(*readerState)
+			s.Reading = true
+			s.RID = 1000*(i+1) + s.Done + 1
+			s.SnapStart = ctx.Global(writer).(*writerState).Completed
+			for _, o := range objects {
+				ctx.Send(o, MsgRead, readPayload{RID: s.RID})
+			}
+		},
+	}
+
+	collect := &core.Transition{
+		Name:            MsgVal,
+		Proc:            self,
+		MsgType:         MsgVal,
+		Peers:           objects,
+		Priority:        0, // completes an instance
+		Visible:         true,
+		UniquePerSender: c.ReadsPerReader == 1,
+		GlobalReads:     []core.ProcessID{writer}, // completion snapshot (spec only)
+		LocalGuard: func(ls core.LocalState) bool {
+			return ls.(*readerState).Reading
+		},
+	}
+	switch c.Model {
+	case ModelQuorum:
+		collect.Quorum = maj
+		collect.Guard = func(ls core.LocalState, msgs []core.Message) bool {
+			s := ls.(*readerState)
+			for _, m := range msgs {
+				if m.Payload.(valPayload).RID != s.RID {
+					return false
+				}
+			}
+			return true
+		}
+		collect.Apply = func(ctx *core.Ctx) {
+			s := ctx.Local.(*readerState)
+			best := valPayload{}
+			for _, m := range ctx.Msgs {
+				pl := m.Payload.(valPayload)
+				if pl.TS > best.TS {
+					best = pl
+				}
+			}
+			s.complete(best, ctx.Global(writer).(*writerState).Completed)
+		}
+	case ModelSingle:
+		collect.Quorum = 1
+		collect.Guard = func(ls core.LocalState, msgs []core.Message) bool {
+			return msgs[0].Payload.(valPayload).RID == ls.(*readerState).RID
+		}
+		collect.Apply = func(ctx *core.Ctx) {
+			s := ctx.Local.(*readerState)
+			pl := ctx.Msgs[0].Payload.(valPayload)
+			s.Cnt++
+			if pl.TS > s.BestTS {
+				s.BestTS = pl.TS
+				s.BestVal = pl.Val
+			}
+			if s.Cnt >= maj {
+				best := valPayload{TS: s.BestTS, Val: s.BestVal}
+				s.Cnt = 0
+				s.BestTS = 0
+				s.BestVal = 0
+				s.complete(best, ctx.Global(writer).(*writerState).Completed)
+			}
+		}
+	}
+	return []*core.Transition{start, collect}
+}
+
+// regularityInvariant checks every completed read against the selected
+// specification.
+func regularityInvariant(c Config) core.Invariant {
+	return func(s *core.State) error {
+		for i := 0; i < c.Readers; i++ {
+			rs := s.Local(c.ReaderID(i)).(*readerState)
+			for _, r := range rs.Results {
+				if c.WrongRegularity {
+					// The paper's wrong spec: a read completing after a
+					// write completed must return it, even if concurrent.
+					if r.TS < r.SnapEnd {
+						return fmt.Errorf("wrong regularity violated: reader %d returned ts %d although write ts %d had completed before the read returned", i, r.TS, r.SnapEnd)
+					}
+					continue
+				}
+				if r.TS < r.SnapStart {
+					return fmt.Errorf("regularity violated: reader %d returned ts %d older than last completed write ts %d at read start", i, r.TS, r.SnapStart)
+				}
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,208 @@
+package refine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mpbasset/internal/core"
+	"mpbasset/internal/explore"
+	"mpbasset/internal/mptest"
+	"mpbasset/internal/protocols/multicast"
+	"mpbasset/internal/protocols/paxos"
+	"mpbasset/internal/protocols/storage"
+)
+
+// assertRefinement checks the paper's Theorem 2 on a concrete protocol:
+// the split system generates exactly the same state graph (Definition 1).
+func assertRefinement(t *testing.T, p *core.Protocol, strat Strategy, maxStates int) {
+	t.Helper()
+	g1, err := explore.BuildGraph(p, maxStates)
+	if err != nil {
+		t.Fatalf("%s: base graph: %v", p.Name, err)
+	}
+	sp, err := Split(p, strat)
+	if err != nil {
+		t.Fatalf("%s: split: %v", p.Name, err)
+	}
+	g2, err := explore.BuildGraph(sp, maxStates)
+	if err != nil {
+		t.Fatalf("%s: split graph: %v", sp.Name, err)
+	}
+	if diff := g1.Diff(g2); diff != "" {
+		t.Errorf("%s / %s: state graphs differ (Theorem 2 violated): %s", p.Name, strat, diff)
+	}
+}
+
+func TestTheorem2OnRandomProtocols(t *testing.T) {
+	for seed := int64(0); seed < 120; seed++ {
+		p, err := mptest.Random(mptest.GenConfig{Seed: seed, Quorums: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, strat := range []Strategy{Reply, Quorum, Combined} {
+			assertRefinement(t, p, strat, 200000)
+		}
+	}
+}
+
+func TestTheorem2OnBundledProtocols(t *testing.T) {
+	if testing.Short() {
+		t.Skip("graph equality on bundled protocols is slow")
+	}
+	type tc struct {
+		name string
+		p    *core.Protocol
+		err  error
+		max  int
+	}
+	px, pxErr := paxos.New(paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1})
+	mc, mcErr := multicast.New(multicast.Config{HonestReceivers: 3, HonestInitiators: 1, ByzantineReceivers: 1, ByzantineInitiators: 1})
+	// One write keeps the full graph (invariants ignored) tractable.
+	st, stErr := storage.New(storage.Config{Objects: 3, Readers: 2, Writes: 1, WrongRegularity: true})
+	cases := []tc{
+		{"paxos", px, pxErr, 100000},
+		{"multicast", mc, mcErr, 100000},
+		{"storage", st, stErr, 100000},
+	}
+	for _, c := range cases {
+		if c.err != nil {
+			t.Fatal(c.err)
+		}
+		// Graph equality needs the invariant disabled (BuildGraph explores
+		// everything) — it ignores invariants by construction.
+		for _, strat := range []Strategy{Reply, Quorum, Combined} {
+			assertRefinement(t, c.p, strat, c.max)
+		}
+	}
+}
+
+func TestSplitVerdictsAgree(t *testing.T) {
+	// Beyond graph equality: verdicts of searches over split models must
+	// match the unsplit model (Theorem 1).
+	for seed := int64(0); seed < 60; seed++ {
+		p, err := mptest.Random(mptest.GenConfig{Seed: seed, Quorums: true, Threshold: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := explore.DFS(p, explore.Options{MaxDuration: time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, strat := range Strategies() {
+			sp, err := Split(p, strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := explore.DFS(sp, explore.Options{MaxDuration: time.Minute})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Verdict != base.Verdict {
+				t.Errorf("seed %d %s: verdict %s, want %s", seed, strat, res.Verdict, base.Verdict)
+			}
+			if res.Stats.States != base.Stats.States {
+				t.Errorf("seed %d %s: %d states, want %d (same state graph)", seed, strat, res.Stats.States, base.Stats.States)
+			}
+		}
+	}
+}
+
+func TestSplitMechanics(t *testing.T) {
+	p, err := paxos.New(paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := len(p.Transitions) // 2 proposers x2 + 3 acceptors x2 + 1 learner = 11
+
+	qs, err := Split(p, Quorum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quorum-split: two proposer READ_REPL (C(3,2)=3 each) and one learner
+	// ACCEPT (3): 11 - 3 + 9 = 17.
+	if got := len(qs.Transitions); got != base+6 {
+		t.Errorf("quorum-split transitions = %d, want %d", got, base+6)
+	}
+	rs, err := Split(p, Reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reply-split: three acceptor READ transitions split per proposer:
+	// 11 - 3 + 6 = 14.
+	if got := len(rs.Transitions); got != base+3 {
+		t.Errorf("reply-split transitions = %d, want %d", got, base+3)
+	}
+	cs, err := Split(p, Combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cs.Transitions); got != base+9 {
+		t.Errorf("combined-split transitions = %d, want %d", got, base+9)
+	}
+	// Names follow the paper's msgType__ convention.
+	found := false
+	for _, tr := range cs.Transitions {
+		if strings.Contains(tr.Name, "__") {
+			found = true
+			if tr.Peers == nil {
+				t.Errorf("split transition %s has no peer restriction", tr)
+			}
+		}
+	}
+	if !found {
+		t.Error("no split transitions generated")
+	}
+	// None with Strategy None.
+	ns, err := Split(p, None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns.Transitions) != base {
+		t.Errorf("unsplit clone changed transition count: %d", len(ns.Transitions))
+	}
+}
+
+func TestSplitSkipsDegenerateQuorums(t *testing.T) {
+	// Multicast (2,1,0,1): threshold equals the number of receivers, so
+	// quorum-split must be a no-op (the paper's observation for this
+	// setting).
+	p, err := multicast.New(multicast.Config{HonestReceivers: 2, HonestInitiators: 1, ByzantineInitiators: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := Split(p, Quorum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs.Transitions) != len(p.Transitions) {
+		t.Errorf("quorum-split changed transition count %d -> %d on a degenerate setting",
+			len(p.Transitions), len(qs.Transitions))
+	}
+}
+
+func TestCombinations(t *testing.T) {
+	ids := []core.ProcessID{1, 2, 3, 4}
+	combos := Combinations(ids, 2)
+	if len(combos) != 6 {
+		t.Fatalf("C(4,2) = %d, want 6", len(combos))
+	}
+	if Combinations(ids, 5) != nil {
+		t.Fatal("k > n must yield nil")
+	}
+	if got := Combinations(ids, 4); len(got) != 1 || len(got[0]) != 4 {
+		t.Fatalf("C(4,4) wrong: %v", got)
+	}
+	if got := Combinations(ids, 0); len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("C(4,0) should be one empty combination, got %v", got)
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	want := map[Strategy]string{None: "unsplit", Reply: "reply-split", Quorum: "quorum-split", Combined: "combined-split"}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), w)
+		}
+	}
+}

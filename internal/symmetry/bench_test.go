@@ -1,0 +1,73 @@
+package symmetry
+
+import (
+	"testing"
+
+	"mpbasset/internal/explore"
+	"mpbasset/internal/protocols/paxos"
+)
+
+// BenchmarkCanon measures the per-state canonicalization cost (the price
+// paid for the orbit collapse: |group| encodings per state).
+func BenchmarkCanon(b *testing.B) {
+	cfg := paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1}
+	p, err := paxos.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	canon, err := New(p.N, cfg.Roles())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := p.InitialState()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Advance a few steps so the state is non-trivial.
+	for i := 0; i < 4; i++ {
+		events := p.Enabled(s)
+		if len(events) == 0 {
+			break
+		}
+		if s, err = p.Execute(s, events[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = canon.Canon(s)
+	}
+}
+
+// BenchmarkSymmetrySearch measures the end-to-end trade: fewer states at a
+// higher per-state cost.
+func BenchmarkSymmetrySearch(b *testing.B) {
+	cfg := paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1}
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := paxos.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := explore.Options{}
+				if on {
+					canon, err := New(p.N, cfg.Roles())
+					if err != nil {
+						b.Fatal(err)
+					}
+					opts.Canon = canon.Canon
+				}
+				res, err := explore.DFS(p, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Stats.States), "states")
+			}
+		})
+	}
+}

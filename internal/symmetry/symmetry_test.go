@@ -1,0 +1,183 @@
+package symmetry
+
+import (
+	"testing"
+	"time"
+
+	"mpbasset/internal/core"
+	"mpbasset/internal/explore"
+	"mpbasset/internal/protocols/multicast"
+	"mpbasset/internal/protocols/paxos"
+	"mpbasset/internal/protocols/storage"
+)
+
+func TestPermutationCount(t *testing.T) {
+	c, err := New(6, [][]core.ProcessID{{0, 1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.NumPermutations(); got != 12 { // 3! * 2!
+		t.Fatalf("permutations = %d, want 12", got)
+	}
+}
+
+func TestNewRejections(t *testing.T) {
+	if _, err := New(2, [][]core.ProcessID{{0, 5}}); err == nil {
+		t.Fatal("out-of-range process accepted")
+	}
+	if _, err := New(3, [][]core.ProcessID{{0, 1}, {1, 2}}); err == nil {
+		t.Fatal("overlapping roles accepted")
+	}
+}
+
+func TestCanonIdentifiesSymmetricStates(t *testing.T) {
+	// Two Paxos states that differ only by swapping two acceptors must
+	// canonicalize identically. Build them by driving the protocol down
+	// two symmetric paths: acceptor 2 answers before acceptor 3, and vice
+	// versa.
+	cfg := paxos.Config{Proposers: 1, Acceptors: 3, Learners: 1}
+	p, err := paxos.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := New(p.N, cfg.Roles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := p.InitialState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PROPOSE, then one acceptor READ.
+	s1, err := p.Execute(s0, p.Enabled(s0)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaA2, viaA3 *core.State
+	for _, ev := range p.Enabled(s1) {
+		ns, err := p.Execute(s1, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch ev.T.Proc {
+		case cfg.AcceptorID(1):
+			viaA2 = ns
+		case cfg.AcceptorID(2):
+			viaA3 = ns
+		}
+	}
+	if viaA2 == nil || viaA3 == nil {
+		t.Fatal("expected READ events at acceptors 1 and 2")
+	}
+	if viaA2.Key() == viaA3.Key() {
+		t.Fatal("plain keys should differ (different acceptors moved)")
+	}
+	if canon.Canon(viaA2) != canon.Canon(viaA3) {
+		t.Fatal("canonical keys should coincide for role-symmetric states")
+	}
+}
+
+// runWithAndWithout compares a plain search against a symmetry-reduced one.
+func runWithAndWithout(t *testing.T, p *core.Protocol, roles [][]core.ProcessID, groupSize int) {
+	t.Helper()
+	plain, err := explore.DFS(p, explore.Options{MaxDuration: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := New(p.N, roles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, err := explore.DFS(p, explore.Options{Canon: canon.Canon, MaxDuration: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Verdict != sym.Verdict {
+		t.Errorf("%s: verdict %s (plain) vs %s (symmetry)", p.Name, plain.Verdict, sym.Verdict)
+	}
+	if sym.Stats.States >= plain.Stats.States {
+		t.Errorf("%s: symmetry did not reduce states: %d vs %d", p.Name, sym.Stats.States, plain.Stats.States)
+	}
+	// The orbit inequality: reduction is bounded by the group size.
+	if sym.Stats.States*groupSize < plain.Stats.States {
+		t.Errorf("%s: reduction exceeds group size %d: %d vs %d (unsound canonicalization?)",
+			p.Name, groupSize, sym.Stats.States, plain.Stats.States)
+	}
+}
+
+func TestSymmetryOnPaxos(t *testing.T) {
+	cfg := paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1}
+	p, err := paxos.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWithAndWithout(t, p, cfg.Roles(), 6)
+}
+
+func TestSymmetryOnFaultyPaxosStillFindsBug(t *testing.T) {
+	cfg := paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1, Faulty: true}
+	p, err := paxos.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := New(p.N, cfg.Roles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := explore.DFS(p, explore.Options{Canon: canon.Canon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != explore.VerdictViolated {
+		t.Fatalf("verdict = %s, want CE", res.Verdict)
+	}
+}
+
+func TestSymmetryOnMulticast(t *testing.T) {
+	// Honest receivers within one equivocation group are symmetric;
+	// certificates embed receiver IDs and must be remapped (commitPayload
+	// implements Remapper). The wrong-agreement setting keeps its CE.
+	cfg := multicast.Config{HonestReceivers: 3, HonestInitiators: 1, ByzantineReceivers: 1, ByzantineInitiators: 1}
+	p, err := multicast.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupSize := 1
+	for _, role := range cfg.Roles() {
+		f := 1
+		for i := 2; i <= len(role); i++ {
+			f *= i
+		}
+		groupSize *= f
+	}
+	runWithAndWithout(t, p, cfg.Roles(), groupSize)
+
+	wrong, err := multicast.New(multicast.Config{HonestReceivers: 2, HonestInitiators: 1, ByzantineReceivers: 2, ByzantineInitiators: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := multicast.Config{HonestReceivers: 2, HonestInitiators: 1, ByzantineReceivers: 2, ByzantineInitiators: 1}
+	canon, err := New(wrong.N, wcfg.Roles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := explore.DFS(wrong, explore.Options{Canon: canon.Canon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != explore.VerdictViolated {
+		t.Fatalf("wrong-agreement CE lost under symmetry: %s", res.Verdict)
+	}
+}
+
+func TestSymmetryOnStorage(t *testing.T) {
+	cfg := storage.Config{Objects: 3, Readers: 2, WrongRegularity: true}
+	p, err := storage.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Note: readers are symmetric only if their read IDs do not encode
+	// the reader index; ours do, so only objects form a role here.
+	roles := [][]core.ProcessID{cfg.ObjectIDs()}
+	runWithAndWithout(t, p, roles, 6)
+}

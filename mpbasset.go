@@ -1,0 +1,167 @@
+// Package mpbasset is a Go reproduction of the MP-Basset model checker
+// from Bokor, Kinder, Serafini and Suri, "Efficient Model Checking of
+// Fault-Tolerant Distributed Protocols" (DSN 2011): explicit-state model
+// checking of message-passing protocols with quorum transitions, transition
+// refinement (quorum-split and reply-split), static and dynamic
+// partial-order reduction, and role-based symmetry reduction.
+//
+// The package is the high-level facade over the building blocks in
+// internal/: define a protocol with core.Protocol (or use the bundled
+// Paxos, Echo Multicast and regular-storage models under
+// internal/protocols), then verify it:
+//
+//	p, err := paxos.New(paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1})
+//	...
+//	res, err := mpbasset.Check(p, mpbasset.Options{Search: mpbasset.SearchSPOR})
+//	fmt.Println(res.Verdict, res.Stats.States)
+//
+// See the examples/ directory for complete programs and cmd/mpcheck for
+// the command-line interface.
+package mpbasset
+
+import (
+	"fmt"
+	"time"
+
+	"mpbasset/internal/core"
+	"mpbasset/internal/dpor"
+	"mpbasset/internal/explore"
+	"mpbasset/internal/por"
+	"mpbasset/internal/refine"
+	"mpbasset/internal/symmetry"
+)
+
+// Re-exported core types, so that typical users only import this package
+// plus a protocol package.
+type (
+	// Protocol is a message-passing protocol model (see internal/core).
+	Protocol = core.Protocol
+	// Transition is a guarded atomic event of one process.
+	Transition = core.Transition
+	// Message is an in-flight message.
+	Message = core.Message
+	// ProcessID identifies a process.
+	ProcessID = core.ProcessID
+	// Result is the outcome of a search.
+	Result = explore.Result
+	// Verdict classifies a search outcome.
+	Verdict = explore.Verdict
+	// SplitStrategy selects a transition-refinement strategy.
+	SplitStrategy = refine.Strategy
+)
+
+// Search outcomes.
+const (
+	VerdictVerified = explore.VerdictVerified
+	VerdictViolated = explore.VerdictViolated
+	VerdictLimit    = explore.VerdictLimit
+)
+
+// Split strategies (paper §III: Table II's unsplit / reply-split /
+// quorum-split / combined-split).
+const (
+	SplitNone     = refine.None
+	SplitReply    = refine.Reply
+	SplitQuorum   = refine.Quorum
+	SplitCombined = refine.Combined
+)
+
+// Search selects a search engine.
+type Search int
+
+const (
+	// SearchSPOR is stateful DFS with static partial-order reduction (the
+	// paper's MP-LPOR analogue) — the default.
+	SearchSPOR Search = iota + 1
+	// SearchUnreduced is plain stateful DFS.
+	SearchUnreduced
+	// SearchBFS is stateful BFS (shortest counterexamples; combine with
+	// reduction only on acyclic models).
+	SearchBFS
+	// SearchStateless is depth-first search without a visited set.
+	SearchStateless
+	// SearchDPOR is stateless search with dynamic partial-order reduction
+	// (single-message models only, as in Basset).
+	SearchDPOR
+)
+
+// Options configures Check.
+type Options struct {
+	// Search selects the engine; default SearchSPOR.
+	Search Search
+	// Split applies a transition refinement before checking; default
+	// SplitNone. Refinement never changes the state graph (Theorem 2),
+	// only the reduction.
+	Split SplitStrategy
+	// SymmetryRoles enables role-based symmetry reduction over the given
+	// groups of interchangeable processes.
+	SymmetryRoles [][]ProcessID
+	// BestSeed makes the static POR try every seed and keep the smallest
+	// ample set.
+	BestSeed bool
+	// TrackTrace records parent links so BFS can reconstruct
+	// counterexamples (DFS variants always can).
+	TrackTrace bool
+	// ExactStates stores full state keys instead of 128-bit fingerprints
+	// (more memory, zero collision risk).
+	ExactStates bool
+	// MaxStates bounds the number of explored states; 0 = unlimited.
+	MaxStates int
+	// MaxDuration bounds the wall-clock time; 0 = unlimited.
+	MaxDuration time.Duration
+}
+
+// Check verifies the protocol's invariant over its full (possibly reduced)
+// state space and returns the verdict, statistics, and — for violations —
+// a counterexample trace.
+func Check(p *Protocol, opts Options) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("mpbasset: nil protocol")
+	}
+	if opts.Split != SplitNone {
+		sp, err := refine.Split(p, opts.Split)
+		if err != nil {
+			return nil, err
+		}
+		p = sp
+	}
+	xo := explore.Options{
+		MaxStates:   opts.MaxStates,
+		MaxDuration: opts.MaxDuration,
+		TrackTrace:  opts.TrackTrace,
+	}
+	if !opts.ExactStates {
+		xo.Store = explore.NewHashStore()
+	}
+	if opts.SymmetryRoles != nil {
+		canon, err := symmetry.New(p.N, opts.SymmetryRoles)
+		if err != nil {
+			return nil, err
+		}
+		xo.Canon = canon.Canon
+	}
+	search := opts.Search
+	if search == 0 {
+		search = SearchSPOR
+	}
+	switch search {
+	case SearchSPOR:
+		exp, err := por.NewExpander(p)
+		if err != nil {
+			return nil, err
+		}
+		exp.BestSeed = opts.BestSeed
+		xo.Expander = exp
+		return explore.DFS(p, xo)
+	case SearchUnreduced:
+		return explore.DFS(p, xo)
+	case SearchBFS:
+		return explore.BFS(p, xo)
+	case SearchStateless:
+		return explore.StatelessDFS(p, xo)
+	case SearchDPOR:
+		return dpor.Explore(p, xo)
+	default:
+		return nil, fmt.Errorf("mpbasset: unknown search %d", search)
+	}
+}

@@ -1,0 +1,158 @@
+package mpbasset_test
+
+import (
+	"testing"
+	"time"
+
+	"mpbasset"
+	"mpbasset/internal/protocols/multicast"
+	"mpbasset/internal/protocols/paxos"
+	"mpbasset/internal/protocols/storage"
+)
+
+func TestCheckDefaults(t *testing.T) {
+	p, err := paxos.New(paxos.Config{Proposers: 1, Acceptors: 3, Learners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mpbasset.Check(p, mpbasset.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != mpbasset.VerdictVerified {
+		t.Fatalf("verdict = %s", res.Verdict)
+	}
+	if res.Stats.States == 0 || res.Stats.Duration == 0 {
+		t.Fatal("stats not populated")
+	}
+}
+
+func TestCheckAllSearches(t *testing.T) {
+	quorum, err := paxos.New(paxos.Config{Proposers: 1, Acceptors: 3, Learners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := paxos.New(paxos.Config{Proposers: 1, Acceptors: 3, Learners: 1, Model: paxos.ModelSingle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		p      *mpbasset.Protocol
+		search mpbasset.Search
+	}{
+		{"spor", quorum, mpbasset.SearchSPOR},
+		{"unreduced", quorum, mpbasset.SearchUnreduced},
+		{"bfs", quorum, mpbasset.SearchBFS},
+		{"stateless", quorum, mpbasset.SearchStateless},
+		{"dpor", single, mpbasset.SearchDPOR},
+	}
+	for _, tc := range cases {
+		res, err := mpbasset.Check(tc.p, mpbasset.Options{Search: tc.search, MaxDuration: time.Minute})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Verdict != mpbasset.VerdictVerified {
+			t.Errorf("%s: verdict %s", tc.name, res.Verdict)
+		}
+	}
+	// DPOR must reject quorum models.
+	if _, err := mpbasset.Check(quorum, mpbasset.Options{Search: mpbasset.SearchDPOR}); err == nil {
+		t.Error("DPOR accepted a quorum model")
+	}
+}
+
+func TestCheckSplitAndSymmetry(t *testing.T) {
+	cfg := paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1}
+	p, err := paxos.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := mpbasset.Check(p, mpbasset.Options{Search: mpbasset.SearchUnreduced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := mpbasset.Check(p, mpbasset.Options{Search: mpbasset.SearchUnreduced, Split: mpbasset.SplitCombined})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 2 through the facade: same graph, same count, unreduced.
+	if split.Stats.States != plain.Stats.States {
+		t.Errorf("split changed unreduced state count: %d vs %d", split.Stats.States, plain.Stats.States)
+	}
+	sym, err := mpbasset.Check(p, mpbasset.Options{Search: mpbasset.SearchUnreduced, SymmetryRoles: cfg.Roles()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.Stats.States >= plain.Stats.States {
+		t.Errorf("symmetry did not reduce: %d vs %d", sym.Stats.States, plain.Stats.States)
+	}
+}
+
+func TestCheckFindsBugsWithTraces(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() (*mpbasset.Protocol, error)
+	}{
+		{"faulty-paxos", func() (*mpbasset.Protocol, error) {
+			return paxos.New(paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1, Faulty: true})
+		}},
+		{"wrong-agreement", func() (*mpbasset.Protocol, error) {
+			return multicast.New(multicast.Config{HonestReceivers: 2, HonestInitiators: 1, ByzantineReceivers: 2, ByzantineInitiators: 1})
+		}},
+		{"wrong-regularity", func() (*mpbasset.Protocol, error) {
+			return storage.New(storage.Config{Objects: 3, Readers: 2, WrongRegularity: true})
+		}},
+	}
+	for _, tc := range cases {
+		p, err := tc.mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mpbasset.Check(p, mpbasset.Options{Search: mpbasset.SearchBFS, TrackTrace: true})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Verdict != mpbasset.VerdictViolated || res.Violation == nil || len(res.Trace) == 0 {
+			t.Errorf("%s: expected a counterexample with trace, got %s", tc.name, res.Verdict)
+		}
+	}
+}
+
+func TestCheckNilProtocol(t *testing.T) {
+	if _, err := mpbasset.Check(nil, mpbasset.Options{}); err == nil {
+		t.Fatal("nil protocol accepted")
+	}
+}
+
+func TestCheckLimits(t *testing.T) {
+	p, err := paxos.New(paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mpbasset.Check(p, mpbasset.Options{Search: mpbasset.SearchUnreduced, MaxStates: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != mpbasset.VerdictLimit {
+		t.Fatalf("verdict = %s, want Limit", res.Verdict)
+	}
+}
+
+func TestCheckExactStates(t *testing.T) {
+	p, err := paxos.New(paxos.Config{Proposers: 1, Acceptors: 3, Learners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashed, err := mpbasset.Check(p, mpbasset.Options{Search: mpbasset.SearchUnreduced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := mpbasset.Check(p, mpbasset.Options{Search: mpbasset.SearchUnreduced, ExactStates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hashed.Stats.States != exact.Stats.States {
+		t.Fatalf("stores disagree: %d vs %d", hashed.Stats.States, exact.Stats.States)
+	}
+}
