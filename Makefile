@@ -1,0 +1,26 @@
+# Development and CI entry points. `make ci` is what the CI workflow runs:
+# vet + build + full test suite, plus the race detector over the packages
+# with concurrent code (the parallel search engine and the core it drives).
+
+GO ?= go
+
+.PHONY: all vet build test race bench ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/explore/ ./internal/core/
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+ci: vet build test race

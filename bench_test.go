@@ -17,6 +17,7 @@ package mpbasset_test
 import (
 	"fmt"
 	"os"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -241,6 +242,107 @@ func BenchmarkAblation(b *testing.B) {
 			}
 			b.ReportMetric(float64(res.Stats.States), "states")
 		}
+	})
+}
+
+// BenchmarkParallelBFS compares the frontier-parallel BFS engine across
+// worker-pool sizes on the three bundled protocols, SPOR-reduced with the
+// sharded concurrent store — the configuration mpcheck -workers runs. All
+// worker counts explore the identical state space (the engine is
+// deterministic), so states/op is constant and time/op isolates the
+// parallel speedup. Wall-clock gains need GOMAXPROCS > 1; on a single
+// hardware thread the worker counts merely measure the engine's overhead.
+func BenchmarkParallelBFS(b *testing.B) {
+	targets := []struct {
+		name string
+		mk   func() (*core.Protocol, error)
+	}{
+		{"Paxos_231", func() (*core.Protocol, error) {
+			return paxos.New(paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1})
+		}},
+		{"Multicast_3111", func() (*core.Protocol, error) {
+			return multicast.New(multicast.Config{HonestReceivers: 3, HonestInitiators: 1, ByzantineReceivers: 1, ByzantineInitiators: 1})
+		}},
+		{"Storage_31", func() (*core.Protocol, error) {
+			return storage.New(storage.Config{Objects: 3, Readers: 1})
+		}},
+	}
+	for _, tg := range targets {
+		tg := tg
+		for _, workers := range []int{1, 2, 4, 8} {
+			workers := workers
+			b.Run(fmt.Sprintf("%s/workers-%d", tg.name, workers), func(b *testing.B) {
+				p, err := tg.mk()
+				if err != nil {
+					b.Fatal(err)
+				}
+				exp, err := por.NewExpander(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := explore.ParallelBFS(p, explore.Options{
+						Expander:    exp,
+						Workers:     workers,
+						Store:       explore.NewShardedHashStore(),
+						MaxDuration: benchBudget(),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(res.Stats.States), "states")
+					b.ReportMetric(float64(res.Stats.Events), "events")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkShardedStore isolates the visited-set stores: the sequential
+// stores single-threaded versus the sharded store hammered by GOMAXPROCS
+// goroutines (b.RunParallel), on a shared synthetic key stream.
+func BenchmarkShardedStore(b *testing.B) {
+	mkKeys := func(n int) []string {
+		keys := make([]string, n)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("proc0:val%d|proc1:val%d|bag{m%d}", i, i/2, i%97)
+		}
+		return keys
+	}
+	const keySpace = 1 << 16
+	keys := mkKeys(keySpace)
+	b.Run("exact-sequential", func(b *testing.B) {
+		store := explore.NewExactStore()
+		for i := 0; i < b.N; i++ {
+			store.Seen(keys[i%keySpace])
+		}
+	})
+	b.Run("hashed-sequential", func(b *testing.B) {
+		store := explore.NewHashStore()
+		for i := 0; i < b.N; i++ {
+			store.Seen(keys[i%keySpace])
+		}
+	})
+	b.Run("sharded-exact-parallel", func(b *testing.B) {
+		store := explore.NewShardedExactStore()
+		var ctr int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := int(atomic.AddInt64(&ctr, 1))
+				store.Seen(keys[i%keySpace])
+			}
+		})
+	})
+	b.Run("sharded-hashed-parallel", func(b *testing.B) {
+		store := explore.NewShardedHashStore()
+		var ctr int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := int(atomic.AddInt64(&ctr, 1))
+				store.Seen(keys[i%keySpace])
+			}
+		})
 	})
 }
 

@@ -25,6 +25,7 @@ func main() {
 		analysis = flag.Bool("analysis", false, "print the paper's §II-C/§IV-A state-space analysis")
 		verify   = flag.Bool("verify", true, "fail if any verdict deviates from the paper's")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of the table layout")
+		workers  = flag.Int("workers", 0, "run the stateful cells with this many frontier-parallel BFS workers (0 = sequential DFS)")
 	)
 	flag.Parse()
 
@@ -32,7 +33,7 @@ func main() {
 		eval.PrintAnalysis(os.Stdout)
 		return
 	}
-	opts := eval.Options{Budget: *budget, Paper: *paper}
+	opts := eval.Options{Budget: *budget, Paper: *paper, Workers: *workers}
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "mpbench:", err)
 		os.Exit(1)

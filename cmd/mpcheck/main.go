@@ -47,6 +47,7 @@ func run(args []string) error {
 		trace    = fs.Bool("trace", false, "print the annotated counterexample trace, if any")
 		budget   = fs.Duration("budget", 5*time.Minute, "wall-clock limit")
 		maxSt    = fs.Int("max-states", 0, "state limit (0 = unlimited)")
+		workers  = fs.Int("workers", 0, "explore BFS frontiers with this many parallel workers (0 = sequential; spor, unreduced and bfs searches only)")
 		dotOut   = fs.String("dot", "", "write the full state graph (small models!) as Graphviz DOT to this file")
 		traceDot = fs.String("trace-dot", "", "write the counterexample trace as Graphviz DOT to this file")
 	)
@@ -73,6 +74,10 @@ func run(args []string) error {
 		MaxStates:   *maxSt,
 		Store:       explore.NewHashStore(),
 		TrackTrace:  *trace || *traceDot != "",
+		Workers:     *workers,
+	}
+	if *workers > 0 {
+		opts.Store = explore.NewShardedHashStore()
 	}
 	if *sym {
 		canon, err := symmetry.New(p.N, roles)
@@ -103,8 +108,19 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown search %q", *search)
 	}
+	if *workers > 0 {
+		switch *search {
+		case "spor", "unreduced", "bfs":
+			engine = explore.ParallelBFS
+		default:
+			return fmt.Errorf("-workers requires a stateful search (spor, unreduced or bfs), not %q", *search)
+		}
+	}
 
 	fmt.Printf("checking %s [%s, %s]\n", p.Name, *search, strat)
+	if *workers > 0 {
+		fmt.Printf("workers:   %d (frontier-parallel BFS)\n", *workers)
+	}
 	if *dotOut != "" {
 		if err := writeGraphDOT(p, *dotOut); err != nil {
 			return err

@@ -1,0 +1,3 @@
+module mpbasset
+
+go 1.24

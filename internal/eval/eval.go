@@ -29,6 +29,12 @@ type Options struct {
 	// defaults are reduced); currently this enables the Echo Multicast
 	// (3,1,1,1) row of Table II and doubles the Paxos ballots.
 	Paper bool
+	// Workers > 0 runs the stateful cells (SPOR, unreduced) with the
+	// frontier-parallel BFS engine and that many workers — sound for the
+	// bundled models, whose state graphs are acyclic, and reproducing the
+	// sequential state counts exactly. DPOR cells are inherently
+	// sequential and ignore it.
+	Workers int
 }
 
 func (o Options) budget() time.Duration {
@@ -81,24 +87,38 @@ func run(column string, p *core.Protocol, opts Options, search func(*core.Protoc
 	return c
 }
 
+// stateful selects the sequential DFS engine or, when opts.Workers is set,
+// the frontier-parallel BFS engine with a sharded concurrent store.
+func (o Options) stateful(xo explore.Options) (func(*core.Protocol, explore.Options) (*explore.Result, error), explore.Options) {
+	if o.Workers > 0 {
+		xo.Workers = o.Workers
+		xo.Store = explore.NewShardedHashStore()
+		return explore.ParallelBFS, xo
+	}
+	return explore.DFS, xo
+}
+
 // RunSPOR is the standard stateful DFS + static POR cell used across both
-// tables.
+// tables (frontier-parallel BFS when Options.Workers is set).
 func RunSPOR(column string, p *core.Protocol, opts Options) Cell {
 	exp, err := por.NewExpander(p)
 	if err != nil {
 		return Cell{Column: column, Err: err}
 	}
-	return run(column, p, opts, explore.DFS, explore.Options{Expander: exp})
+	search, xo := opts.stateful(explore.Options{Expander: exp})
+	return run(column, p, opts, search, xo)
 }
 
-// RunDPOR is the stateless dynamic-POR cell (single-message models only).
+// RunDPOR is the stateless dynamic-POR cell (single-message models only);
+// always sequential.
 func RunDPOR(column string, p *core.Protocol, opts Options) Cell {
 	return run(column, p, opts, dpor.Explore, explore.Options{})
 }
 
-// RunUnreduced is the plain stateful DFS cell.
+// RunUnreduced is the plain stateful cell.
 func RunUnreduced(column string, p *core.Protocol, opts Options) Cell {
-	return run(column, p, opts, explore.DFS, explore.Options{})
+	search, xo := opts.stateful(explore.Options{})
+	return run(column, p, opts, search, xo)
 }
 
 // split refines p and runs SPOR (Table II cells).

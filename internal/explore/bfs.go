@@ -42,25 +42,7 @@ func BFS(p *core.Protocol, opts Options) (*Result, error) {
 	if opts.TrackTrace {
 		parents = make(map[string]parentLink)
 	}
-	trace := func(key string) []Step {
-		if parents == nil {
-			return nil
-		}
-		var rev []Step
-		for key != "" {
-			pl, ok := parents[key]
-			if !ok {
-				break
-			}
-			rev = append(rev, Step{Event: pl.ev, StateKey: key})
-			key = pl.parent
-		}
-		steps := make([]Step, len(rev))
-		for i := range rev {
-			steps[i] = rev[len(rev)-1-i]
-		}
-		return steps
-	}
+	trace := func(key string) []Step { return traceFrom(parents, key) }
 
 	ikey := canon(init)
 	store.Seen(ikey)

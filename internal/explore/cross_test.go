@@ -62,6 +62,40 @@ func walkStateless(p *core.Protocol, f func(*core.State, bool)) error {
 	return rec(init)
 }
 
+// TestParallelAndSequentialBFSAgreeOnRandomProtocols cross-checks the
+// parallel engine beyond the bundled models: on randomized protocols the
+// frontier-parallel search must reproduce the sequential BFS verdict,
+// statistics and deadlock census for several worker counts.
+func TestParallelAndSequentialBFSAgreeOnRandomProtocols(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		p, err := mptest.Random(mptest.GenConfig{Seed: seed, Quorums: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := BFS(p, Options{MaxDuration: time.Minute, TrackTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 3} {
+			par, err := ParallelBFS(p, Options{MaxDuration: time.Minute, TrackTrace: true, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Verdict != seq.Verdict {
+				t.Errorf("seed %d workers %d: verdict %s, sequential %s", seed, workers, par.Verdict, seq.Verdict)
+			}
+			ps, ss := par.Stats, seq.Stats
+			ps.Duration, ss.Duration = 0, 0
+			if ps != ss {
+				t.Errorf("seed %d workers %d: stats %+v, sequential %+v", seed, workers, ps, ss)
+			}
+			if len(par.Trace) != len(seq.Trace) {
+				t.Errorf("seed %d workers %d: trace length %d, sequential %d", seed, workers, len(par.Trace), len(seq.Trace))
+			}
+		}
+	}
+}
+
 // TestExecuteDeterministic asserts that executing the same event from the
 // same state always produces the same successor key — the foundation of
 // stateful search.

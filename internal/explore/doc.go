@@ -1,13 +1,25 @@
 // Package explore provides the explicit-state search engines of the model
 // checker: stateful DFS and BFS over canonical state keys, a stateless DFS
-// (the search mode required by dynamic POR, §III-A), invariant checking
-// with counterexample traces, deadlock detection, and a full state-graph
-// builder used to validate transition refinement (Theorem 2: refined and
-// unrefined systems generate the same state graph).
+// (the search mode required by dynamic POR, §III-A), a frontier-parallel
+// BFS, invariant checking with counterexample traces, deadlock detection,
+// and a full state-graph builder used to validate transition refinement
+// (Theorem 2: refined and unrefined systems generate the same state graph).
 //
 // Searches are parameterized by an Expander, the hook through which
 // partial-order reduction restricts the explored events of a state. The
 // stateful DFS engine implements the cycle proviso (ample condition C3):
 // whenever a reduced expansion would close a cycle on the search stack, the
 // state is fully expanded.
+//
+// ParallelBFS scales the stateful BFS across a worker pool
+// (Options.Workers): each frontier is expanded concurrently against a
+// sharded, mutex-striped visited-state store (ShardedStore, in exact-key
+// and 128-bit-fingerprint modes), and a deterministic in-order merge
+// commits each level so verdicts, statistics and counterexample traces are
+// bit-identical to the sequential BFS for any worker count. Its soundness
+// conditions are those of the hooks it parallelizes: the protocol's
+// Enabled/Execute/CheckInvariant, the Canon function and the Expander must
+// be stateless or read-only (true of everything in this repository), and —
+// as for any BFS, which has no stack for the cycle proviso — combining it
+// with a reducing expander is sound only on acyclic state graphs.
 package explore

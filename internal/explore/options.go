@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"runtime"
 	"time"
 
 	"mpbasset/internal/core"
@@ -57,6 +58,9 @@ type Options struct {
 	// TrackTrace records parent links so BFS can reconstruct
 	// counterexamples (DFS reconstructs from its stack for free).
 	TrackTrace bool
+	// Workers is the size of ParallelBFS's worker pool; 0 or negative
+	// means runtime.GOMAXPROCS(0). Ignored by the sequential engines.
+	Workers int
 }
 
 func (o *Options) store() Store {
@@ -71,6 +75,13 @@ func (o *Options) canon() func(*core.State) string {
 		return o.Canon
 	}
 	return func(s *core.State) string { return s.Key() }
+}
+
+func (o *Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (o *Options) expander() Expander {
@@ -115,6 +126,13 @@ func (l *limiter) timeExceeded() bool {
 		return false
 	}
 	return time.Now().After(l.deadline)
+}
+
+// deadlinePassed checks the deadline against the clock directly, without
+// the stride counter — safe for concurrent use by ParallelBFS workers
+// (which amortize the clock read themselves).
+func (l *limiter) deadlinePassed() bool {
+	return !l.deadline.IsZero() && time.Now().After(l.deadline)
 }
 
 func (l *limiter) elapsed() time.Duration { return time.Since(l.start) }

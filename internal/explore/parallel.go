@@ -1,0 +1,270 @@
+package explore
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mpbasset/internal/core"
+)
+
+// traceFrom walks parent links back to the root and returns the forward
+// counterexample path. A nil parents map (trace tracking disabled) yields
+// nil.
+func traceFrom(parents map[string]parentLink, key string) []Step {
+	if parents == nil {
+		return nil
+	}
+	var rev []Step
+	for key != "" {
+		pl, ok := parents[key]
+		if !ok {
+			break
+		}
+		rev = append(rev, Step{Event: pl.ev, StateKey: key})
+		key = pl.parent
+	}
+	steps := make([]Step, len(rev))
+	for i := range rev {
+		steps[i] = rev[len(rev)-1-i]
+	}
+	return steps
+}
+
+// pNode is one frontier entry of the parallel search.
+type pNode struct {
+	st  *core.State
+	key string
+}
+
+// pSucc is one successor computed by a worker: the executed event, the
+// reached state and its canonical key, whether this instance won the
+// visited-set insertion race, and — for the winner only — the state's
+// invariant-check result.
+type pSucc struct {
+	st     *core.State
+	key    string
+	ev     core.Event
+	wasNew bool
+	verr   error
+}
+
+// pOutcome is the expansion record of one frontier node, written by exactly
+// one worker and read only after the level's WaitGroup barrier.
+type pOutcome struct {
+	processed bool // false when a deadline stop dropped the node
+	deadlock  bool
+	reduced   bool
+	succs     []pSucc
+}
+
+// ParallelBFS runs the stateful breadth-first search of BFS with a worker
+// pool: each frontier (BFS level) is expanded by Options.Workers goroutines
+// (default runtime.GOMAXPROCS(0)) sharing a concurrent visited-state store
+// (a ShardedStore unless Options.Store supplies one; other stores are
+// serialized behind a mutex). Workers do the expensive, order-independent
+// work — Enabled, Expand, Execute, canonicalization, visited-set insertion
+// and invariant checks — while a deterministic sequential merge replays the
+// level in frontier order to commit statistics, parent links and verdicts.
+//
+// Determinism: because the merge commits results in the exact order the
+// sequential engine would have produced them, ParallelBFS returns
+// bit-identical Verdict, Stats (except Duration) and Trace shape to BFS for
+// any worker count, including runs stopped by MaxStates — with one caveat:
+// under a canonicalizing Options.Canon the Violation error value may be
+// reported by any member of the violating state's symmetry orbit. Only
+// MaxDuration-limited runs are inherently nondeterministic (for them the
+// partially expanded frontier is merged and the result marked limited).
+// When a level is cut short by a violation or MaxStates, states already
+// inserted by other workers stay in the store but are not reported, so the
+// store may transiently exceed MaxStates by at most one frontier's
+// successors.
+//
+// Soundness requires every hook to be safe for concurrent read-only use:
+// the protocol's Enabled/Execute/CheckInvariant, the Canon function and the
+// Expander must not mutate shared state (true of core.Protocol, package
+// symmetry's canonicalizers and package por's expander, which only read
+// their precomputed analyses). BFS's cycle-proviso caveat is unchanged:
+// combining any BFS engine with a reducing expander is sound only on
+// acyclic state graphs (which all bundled protocol models are); prefer DFS
+// otherwise.
+func ParallelBFS(p *core.Protocol, opts Options) (*Result, error) {
+	init, err := p.InitialState()
+	if err != nil {
+		return nil, err
+	}
+	var (
+		res     Result
+		store   = opts.concurrentStore()
+		canon   = opts.canon()
+		exp     = opts.expander()
+		lim     = newLimiter(opts)
+		limited bool
+	)
+	defer func() { res.Stats.Duration = lim.elapsed() }()
+
+	var parents map[string]parentLink
+	if opts.TrackTrace {
+		parents = make(map[string]parentLink)
+	}
+
+	ikey := canon(init)
+	store.Seen(ikey)
+	res.Stats.States = 1
+	if verr := p.CheckInvariant(init); verr != nil {
+		res.Verdict = VerdictViolated
+		res.Violation = verr
+		return &res, nil
+	}
+
+	frontier := []pNode{{st: init, key: ikey}}
+	var stop atomic.Bool // deadline passed or a worker failed
+
+	for depth := 0; len(frontier) > 0; depth++ {
+		if depth > res.Stats.MaxDepth {
+			res.Stats.MaxDepth = depth
+		}
+		if lim.depthExceeded(depth) {
+			limited = true
+			break
+		}
+
+		// Parallel phase: expand every frontier node. Workers claim node
+		// indexes from a shared counter and write disjoint outcome slots.
+		outcomes := make([]pOutcome, len(frontier))
+		workers := opts.workers()
+		if workers > len(frontier) {
+			workers = len(frontier)
+		}
+		var (
+			next atomic.Int64
+			wg   sync.WaitGroup
+			errs = make([]error, workers)
+		)
+		expandNode := func(n pNode, out *pOutcome) error {
+			enabled := p.Enabled(n.st)
+			if len(enabled) == 0 {
+				out.deadlock = true
+				out.processed = true
+				return nil
+			}
+			chosen := exp.Expand(n.st, enabled, noStack{})
+			out.reduced = len(chosen) < len(enabled)
+			out.succs = make([]pSucc, 0, len(chosen))
+			for _, ev := range chosen {
+				ns, err := p.Execute(n.st, ev)
+				if err != nil {
+					return err
+				}
+				sc := pSucc{st: ns, key: canon(ns), ev: ev}
+				if !store.Seen(sc.key) {
+					sc.wasNew = true
+					sc.verr = p.CheckInvariant(ns)
+				}
+				out.succs = append(out.succs, sc)
+			}
+			out.processed = true
+			return nil
+		}
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(frontier) || stop.Load() {
+						return
+					}
+					if i&31 == 31 && lim.deadlinePassed() {
+						stop.Store(true)
+						return
+					}
+					if err := expandNode(frontier[i], &outcomes[i]); err != nil {
+						errs[w] = err
+						stop.Store(true)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, werr := range errs {
+			if werr != nil {
+				return nil, werr
+			}
+		}
+
+		// Deterministic merge: commit the level in frontier order, exactly
+		// as the sequential engine would have. newVerr maps each key first
+		// inserted this level to its invariant result; entries are deleted
+		// as the in-order walk claims them, so the discovering parent (and
+		// the violating successor, if any) is the first occurrence in
+		// sequential order regardless of which worker won the insert race.
+		newVerr := make(map[string]error)
+		for i := range outcomes {
+			if !outcomes[i].processed {
+				continue
+			}
+			for j := range outcomes[i].succs {
+				if sc := &outcomes[i].succs[j]; sc.wasNew {
+					newVerr[sc.key] = sc.verr
+				}
+			}
+		}
+		nextFrontier := make([]pNode, 0, len(newVerr))
+	merge:
+		for i := range outcomes {
+			out := &outcomes[i]
+			if !out.processed {
+				continue
+			}
+			if out.deadlock {
+				res.Stats.Deadlocks++
+				continue
+			}
+			if out.reduced {
+				res.Stats.ReducedExpansions++
+			} else {
+				res.Stats.FullExpansions++
+			}
+			for j := range out.succs {
+				sc := &out.succs[j]
+				res.Stats.Events++
+				verr, isNew := newVerr[sc.key]
+				if !isNew {
+					res.Stats.Revisits++
+					continue
+				}
+				delete(newVerr, sc.key)
+				res.Stats.States++
+				if parents != nil {
+					parents[sc.key] = parentLink{parent: frontier[i].key, ev: sc.ev}
+				}
+				if verr != nil {
+					res.Verdict = VerdictViolated
+					res.Violation = verr
+					res.Trace = traceFrom(parents, sc.key)
+					return &res, nil
+				}
+				if lim.statesExceeded(res.Stats.States) || lim.timeExceeded() {
+					limited = true
+					break merge
+				}
+				nextFrontier = append(nextFrontier, pNode{st: sc.st, key: sc.key})
+			}
+		}
+		if stop.Load() {
+			limited = true
+		}
+		if limited {
+			break
+		}
+		frontier = nextFrontier
+	}
+
+	if limited {
+		res.Verdict = VerdictLimit
+	} else {
+		res.Verdict = VerdictVerified
+	}
+	return &res, nil
+}

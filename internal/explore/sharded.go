@@ -1,0 +1,126 @@
+package explore
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// shardCount is the number of mutex stripes of a ShardedStore. A power of
+// two well above typical core counts keeps contention negligible without
+// wasting memory on empty maps.
+const shardCount = 256
+
+// storeShard is one stripe: a mutex plus the map of that stripe's keys.
+// Only one of exact/hashed is populated, matching the store's mode.
+type storeShard struct {
+	mu     sync.Mutex
+	exact  map[string]struct{}
+	hashed map[[16]byte]struct{}
+}
+
+// ShardedStore is a concurrent visited-state set: the key space is
+// partitioned over mutex-striped shards selected by key hash, so Seen is
+// linearizable per key and goroutines hammering distinct stripes do not
+// contend. It wraps both storage modes of the sequential stores behind the
+// Store interface: exact full-key storage (NewShardedExactStore, the
+// ExactStore analogue) and 128-bit FNV-1a fingerprints
+// (NewShardedHashStore, the HashStore analogue).
+//
+// ParallelBFS requires a concurrency-safe store and uses a ShardedStore by
+// default; the sequential engines accept one too (it is merely slower than
+// the unsynchronized stores there).
+type ShardedStore struct {
+	exact  bool
+	count  atomic.Int64
+	shards [shardCount]storeShard
+}
+
+// NewShardedExactStore returns an empty concurrent store keeping full
+// canonical keys: collision-free, memory-hungry.
+func NewShardedExactStore() *ShardedStore { return &ShardedStore{exact: true} }
+
+// NewShardedHashStore returns an empty concurrent store keeping 128-bit
+// FNV-1a fingerprints instead of full keys, trading a negligible collision
+// probability for a large memory saving on multi-million-state runs.
+func NewShardedHashStore() *ShardedStore { return &ShardedStore{} }
+
+// fingerprint is the 128-bit FNV-1a sum used both to pick the stripe and,
+// in hashed mode, as the stored key.
+func fingerprint(key string) [16]byte {
+	h := fnv.New128a()
+	h.Write([]byte(key))
+	var k [16]byte
+	h.Sum(k[:0])
+	return k
+}
+
+// Seen implements Store. It records key and reports whether it was already
+// present; for each distinct key exactly one call returns false, however
+// many goroutines race on it.
+func (s *ShardedStore) Seen(key string) bool {
+	fp := fingerprint(key)
+	sh := &s.shards[fp[0]]
+	sh.mu.Lock()
+	var dup bool
+	if s.exact {
+		if sh.exact == nil {
+			sh.exact = make(map[string]struct{})
+		}
+		if _, dup = sh.exact[key]; !dup {
+			sh.exact[key] = struct{}{}
+		}
+	} else {
+		if sh.hashed == nil {
+			sh.hashed = make(map[[16]byte]struct{})
+		}
+		if _, dup = sh.hashed[fp]; !dup {
+			sh.hashed[fp] = struct{}{}
+		}
+	}
+	sh.mu.Unlock()
+	if !dup {
+		s.count.Add(1)
+	}
+	return dup
+}
+
+// Len implements Store.
+func (s *ShardedStore) Len() int { return int(s.count.Load()) }
+
+var _ Store = (*ShardedStore)(nil)
+
+// syncStore serializes an arbitrary Store behind one mutex — the fallback
+// ParallelBFS uses when handed a store that is not a ShardedStore, keeping
+// any Store correct under concurrency at the price of contention.
+type syncStore struct {
+	mu    sync.Mutex
+	inner Store
+}
+
+func (s *syncStore) Seen(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Seen(key)
+}
+
+func (s *syncStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Len()
+}
+
+// concurrentStore returns a store safe for concurrent Seen calls: the
+// configured store if it is already a ShardedStore, a fresh sharded exact
+// store when none is configured (mirroring the sequential ExactStore
+// default), or the configured store wrapped behind a single mutex.
+func (o *Options) concurrentStore() Store {
+	switch st := o.Store.(type) {
+	case nil:
+		return NewShardedExactStore()
+	case *ShardedStore:
+		return st
+	default:
+		return &syncStore{inner: st}
+	}
+}

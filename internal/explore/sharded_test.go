@@ -1,0 +1,137 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestShardedStoreExactlyOneInsert is the property test of the concurrent
+// store: N goroutines hammering Seen with overlapping random key sequences
+// must observe exactly one false (first insertion) per distinct key, and
+// Len must equal the distinct count — in both storage modes.
+func TestShardedStoreExactlyOneInsert(t *testing.T) {
+	const (
+		goroutines = 16
+		distinct   = 2000
+		opsEach    = 8000
+	)
+	modes := []struct {
+		name string
+		mk   func() *ShardedStore
+	}{
+		{"exact", NewShardedExactStore},
+		{"hashed", NewShardedHashStore},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			keys := make([]string, distinct)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("state-key-%d", i)
+			}
+			store := mode.mk()
+			inserts := make([]int32, distinct) // per-key count of false returns
+			var wg sync.WaitGroup
+			wg.Add(goroutines)
+			for g := 0; g < goroutines; g++ {
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(g)))
+					// Every goroutine touches every key at least once (a
+					// shuffled full pass) plus random overlapping extras.
+					order := rng.Perm(distinct)
+					for _, i := range order {
+						if !store.Seen(keys[i]) {
+							atomic.AddInt32(&inserts[i], 1)
+						}
+					}
+					for n := 0; n < opsEach-distinct; n++ {
+						i := rng.Intn(distinct)
+						if !store.Seen(keys[i]) {
+							atomic.AddInt32(&inserts[i], 1)
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			for i, n := range inserts {
+				if n != 1 {
+					t.Fatalf("key %d inserted %d times, want exactly 1", i, n)
+				}
+			}
+			if store.Len() != distinct {
+				t.Errorf("Len() = %d, want %d", store.Len(), distinct)
+			}
+		})
+	}
+}
+
+// TestShardedStoreMatchesSequentialStores drives the sharded store with
+// the same single-threaded key sequence as the unsynchronized stores and
+// demands identical Seen results and lengths.
+func TestShardedStoreMatchesSequentialStores(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	exact := NewExactStore()
+	hashed := NewHashStore()
+	shExact := NewShardedExactStore()
+	shHashed := NewShardedHashStore()
+	for n := 0; n < 20000; n++ {
+		key := fmt.Sprintf("k-%d", rng.Intn(5000))
+		want := exact.Seen(key)
+		if got := hashed.Seen(key); got != want {
+			t.Fatalf("op %d: HashStore.Seen(%q) = %v, ExactStore %v", n, key, got, want)
+		}
+		if got := shExact.Seen(key); got != want {
+			t.Fatalf("op %d: sharded exact Seen(%q) = %v, ExactStore %v", n, key, got, want)
+		}
+		if got := shHashed.Seen(key); got != want {
+			t.Fatalf("op %d: sharded hashed Seen(%q) = %v, ExactStore %v", n, key, got, want)
+		}
+	}
+	if shExact.Len() != exact.Len() || shHashed.Len() != exact.Len() {
+		t.Errorf("lengths diverge: exact=%d shardedExact=%d shardedHashed=%d",
+			exact.Len(), shExact.Len(), shHashed.Len())
+	}
+}
+
+// TestConcurrentStoreFallback checks the store selection of the parallel
+// engine: nil yields a fresh sharded exact store, a ShardedStore passes
+// through, and anything else is serialized behind a mutex (and remains
+// correct when hammered concurrently).
+func TestConcurrentStoreFallback(t *testing.T) {
+	var o Options
+	if _, ok := o.concurrentStore().(*ShardedStore); !ok {
+		t.Errorf("nil Store: want a ShardedStore, got %T", o.concurrentStore())
+	}
+	sharded := NewShardedHashStore()
+	o.Store = sharded
+	if got := o.concurrentStore(); got != Store(sharded) {
+		t.Errorf("ShardedStore must pass through, got %T", got)
+	}
+	o.Store = NewHashStore()
+	wrapped := o.concurrentStore()
+	if _, ok := wrapped.(*syncStore); !ok {
+		t.Fatalf("plain store: want a syncStore wrapper, got %T", wrapped)
+	}
+	const distinct = 500
+	var wg sync.WaitGroup
+	var inserts atomic.Int32
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for _, i := range rng.Perm(distinct) {
+				if !wrapped.Seen(fmt.Sprintf("k-%d", i)) {
+					inserts.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if inserts.Load() != distinct || wrapped.Len() != distinct {
+		t.Errorf("inserts=%d Len=%d, want %d", inserts.Load(), wrapped.Len(), distinct)
+	}
+}

@@ -15,6 +15,16 @@
 //	res, err := mpbasset.Check(p, mpbasset.Options{Search: mpbasset.SearchSPOR})
 //	fmt.Println(res.Verdict, res.Stats.States)
 //
+// Setting Options.Workers switches exploration to the frontier-parallel
+// BFS engine backed by a sharded concurrent visited-state store: each BFS
+// level is expanded by a worker pool and committed by a deterministic
+// in-order merge, so verdicts, state counts and counterexamples are
+// reproducible and identical to the sequential search for any worker
+// count. Parallel search is sound for the reduced searches because the
+// expanders and canonicalizers are stateless/read-only; combining it (like
+// any BFS) with partial-order reduction additionally requires an acyclic
+// state graph, which all bundled protocol models have.
+//
 // See the examples/ directory for complete programs and cmd/mpcheck for
 // the command-line interface.
 package mpbasset
@@ -102,6 +112,15 @@ type Options struct {
 	// TrackTrace records parent links so BFS can reconstruct
 	// counterexamples (DFS variants always can).
 	TrackTrace bool
+	// Workers > 0 explores with the frontier-parallel BFS engine using
+	// that many workers (sharing a sharded concurrent visited-state
+	// store); results are deterministic and identical to sequential BFS
+	// for any worker count. Applies to SearchSPOR, SearchUnreduced and
+	// SearchBFS — sound because the expanders and canon functions are
+	// stateless/read-only, with BFS's usual proviso that reduced search
+	// requires an acyclic state graph (true of all bundled protocol
+	// models). Stateless and DPOR searches do not support workers.
+	Workers int
 	// ExactStates stores full state keys instead of 128-bit fingerprints
 	// (more memory, zero collision risk).
 	ExactStates bool
@@ -129,8 +148,15 @@ func Check(p *Protocol, opts Options) (*Result, error) {
 		MaxStates:   opts.MaxStates,
 		MaxDuration: opts.MaxDuration,
 		TrackTrace:  opts.TrackTrace,
+		Workers:     opts.Workers,
 	}
-	if !opts.ExactStates {
+	parallel := opts.Workers > 0
+	switch {
+	case parallel && opts.ExactStates:
+		xo.Store = explore.NewShardedExactStore()
+	case parallel:
+		xo.Store = explore.NewShardedHashStore()
+	case !opts.ExactStates:
 		xo.Store = explore.NewHashStore()
 	}
 	if opts.SymmetryRoles != nil {
@@ -144,6 +170,12 @@ func Check(p *Protocol, opts Options) (*Result, error) {
 	if search == 0 {
 		search = SearchSPOR
 	}
+	stateful := func(sequential func(*core.Protocol, explore.Options) (*explore.Result, error)) (*Result, error) {
+		if parallel {
+			return explore.ParallelBFS(p, xo)
+		}
+		return sequential(p, xo)
+	}
 	switch search {
 	case SearchSPOR:
 		exp, err := por.NewExpander(p)
@@ -152,14 +184,20 @@ func Check(p *Protocol, opts Options) (*Result, error) {
 		}
 		exp.BestSeed = opts.BestSeed
 		xo.Expander = exp
-		return explore.DFS(p, xo)
+		return stateful(explore.DFS)
 	case SearchUnreduced:
-		return explore.DFS(p, xo)
+		return stateful(explore.DFS)
 	case SearchBFS:
-		return explore.BFS(p, xo)
+		return stateful(explore.BFS)
 	case SearchStateless:
+		if parallel {
+			return nil, fmt.Errorf("mpbasset: Workers is not supported by stateless search")
+		}
 		return explore.StatelessDFS(p, xo)
 	case SearchDPOR:
+		if parallel {
+			return nil, fmt.Errorf("mpbasset: Workers is not supported by DPOR search")
+		}
 		return dpor.Explore(p, xo)
 	default:
 		return nil, fmt.Errorf("mpbasset: unknown search %d", search)

@@ -119,6 +119,72 @@ func TestCheckFindsBugsWithTraces(t *testing.T) {
 	}
 }
 
+// TestCheckWorkers drives the frontier-parallel engine through the
+// facade: the parallel searches must verify the model for several worker
+// counts (SearchBFS additionally matching the sequential BFS state count —
+// SPOR/Unreduced switch engine under Workers, so only their verdicts are
+// asserted here; state-count equality for those lives in the explore
+// differential suite), with and without symmetry/refinement, and the
+// stateless searches must reject workers.
+func TestCheckWorkers(t *testing.T) {
+	cfg := paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1}
+	p, err := paxos.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfsSeq, err := mpbasset.Check(p, mpbasset.Options{Search: mpbasset.SearchBFS, MaxDuration: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, search := range []mpbasset.Search{mpbasset.SearchSPOR, mpbasset.SearchUnreduced, mpbasset.SearchBFS} {
+		seq := bfsSeq
+		if search != mpbasset.SearchBFS {
+			seq = nil
+		}
+		for _, workers := range []int{1, 4} {
+			res, err := mpbasset.Check(p, mpbasset.Options{Search: search, Workers: workers, MaxDuration: 2 * time.Minute})
+			if err != nil {
+				t.Fatalf("search %d workers %d: %v", search, workers, err)
+			}
+			if res.Verdict != mpbasset.VerdictVerified {
+				t.Errorf("search %d workers %d: verdict %s", search, workers, res.Verdict)
+			}
+			if seq != nil && res.Stats.States != seq.Stats.States {
+				t.Errorf("search %d workers %d: states %d, sequential BFS %d", search, workers, res.Stats.States, seq.Stats.States)
+			}
+		}
+	}
+	// Symmetry + refinement + workers through the facade.
+	sym, err := mpbasset.Check(p, mpbasset.Options{
+		Search: mpbasset.SearchSPOR, Split: mpbasset.SplitCombined,
+		SymmetryRoles: cfg.Roles(), Workers: 4, MaxDuration: 2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.Verdict != mpbasset.VerdictVerified {
+		t.Errorf("symmetry+split+workers: verdict %s", sym.Verdict)
+	}
+	// Parallel counterexamples keep their traces.
+	faulty, err := paxos.New(paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1, Faulty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := mpbasset.Check(faulty, mpbasset.Options{Search: mpbasset.SearchBFS, Workers: 4, TrackTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.Verdict != mpbasset.VerdictViolated || len(ce.Trace) == 0 {
+		t.Errorf("faulty paxos with workers: verdict %s, trace %d steps", ce.Verdict, len(ce.Trace))
+	}
+	// Stateless engines cannot run parallel.
+	for _, search := range []mpbasset.Search{mpbasset.SearchStateless, mpbasset.SearchDPOR} {
+		if _, err := mpbasset.Check(p, mpbasset.Options{Search: search, Workers: 2}); err == nil {
+			t.Errorf("search %d accepted Workers", search)
+		}
+	}
+}
+
 func TestCheckNilProtocol(t *testing.T) {
 	if _, err := mpbasset.Check(nil, mpbasset.Options{}); err == nil {
 		t.Fatal("nil protocol accepted")
