@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race bench ci
+.PHONY: all vet build test race bench bench-smoke ci
 
 all: ci
 
@@ -22,5 +22,11 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# One iteration of every benchmark with a tight per-cell budget: keeps the
+# benchmark suites compiling and runnable in CI without paying for real
+# measurements.
+bench-smoke:
+	MPBASSET_BENCH_BUDGET=2s $(GO) test -bench . -benchtime 1x -run '^$$' . ./internal/explore/
 
 ci: vet build test race

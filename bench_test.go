@@ -299,6 +299,82 @@ func BenchmarkParallelBFS(b *testing.B) {
 	}
 }
 
+// BenchmarkFrontierScheduler compares ParallelBFS's two intra-level
+// schedulers on skewed-frontier workloads — frontiers whose nodes differ
+// widely in expansion cost, where a single shared claim index serializes
+// the pool behind its cache line and per-key stripe locks dominate:
+//
+//   - single-index: the original scheduler (one atomic claim per node,
+//     one stripe lock per successor), kept as the baseline;
+//   - work-stealing: chunked claims over per-worker spans with half-range
+//     stealing, successor keys flushed through SeenBatch (one stripe lock
+//     per ~64 keys).
+//
+// Deep Paxos (thousands of BFS levels with narrow-then-wide frontiers and
+// quorum-enumeration spikes) and combined-split refined multicast (many
+// refined transitions of widely varying enumeration cost per node) are the
+// skew generators. Both schedulers explore the identical state space, so
+// states/op is constant and time/op isolates the scheduling cost; the
+// work-stealing win materializes at 4–8 workers on multi-core hardware
+// (GOMAXPROCS > 1 — on a single hardware thread both schedulers only
+// measure their bookkeeping overhead).
+func BenchmarkFrontierScheduler(b *testing.B) {
+	targets := []struct {
+		name string
+		mk   func() (*core.Protocol, error)
+	}{
+		{"DeepPaxos_231", func() (*core.Protocol, error) {
+			return paxos.New(paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1})
+		}},
+		{"RefinedMulticast_3111", func() (*core.Protocol, error) {
+			p, err := multicast.New(multicast.Config{
+				HonestReceivers: 3, HonestInitiators: 1,
+				ByzantineReceivers: 1, ByzantineInitiators: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return refine.Split(p, refine.Combined)
+		}},
+	}
+	scheds := []struct {
+		name  string
+		sched explore.Sched
+	}{
+		{"single-index", explore.SchedSingleIndex},
+		{"work-stealing", explore.SchedWorkStealing},
+	}
+	for _, tg := range targets {
+		p, err := tg.mk()
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp, err := por.NewExpander(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{4, 8} {
+			for _, sc := range scheds {
+				b.Run(fmt.Sprintf("%s/workers-%d/%s", tg.name, workers, sc.name), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						res, err := explore.ParallelBFS(p, explore.Options{
+							Expander:    exp,
+							Workers:     workers,
+							Sched:       sc.sched,
+							Store:       explore.NewShardedHashStore(),
+							MaxDuration: benchBudget(),
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						b.ReportMetric(float64(res.Stats.States), "states")
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkShardedStore isolates the visited-set stores: the sequential
 // stores single-threaded versus the sharded store hammered by GOMAXPROCS
 // goroutines (b.RunParallel), on a shared synthetic key stream.
@@ -344,6 +420,36 @@ func BenchmarkShardedStore(b *testing.B) {
 			}
 		})
 	})
+	// The batched fast path ParallelBFS workers use: 64 keys per SeenBatch
+	// call, so each stripe lock is taken once per batch rather than once
+	// per key.
+	for _, mode := range []struct {
+		name string
+		mk   func() *explore.ShardedStore
+	}{
+		{"sharded-exact-batch64-parallel", explore.NewShardedExactStore},
+		{"sharded-hashed-batch64-parallel", explore.NewShardedHashStore},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			store := mode.mk()
+			const batch = 64
+			var ctr int64
+			b.RunParallel(func(pb *testing.PB) {
+				buf := make([]string, 0, batch)
+				for pb.Next() {
+					i := int(atomic.AddInt64(&ctr, 1))
+					buf = append(buf, keys[i%keySpace])
+					if len(buf) == batch {
+						store.SeenBatch(buf)
+						buf = buf[:0]
+					}
+				}
+				if len(buf) > 0 {
+					store.SeenBatch(buf)
+				}
+			})
+		})
+	}
 }
 
 // BenchmarkAnalysisExample keeps the §II-C numbers honest in CI.

@@ -26,6 +26,8 @@ func main() {
 		verify   = flag.Bool("verify", true, "fail if any verdict deviates from the paper's")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of the table layout")
 		workers  = flag.Int("workers", 0, "run the stateful cells with this many frontier-parallel BFS workers (0 = sequential DFS)")
+		chunk    = flag.Int("chunk", 0, "frontier nodes a parallel worker claims per grab (0 = adaptive; needs -workers)")
+		batch    = flag.Int("batch", 0, "successor keys a parallel worker buffers per batched visited-set insert (0 = default 64; needs -workers)")
 	)
 	flag.Parse()
 
@@ -33,7 +35,7 @@ func main() {
 		eval.PrintAnalysis(os.Stdout)
 		return
 	}
-	opts := eval.Options{Budget: *budget, Paper: *paper, Workers: *workers}
+	opts := eval.Options{Budget: *budget, Paper: *paper, Workers: *workers, ChunkSize: *chunk, BatchSize: *batch}
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "mpbench:", err)
 		os.Exit(1)

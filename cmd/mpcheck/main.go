@@ -48,6 +48,8 @@ func run(args []string) error {
 		budget   = fs.Duration("budget", 5*time.Minute, "wall-clock limit")
 		maxSt    = fs.Int("max-states", 0, "state limit (0 = unlimited)")
 		workers  = fs.Int("workers", 0, "explore BFS frontiers with this many parallel workers (0 = sequential; spor, unreduced and bfs searches only)")
+		chunk    = fs.Int("chunk", 0, "frontier nodes a parallel worker claims per grab (0 = adaptive; needs -workers)")
+		batch    = fs.Int("batch", 0, "successor keys a parallel worker buffers per batched visited-set insert (0 = default 64; needs -workers)")
 		dotOut   = fs.String("dot", "", "write the full state graph (small models!) as Graphviz DOT to this file")
 		traceDot = fs.String("trace-dot", "", "write the counterexample trace as Graphviz DOT to this file")
 	)
@@ -75,6 +77,8 @@ func run(args []string) error {
 		Store:       explore.NewHashStore(),
 		TrackTrace:  *trace || *traceDot != "",
 		Workers:     *workers,
+		ChunkSize:   *chunk,
+		BatchSize:   *batch,
 	}
 	if *workers > 0 {
 		opts.Store = explore.NewShardedHashStore()

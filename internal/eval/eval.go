@@ -35,6 +35,13 @@ type Options struct {
 	// sequential state counts exactly. DPOR cells are inherently
 	// sequential and ignore it.
 	Workers int
+	// ChunkSize and BatchSize tune the parallel engine's work-stealing
+	// scheduler (nodes claimed per grab, successor keys per batched
+	// visited-set insert); 0 selects the adaptive defaults. They never
+	// change cell results, only throughput, and are ignored without
+	// Workers.
+	ChunkSize int
+	BatchSize int
 }
 
 func (o Options) budget() time.Duration {
@@ -92,6 +99,8 @@ func run(column string, p *core.Protocol, opts Options, search func(*core.Protoc
 func (o Options) stateful(xo explore.Options) (func(*core.Protocol, explore.Options) (*explore.Result, error), explore.Options) {
 	if o.Workers > 0 {
 		xo.Workers = o.Workers
+		xo.ChunkSize = o.ChunkSize
+		xo.BatchSize = o.BatchSize
 		xo.Store = explore.NewShardedHashStore()
 		return explore.ParallelBFS, xo
 	}

@@ -46,17 +46,17 @@ func BFS(p *core.Protocol, opts Options) (*Result, error) {
 
 	ikey := canon(init)
 	store.Seen(ikey)
-	res.Stats.States = store.Len()
+	res.Stats.States = 1
 	if verr := p.CheckInvariant(init); verr != nil {
 		res.Verdict = VerdictViolated
 		res.Violation = verr
 		return &res, nil
 	}
-	queue := []node{{st: init, key: ikey}}
+	var queue fifo[node]
+	queue.push(node{st: init, key: ikey})
 
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
+	for queue.len() > 0 {
+		n := queue.pop()
 		if n.depth > res.Stats.MaxDepth {
 			res.Stats.MaxDepth = n.depth
 		}
@@ -86,7 +86,7 @@ func BFS(p *core.Protocol, opts Options) (*Result, error) {
 				res.Stats.Revisits++
 				continue
 			}
-			res.Stats.States = store.Len()
+			res.Stats.States++
 			if parents != nil {
 				parents[key] = parentLink{parent: n.key, ev: ev}
 			}
@@ -96,12 +96,12 @@ func BFS(p *core.Protocol, opts Options) (*Result, error) {
 				res.Trace = trace(key)
 				return &res, nil
 			}
-			if lim.statesExceeded(store.Len()) || lim.timeExceeded() {
+			if lim.statesExceeded(res.Stats.States) || lim.timeExceeded() {
 				limited = true
-				queue = queue[:0]
+				queue.reset()
 				break
 			}
-			queue = append(queue, node{st: ns, key: key, depth: n.depth + 1})
+			queue.push(node{st: ns, key: key, depth: n.depth + 1})
 		}
 	}
 

@@ -1,0 +1,137 @@
+// Cross-engine depth-limit semantics: Options.MaxDepth counts events from
+// the initial state (root = 0), states at depth MaxDepth are visited but
+// not expanded, and Stats.MaxDepth reports the deepest visited depth. On
+// protocols whose states are reached by a unique path, every engine must
+// cut the identical slice; on general graphs the BFS engines must still
+// agree with each other exactly.
+package explore_test
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"mpbasset/internal/core"
+	"mpbasset/internal/explore"
+)
+
+// tick is a bounded counter local state: the chain protocol below steps it
+// 0 → chainLen, so the state at counter value d is at depth exactly d and
+// is reached by exactly one path — BFS and DFS depths coincide.
+type tick struct{ v, limit int }
+
+func (c *tick) Key() string { return strconv.Itoa(c.v) }
+func (c *tick) Clone() core.LocalState {
+	d := *c
+	return &d
+}
+
+// chainProtocol is a single process ticking a counter chainLen times: a
+// path graph with chainLen+1 states and a deadlock at the end.
+func chainProtocol(chainLen int) *core.Protocol {
+	return &core.Protocol{
+		Name: fmt.Sprintf("chain-%d", chainLen),
+		N:    1,
+		Init: func() []core.LocalState {
+			return []core.LocalState{&tick{limit: chainLen}}
+		},
+		Transitions: []*core.Transition{{
+			Name:       "TICK",
+			Proc:       0,
+			Quorum:     0,
+			LocalGuard: func(l core.LocalState) bool { return l.(*tick).v < l.(*tick).limit },
+			Apply:      func(c *core.Ctx) { c.Local.(*tick).v++ },
+		}},
+	}
+}
+
+// TestDepthLimitCrossEngine is the table-driven depth-limit test: on the
+// unique-path chain every engine must agree exactly on verdict, States and
+// MaxDepth for every bound.
+func TestDepthLimitCrossEngine(t *testing.T) {
+	const chainLen = 12
+	engines := []struct {
+		name string
+		run  func(opts explore.Options) (*explore.Result, error)
+	}{
+		{"BFS", func(opts explore.Options) (*explore.Result, error) {
+			return explore.BFS(chainProtocol(chainLen), opts)
+		}},
+		{"DFS", func(opts explore.Options) (*explore.Result, error) {
+			return explore.DFS(chainProtocol(chainLen), opts)
+		}},
+		{"ParallelBFS", func(opts explore.Options) (*explore.Result, error) {
+			opts.Workers = 4
+			return explore.ParallelBFS(chainProtocol(chainLen), opts)
+		}},
+	}
+	cases := []struct {
+		maxDepth     int
+		wantVerdict  explore.Verdict
+		wantStates   int
+		wantMaxDepth int
+	}{
+		// Unlimited: the whole chain, deepest state at chainLen.
+		{0, explore.VerdictVerified, chainLen + 1, chainLen},
+		// Bound beyond the graph: nothing cut.
+		{chainLen + 5, explore.VerdictVerified, chainLen + 1, chainLen},
+		// Bound at the deepest state: it is visited but not expanded, and
+		// since it has no successors nothing is lost — still, the engine
+		// must report the cut.
+		{chainLen, explore.VerdictLimit, chainLen + 1, chainLen},
+		// Proper cuts: states at depth ≤ k visited, nothing deeper.
+		{chainLen - 1, explore.VerdictLimit, chainLen, chainLen - 1},
+		{3, explore.VerdictLimit, 4, 3},
+		{1, explore.VerdictLimit, 2, 1},
+	}
+	for _, eng := range engines {
+		for _, tc := range cases {
+			t.Run(fmt.Sprintf("%s/maxDepth-%d", eng.name, tc.maxDepth), func(t *testing.T) {
+				res, err := eng.run(explore.Options{MaxDepth: tc.maxDepth})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Verdict != tc.wantVerdict {
+					t.Errorf("verdict = %s, want %s", res.Verdict, tc.wantVerdict)
+				}
+				if res.Stats.States != tc.wantStates {
+					t.Errorf("states = %d, want %d", res.Stats.States, tc.wantStates)
+				}
+				if res.Stats.MaxDepth != tc.wantMaxDepth {
+					t.Errorf("maxDepth = %d, want %d", res.Stats.MaxDepth, tc.wantMaxDepth)
+				}
+			})
+		}
+	}
+}
+
+// TestDepthLimitBFSEnginesAgreeOnBundledProtocols checks that sequential
+// and parallel BFS agree bit-for-bit under depth limits on real protocols
+// (DFS is excluded here: on shared-state graphs its first-visit depths are
+// path dependent, see Options.MaxDepth).
+func TestDepthLimitBFSEnginesAgreeOnBundledProtocols(t *testing.T) {
+	for _, pc := range protoCases() {
+		t.Run(pc.name, func(t *testing.T) {
+			p, _ := buildProto(t, pc)
+			for _, maxDepth := range []int{1, 2, 4, 7} {
+				xo := explore.Options{MaxDepth: maxDepth, TrackTrace: true}
+				seq, err := explore.BFS(p, xo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 4} {
+					pxo := xo
+					pxo.Workers = workers
+					par, err := explore.ParallelBFS(p, pxo)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if par.Verdict != seq.Verdict || !statsEqual(par.Stats, seq.Stats) {
+						t.Errorf("maxDepth=%d workers=%d: %s %+v, sequential %s %+v",
+							maxDepth, workers, par.Verdict, par.Stats, seq.Verdict, seq.Stats)
+					}
+				}
+			}
+		})
+	}
+}

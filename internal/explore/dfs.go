@@ -93,9 +93,6 @@ func DFS(p *core.Protocol, opts Options) (*Result, error) {
 			return err
 		}
 		stack = append(stack, dfsFrame{key: key, via: via, succs: succs})
-		if len(stack) > res.Stats.MaxDepth {
-			res.Stats.MaxDepth = len(stack)
-		}
 		return nil
 	}
 
@@ -112,7 +109,7 @@ func DFS(p *core.Protocol, opts Options) (*Result, error) {
 
 	ikey := canon(init)
 	store.Seen(ikey)
-	res.Stats.States = store.Len()
+	res.Stats.States = 1
 	if verr := p.CheckInvariant(init); verr != nil {
 		res.Verdict = VerdictViolated
 		res.Violation = verr
@@ -136,14 +133,20 @@ func DFS(p *core.Protocol, opts Options) (*Result, error) {
 			res.Stats.Revisits++
 			continue
 		}
-		res.Stats.States = store.Len()
+		res.Stats.States++
+		// sc sits one event below the frame on top of the stack, i.e. at
+		// depth len(stack) counting the root as 0 — the same convention
+		// BFS uses for Stats.MaxDepth and the MaxDepth limit.
+		if len(stack) > res.Stats.MaxDepth {
+			res.Stats.MaxDepth = len(stack)
+		}
 		if verr := p.CheckInvariant(sc.st); verr != nil {
 			res.Verdict = VerdictViolated
 			res.Violation = verr
 			res.Trace = trace(&sc)
 			return &res, nil
 		}
-		if lim.statesExceeded(store.Len()) || lim.timeExceeded() {
+		if lim.statesExceeded(res.Stats.States) || lim.timeExceeded() {
 			limited = true
 			break
 		}

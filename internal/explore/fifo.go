@@ -1,0 +1,48 @@
+package explore
+
+// fifo is the BFS work queue: a slice with a head index instead of the
+// idiomatic-but-leaky queue = queue[1:]. Re-slicing keeps every popped
+// element reachable through the backing array until the next append
+// reallocation, so a long BFS run retains (and the GC must repeatedly
+// scan) nearly every dequeued state of the run. fifo zeroes each slot on
+// pop, releasing the state for collection immediately, and compacts the
+// backing slice once the dead prefix dominates, keeping the retained
+// capacity proportional to the live queue's high-water mark rather than
+// to the whole run. TestFIFOBoundedRetention is the regression guard.
+type fifo[T any] struct {
+	buf  []T
+	head int
+}
+
+// fifoCompactMin is the dead-prefix length below which compaction is not
+// worth the copy.
+const fifoCompactMin = 1024
+
+func (q *fifo[T]) push(v T) { q.buf = append(q.buf, v) }
+
+func (q *fifo[T]) pop() T {
+	var zero T
+	v := q.buf[q.head]
+	q.buf[q.head] = zero // release the reference for the GC
+	q.head++
+	if q.head >= fifoCompactMin && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		clear(q.buf[n:]) // the copied-from tail still holds references
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return v
+}
+
+func (q *fifo[T]) len() int { return len(q.buf) - q.head }
+
+// reset empties the queue, dropping all references.
+func (q *fifo[T]) reset() {
+	clear(q.buf)
+	q.buf = q.buf[:0]
+	q.head = 0
+}
+
+// retained reports the capacity currently pinned by the backing array —
+// exposed for the bounded-retention regression test and benchmark.
+func (q *fifo[T]) retained() int { return cap(q.buf) }

@@ -1,0 +1,92 @@
+package explore
+
+import "testing"
+
+// TestFIFOOrder checks plain FIFO semantics across compaction boundaries.
+func TestFIFOOrder(t *testing.T) {
+	var q fifo[int]
+	next := 0 // next value to push
+	want := 0 // next value expected from pop
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 100; i++ {
+			q.push(next)
+			next++
+		}
+		for i := 0; i < 80; i++ {
+			if got := q.pop(); got != want {
+				t.Fatalf("pop = %d, want %d", got, want)
+			}
+			want++
+		}
+	}
+	for q.len() > 0 {
+		if got := q.pop(); got != want {
+			t.Fatalf("drain pop = %d, want %d", got, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("popped %d values, pushed %d", want, next)
+	}
+	q.reset()
+	if q.len() != 0 {
+		t.Fatalf("len after reset = %d", q.len())
+	}
+}
+
+// TestFIFOBoundedRetention is the regression guard for the BFS queue
+// memory leak: popping with queue = queue[1:] pinned every node of the run
+// in the backing array. The fifo must keep the retained capacity
+// proportional to the live high-water mark (here ≤ 512 live items) even
+// after streaming a million items through, rather than to the total
+// pushed.
+func TestFIFOBoundedRetention(t *testing.T) {
+	var q fifo[*int]
+	const (
+		total   = 1 << 20
+		maxLive = 512
+	)
+	pushed, popped := 0, 0
+	for pushed < total {
+		for q.len() < maxLive && pushed < total {
+			v := pushed
+			q.push(&v)
+			pushed++
+		}
+		for q.len() > maxLive/2 {
+			if got := q.pop(); *got != popped {
+				t.Fatalf("pop = %d, want %d", *got, popped)
+			}
+			popped++
+		}
+	}
+	for q.len() > 0 {
+		if got := q.pop(); *got != popped {
+			t.Fatalf("drain pop = %d, want %d", *got, popped)
+		}
+		popped++
+	}
+	if popped != total {
+		t.Fatalf("popped %d items, pushed %d", popped, total)
+	}
+	// The old queue would retain ~total slots here. Allow generous slack
+	// for append's growth factor and the compaction threshold.
+	if limit := 8 * (maxLive + fifoCompactMin); q.retained() > limit {
+		t.Errorf("backing array retains %d slots after streaming %d items with ≤%d live, want ≤ %d",
+			q.retained(), total, maxLive, limit)
+	}
+}
+
+// BenchmarkFIFOStream streams items through a bounded-occupancy queue, the
+// BFS access pattern; the retained metric reports the backing capacity the
+// queue pins at the end (the leaky queue[1:] pattern retains b.N slots).
+func BenchmarkFIFOStream(b *testing.B) {
+	var q fifo[int]
+	for i := 0; i < b.N; i++ {
+		q.push(i)
+		if q.len() > 256 {
+			q.pop()
+		}
+	}
+	b.ReportMetric(float64(q.retained()), "retained")
+}

@@ -34,6 +34,29 @@ func (FullExpander) Expand(_ *core.State, enabled []core.Event, _ StackInfo) []c
 	return enabled
 }
 
+// Sched selects how ParallelBFS workers claim frontier nodes within a
+// level. Both schedulers feed the same deterministic merge, so results are
+// bit-identical across schedulers; they differ only in throughput.
+type Sched int
+
+const (
+	// SchedWorkStealing (the default) partitions each frontier into
+	// per-worker contiguous spans: workers claim chunks of their own span
+	// (size adaptive to len(frontier)/workers unless ChunkSize overrides
+	// it) and, when idle, steal the upper half of the most-loaded worker's
+	// remaining span. Visited-set inserts are flushed through the store's
+	// batched fast path (see Options.BatchSize). This is the fastest
+	// scheduler on skewed frontiers, where nodes differ widely in
+	// expansion cost.
+	SchedWorkStealing Sched = iota
+	// SchedSingleIndex is the original scheduler: workers claim one node
+	// at a time from a single shared atomic index and insert visited keys
+	// one by one. Kept as the comparison baseline for benchmarks; the
+	// shared index and per-key stripe locks make it slower on skewed
+	// frontiers and at high worker counts.
+	SchedSingleIndex
+)
+
 // Options configures a search.
 type Options struct {
 	// Expander restricts expansion (POR); nil means full expansion.
@@ -46,11 +69,20 @@ type Options struct {
 	// provides canonicalizing implementations.
 	Canon func(*core.State) string
 	// MaxStates stops the search after this many distinct states
-	// (stateless: visited nodes); 0 means unlimited.
+	// discovered by the run (stateless: visited nodes); 0 means
+	// unlimited.
 	MaxStates int
-	// MaxDepth bounds the search depth; 0 means unlimited (stateless
-	// search defaults to 1 << 20 to guarantee termination on cyclic
-	// graphs).
+	// MaxDepth bounds the search depth, measured in events from the
+	// initial state (the initial state is depth 0): states at depth
+	// MaxDepth are still visited and invariant-checked, but not expanded,
+	// and the run reports VerdictLimit when the bound actually cut
+	// something. All engines share this convention. Note that the depth
+	// at which a state is first visited is engine-specific: BFS and
+	// ParallelBFS visit every state at its shortest-path depth, while DFS
+	// visits it at the depth of the first search path that reaches it, so
+	// a depth-limited DFS may cut a different (never shallower-reaching)
+	// slice of the state space. 0 means unlimited (stateless search
+	// defaults to 1 << 20 to guarantee termination on cyclic graphs).
 	MaxDepth int
 	// MaxDuration stops the search after the given wall-clock time;
 	// 0 means unlimited.
@@ -61,6 +93,20 @@ type Options struct {
 	// Workers is the size of ParallelBFS's worker pool; 0 or negative
 	// means runtime.GOMAXPROCS(0). Ignored by the sequential engines.
 	Workers int
+	// Sched selects ParallelBFS's intra-level scheduler; the zero value
+	// is SchedWorkStealing. Ignored by the sequential engines.
+	Sched Sched
+	// ChunkSize fixes the number of frontier nodes a work-stealing worker
+	// claims per grab; 0 or negative means adaptive
+	// (len(frontier)/(workers*8), clamped to [1, 1024]). Ignored by
+	// SchedSingleIndex and the sequential engines.
+	ChunkSize int
+	// BatchSize is the number of successor keys a work-stealing worker
+	// buffers before flushing them through the store's batched insert
+	// path (BatchStore.SeenBatch); 0 or negative means the default of 64.
+	// 1 degenerates to per-key inserts. Ignored by SchedSingleIndex and
+	// the sequential engines.
+	BatchSize int
 }
 
 func (o *Options) store() Store {
@@ -82,6 +128,31 @@ func (o *Options) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// chunkSize resolves the work-stealing claim granularity for a frontier of
+// the given size expanded by the given worker count.
+func (o *Options) chunkSize(frontier, workers int) int {
+	if o.ChunkSize > 0 {
+		return o.ChunkSize
+	}
+	chunk := frontier / (workers * 8)
+	if chunk < 1 {
+		return 1
+	}
+	if chunk > 1024 {
+		return 1024
+	}
+	return chunk
+}
+
+// batchSize resolves the successor-key buffer size of a work-stealing
+// worker.
+func (o *Options) batchSize() int {
+	if o.BatchSize > 0 {
+		return o.BatchSize
+	}
+	return 64
 }
 
 func (o *Options) expander() Expander {

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -57,6 +58,56 @@ type pOutcome struct {
 	succs     []pSucc
 }
 
+// claimSpan is one worker's remaining range [next, end) of the frontier,
+// packed next<<32|end into a single atomic word so chunk claims and steals
+// are lone CAS operations. The trailing padding keeps adjacent workers'
+// spans on separate cache lines.
+type claimSpan struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+func packSpan(next, end int) uint64 { return uint64(next)<<32 | uint64(end) }
+
+func (s *claimSpan) load() (next, end int) {
+	v := s.v.Load()
+	return int(v >> 32), int(v & math.MaxUint32)
+}
+
+// claim takes up to chunk nodes from the front of the span.
+func (s *claimSpan) claim(chunk int) (lo, hi int, ok bool) {
+	for {
+		v := s.v.Load()
+		next, end := int(v>>32), int(v&math.MaxUint32)
+		if next >= end {
+			return 0, 0, false
+		}
+		hi = next + chunk
+		if hi > end {
+			hi = end
+		}
+		if s.v.CompareAndSwap(v, packSpan(hi, end)) {
+			return next, hi, true
+		}
+	}
+}
+
+// stealHalf takes the upper half (rounded up) of the span, leaving the
+// lower half to the owner. A one-node span is taken whole.
+func (s *claimSpan) stealHalf() (lo, hi int, ok bool) {
+	for {
+		v := s.v.Load()
+		next, end := int(v>>32), int(v&math.MaxUint32)
+		if next >= end {
+			return 0, 0, false
+		}
+		mid := next + (end-next)/2
+		if s.v.CompareAndSwap(v, packSpan(next, mid)) {
+			return mid, end, true
+		}
+	}
+}
+
 // ParallelBFS runs the stateful breadth-first search of BFS with a worker
 // pool: each frontier (BFS level) is expanded by Options.Workers goroutines
 // (default runtime.GOMAXPROCS(0)) sharing a concurrent visited-state store
@@ -66,18 +117,29 @@ type pOutcome struct {
 // and invariant checks — while a deterministic sequential merge replays the
 // level in frontier order to commit statistics, parent links and verdicts.
 //
+// Scheduling: under the default SchedWorkStealing, the frontier is
+// partitioned into per-worker contiguous spans; workers claim chunks of
+// their own span (Options.ChunkSize, adaptive by default) and, when their
+// span drains, steal the upper half of the most-loaded worker's remaining
+// span — so a few expensive nodes cannot leave the rest of the pool idle.
+// Visited-set inserts are buffered per worker (Options.BatchSize) and
+// flushed through the store's batched path (BatchStore.SeenBatch), taking
+// each stripe lock once per batch instead of once per successor.
+// Options.Sched = SchedSingleIndex selects the original scheduler (one
+// shared atomic index, per-key inserts), kept as a benchmark baseline.
+//
 // Determinism: because the merge commits results in the exact order the
 // sequential engine would have produced them, ParallelBFS returns
 // bit-identical Verdict, Stats (except Duration) and Trace shape to BFS for
-// any worker count, including runs stopped by MaxStates — with one caveat:
-// under a canonicalizing Options.Canon the Violation error value may be
-// reported by any member of the violating state's symmetry orbit. Only
-// MaxDuration-limited runs are inherently nondeterministic (for them the
-// partially expanded frontier is merged and the result marked limited).
-// When a level is cut short by a violation or MaxStates, states already
-// inserted by other workers stay in the store but are not reported, so the
-// store may transiently exceed MaxStates by at most one frontier's
-// successors.
+// any worker count and either scheduler, including runs stopped by
+// MaxStates — with one caveat: under a canonicalizing Options.Canon the
+// Violation error value may be reported by any member of the violating
+// state's symmetry orbit. Only MaxDuration-limited runs are inherently
+// nondeterministic (for them the partially expanded frontier is merged and
+// the result marked limited). When a level is cut short by a violation or
+// MaxStates, states already inserted by other workers stay in the store
+// but are not reported, so the store may transiently exceed MaxStates by
+// at most one frontier's successors.
 //
 // Soundness requires every hook to be safe for concurrent read-only use:
 // the protocol's Enabled/Execute/CheckInvariant, the Canon function and the
@@ -119,6 +181,31 @@ func ParallelBFS(p *core.Protocol, opts Options) (*Result, error) {
 	frontier := []pNode{{st: init, key: ikey}}
 	var stop atomic.Bool // deadline passed or a worker failed
 
+	// expandNode computes one frontier node's successors into out: the
+	// expander-chosen events are executed and canonicalized, but
+	// visited-set membership (wasNew) is filled in by the scheduler's
+	// insert strategy (batched or per-key).
+	expandNode := func(n pNode, out *pOutcome) error {
+		enabled := p.Enabled(n.st)
+		if len(enabled) == 0 {
+			out.deadlock = true
+			out.processed = true
+			return nil
+		}
+		chosen := exp.Expand(n.st, enabled, noStack{})
+		out.reduced = len(chosen) < len(enabled)
+		out.succs = make([]pSucc, len(chosen))
+		for k, ev := range chosen {
+			ns, err := p.Execute(n.st, ev)
+			if err != nil {
+				return err
+			}
+			out.succs[k] = pSucc{st: ns, key: canon(ns), ev: ev}
+		}
+		out.processed = true
+		return nil
+	}
+
 	for depth := 0; len(frontier) > 0; depth++ {
 		if depth > res.Stats.MaxDepth {
 			res.Stats.MaxDepth = depth
@@ -128,63 +215,138 @@ func ParallelBFS(p *core.Protocol, opts Options) (*Result, error) {
 			break
 		}
 
-		// Parallel phase: expand every frontier node. Workers claim node
-		// indexes from a shared counter and write disjoint outcome slots.
+		// Parallel phase: expand every frontier node into its disjoint
+		// outcome slot.
 		outcomes := make([]pOutcome, len(frontier))
 		workers := opts.workers()
 		if workers > len(frontier) {
 			workers = len(frontier)
 		}
-		var (
-			next atomic.Int64
-			wg   sync.WaitGroup
-			errs = make([]error, workers)
-		)
-		expandNode := func(n pNode, out *pOutcome) error {
-			enabled := p.Enabled(n.st)
-			if len(enabled) == 0 {
-				out.deadlock = true
-				out.processed = true
-				return nil
-			}
-			chosen := exp.Expand(n.st, enabled, noStack{})
-			out.reduced = len(chosen) < len(enabled)
-			out.succs = make([]pSucc, 0, len(chosen))
-			for _, ev := range chosen {
-				ns, err := p.Execute(n.st, ev)
-				if err != nil {
-					return err
-				}
-				sc := pSucc{st: ns, key: canon(ns), ev: ev}
-				if !store.Seen(sc.key) {
-					sc.wasNew = true
-					sc.verr = p.CheckInvariant(ns)
-				}
-				out.succs = append(out.succs, sc)
-			}
-			out.processed = true
-			return nil
-		}
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
 		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func(w int) {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(frontier) || stop.Load() {
-						return
+
+		if opts.Sched == SchedSingleIndex {
+			var next atomic.Int64
+			for w := 0; w < workers; w++ {
+				go func(w int) {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(frontier) || stop.Load() {
+							return
+						}
+						if i&31 == 31 && lim.deadlinePassed() {
+							stop.Store(true)
+							return
+						}
+						if err := expandNode(frontier[i], &outcomes[i]); err != nil {
+							errs[w] = err
+							stop.Store(true)
+							return
+						}
+						out := &outcomes[i]
+						for j := range out.succs {
+							sc := &out.succs[j]
+							if !store.Seen(sc.key) {
+								sc.wasNew = true
+								sc.verr = p.CheckInvariant(sc.st)
+							}
+						}
 					}
-					if i&31 == 31 && lim.deadlinePassed() {
-						stop.Store(true)
-						return
+				}(w)
+			}
+		} else {
+			spans := make([]claimSpan, workers)
+			for w := range spans {
+				spans[w].v.Store(packSpan(w*len(frontier)/workers, (w+1)*len(frontier)/workers))
+			}
+			chunk := opts.chunkSize(len(frontier), workers)
+			batch := opts.batchSize()
+			for w := 0; w < workers; w++ {
+				go func(w int) {
+					defer wg.Done()
+					var (
+						pendKeys  = make([]string, 0, batch)
+						pendSuccs = make([]*pSucc, 0, batch)
+						processed int
+					)
+					flush := func() {
+						if len(pendKeys) == 0 {
+							return
+						}
+						for k, dup := range seenBatch(store, pendKeys) {
+							if !dup {
+								sc := pendSuccs[k]
+								sc.wasNew = true
+								sc.verr = p.CheckInvariant(sc.st)
+							}
+						}
+						pendKeys = pendKeys[:0]
+						pendSuccs = pendSuccs[:0]
 					}
-					if err := expandNode(frontier[i], &outcomes[i]); err != nil {
-						errs[w] = err
-						stop.Store(true)
-						return
+					// The deferred flush keeps the invariant "processed
+					// outcome ⇒ final wasNew/verr" on every exit path.
+					defer flush()
+					process := func(lo, hi int) bool {
+						for i := lo; i < hi; i++ {
+							if stop.Load() {
+								return false
+							}
+							processed++
+							if processed&31 == 0 && lim.deadlinePassed() {
+								stop.Store(true)
+								return false
+							}
+							if err := expandNode(frontier[i], &outcomes[i]); err != nil {
+								errs[w] = err
+								stop.Store(true)
+								return false
+							}
+							out := &outcomes[i]
+							for j := range out.succs {
+								pendKeys = append(pendKeys, out.succs[j].key)
+								pendSuccs = append(pendSuccs, &out.succs[j])
+								if len(pendKeys) >= batch {
+									flush()
+								}
+							}
+						}
+						return true
 					}
-				}
-			}(w)
+					for {
+						lo, hi, ok := spans[w].claim(chunk)
+						if !ok {
+							// Own span drained: steal the upper half of the
+							// most-loaded span and make it the new own span
+							// (so other idle workers can steal from it in
+							// turn). No victim with work left means the
+							// level is done claiming.
+							victim, best := -1, 0
+							for v := range spans {
+								if v == w {
+									continue
+								}
+								if next, end := spans[v].load(); end-next > best {
+									best, victim = end-next, v
+								}
+							}
+							if victim < 0 {
+								return
+							}
+							slo, shi, stolen := spans[victim].stealHalf()
+							if !stolen {
+								continue // lost the race; rescan
+							}
+							spans[w].v.Store(packSpan(slo, shi))
+							continue
+						}
+						if !process(lo, hi) {
+							return
+						}
+					}
+				}(w)
+			}
 		}
 		wg.Wait()
 		for _, werr := range errs {

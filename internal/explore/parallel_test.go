@@ -108,10 +108,35 @@ func stepEqual(a, b explore.Step) bool {
 	return a.StateKey == b.StateKey && a.Event.Key() == b.Event.Key()
 }
 
+// parallelConfig is one scheduler configuration of the differential
+// matrix: worker count plus the work-stealing/batching knobs.
+type parallelConfig struct {
+	name    string
+	workers int
+	sched   explore.Sched
+	chunk   int
+	batch   int
+}
+
+// parallelConfigs covers both schedulers and the edge settings of the
+// chunking/batching knobs: adaptive defaults, chunk and batch forced to 1
+// (maximum stealing and per-key inserts), and awkward odd sizes.
+func parallelConfigs() []parallelConfig {
+	return []parallelConfig{
+		{"workers-1", 1, explore.SchedWorkStealing, 0, 0},
+		{"workers-2", 2, explore.SchedWorkStealing, 0, 0},
+		{"workers-8", 8, explore.SchedWorkStealing, 0, 0},
+		{"workers-8-chunk1-batch1", 8, explore.SchedWorkStealing, 1, 1},
+		{"workers-3-chunk5-batch3", 3, explore.SchedWorkStealing, 5, 3},
+		{"workers-8-single-index", 8, explore.SchedSingleIndex, 0, 0},
+	}
+}
+
 // TestParallelBFSMatchesSequentialBFS is the differential suite: for every
-// bundled protocol and reduction combination, ParallelBFS with 1, 2 and 8
-// workers must report the identical verdict, statistics and counterexample
-// trace as sequential BFS.
+// bundled protocol, reduction combination and scheduler configuration
+// (work-stealing with assorted chunk/batch settings and the single-index
+// baseline), ParallelBFS must report the identical verdict, statistics and
+// counterexample trace as sequential BFS.
 func TestParallelBFSMatchesSequentialBFS(t *testing.T) {
 	for _, pc := range protoCases() {
 		for _, red := range reductions() {
@@ -123,38 +148,41 @@ func TestParallelBFSMatchesSequentialBFS(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				for _, workers := range []int{1, 2, 8} {
+				for _, cfg := range parallelConfigs() {
 					pxo := xo
-					pxo.Workers = workers
+					pxo.Workers = cfg.workers
+					pxo.Sched = cfg.sched
+					pxo.ChunkSize = cfg.chunk
+					pxo.BatchSize = cfg.batch
 					par, err := explore.ParallelBFS(p, pxo)
 					if err != nil {
-						t.Fatalf("workers=%d: %v", workers, err)
+						t.Fatalf("%s: %v", cfg.name, err)
 					}
 					if par.Verdict != seq.Verdict {
-						t.Errorf("workers=%d: verdict %s, sequential %s", workers, par.Verdict, seq.Verdict)
+						t.Errorf("%s: verdict %s, sequential %s", cfg.name, par.Verdict, seq.Verdict)
 					}
 					if par.Stats.States != seq.Stats.States {
-						t.Errorf("workers=%d: states %d, sequential %d", workers, par.Stats.States, seq.Stats.States)
+						t.Errorf("%s: states %d, sequential %d", cfg.name, par.Stats.States, seq.Stats.States)
 					}
 					if !statsEqual(par.Stats, seq.Stats) {
-						t.Errorf("workers=%d: stats %+v, sequential %+v", workers, par.Stats, seq.Stats)
+						t.Errorf("%s: stats %+v, sequential %+v", cfg.name, par.Stats, seq.Stats)
 					}
 					if (par.Violation != nil) != (seq.Violation != nil) {
-						t.Errorf("workers=%d: violation %v, sequential %v", workers, par.Violation, seq.Violation)
+						t.Errorf("%s: violation %v, sequential %v", cfg.name, par.Violation, seq.Violation)
 					}
 					if len(par.Trace) != len(seq.Trace) {
-						t.Errorf("workers=%d: trace length %d, sequential %d", workers, len(par.Trace), len(seq.Trace))
+						t.Errorf("%s: trace length %d, sequential %d", cfg.name, len(par.Trace), len(seq.Trace))
 					} else {
 						for i := range par.Trace {
 							if !stepEqual(par.Trace[i], seq.Trace[i]) {
-								t.Errorf("workers=%d: trace step %d = %+v, sequential %+v", workers, i, par.Trace[i], seq.Trace[i])
+								t.Errorf("%s: trace step %d = %+v, sequential %+v", cfg.name, i, par.Trace[i], seq.Trace[i])
 								break
 							}
 						}
 					}
 					if par.Verdict == explore.VerdictViolated {
 						if _, err := explore.ReplayViolation(p, par.Trace); err != nil {
-							t.Errorf("workers=%d: counterexample does not replay: %v", workers, err)
+							t.Errorf("%s: counterexample does not replay: %v", cfg.name, err)
 						}
 					}
 				}
@@ -348,6 +376,67 @@ func TestParallelBFSTraceReplay(t *testing.T) {
 			for i := range res.Trace {
 				if !stepEqual(res.Trace[i], seq.Trace[i]) {
 					t.Errorf("trace step %d = %+v, sequential %+v", i, res.Trace[i], seq.Trace[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPrePopulatedStoreAgreement pins the States semantics across all
+// three stateful engines: Stats.States counts states discovered by the
+// run, so a caller-supplied store already holding the whole state space
+// must yield States == 1 (just the root), all successors as revisits, and
+// must not trip MaxStates early — identically in BFS, DFS and ParallelBFS.
+func TestPrePopulatedStoreAgreement(t *testing.T) {
+	for _, pc := range []protoCase{
+		{"Storage_21", "storage", "2,1", false},
+		{"Paxos_221", "paxos", "2,2,1", false},
+	} {
+		t.Run(pc.name, func(t *testing.T) {
+			p, _ := buildProto(t, pc)
+			warm := func(st explore.Store) {
+				if _, err := explore.BFS(p, explore.Options{Store: st}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			type engine struct {
+				name  string
+				store explore.Store
+				run   func(explore.Options) (*explore.Result, error)
+			}
+			engines := []engine{
+				{"BFS", explore.NewExactStore(), func(xo explore.Options) (*explore.Result, error) { return explore.BFS(p, xo) }},
+				{"DFS", explore.NewExactStore(), func(xo explore.Options) (*explore.Result, error) { return explore.DFS(p, xo) }},
+				{"ParallelBFS", explore.NewShardedExactStore(), func(xo explore.Options) (*explore.Result, error) {
+					xo.Workers = 4
+					return explore.ParallelBFS(p, xo)
+				}},
+			}
+			var results []*explore.Result
+			for _, eng := range engines {
+				warm(eng.store)
+				full := eng.store.Len()
+				// MaxStates below the full space: a run that counted the
+				// pre-populated store would report VerdictLimit here.
+				res, err := eng.run(explore.Options{Store: eng.store, MaxStates: full / 2})
+				if err != nil {
+					t.Fatalf("%s: %v", eng.name, err)
+				}
+				if res.Stats.States != 1 {
+					t.Errorf("%s: states = %d, want 1 (all states pre-populated)", eng.name, res.Stats.States)
+				}
+				if res.Verdict != explore.VerdictVerified {
+					t.Errorf("%s: verdict = %s, want Verified (pre-populated store must not trip MaxStates)", eng.name, res.Verdict)
+				}
+				if res.Stats.Revisits == 0 {
+					t.Errorf("%s: no revisits reported against a fully warmed store", eng.name)
+				}
+				results = append(results, res)
+			}
+			for i := 1; i < len(results); i++ {
+				if !statsEqual(results[i].Stats, results[0].Stats) {
+					t.Errorf("%s stats %+v differ from %s stats %+v against identical warmed stores",
+						engines[i].name, results[i].Stats, engines[0].name, results[0].Stats)
 				}
 			}
 		})

@@ -46,9 +46,16 @@ type Step struct {
 	StateKey string
 }
 
-// Stats aggregates search effort. States counts distinct stored states for
-// stateful searches and visited nodes (including revisits) for stateless
-// ones — matching how the paper's Tables I/II count states per column.
+// Stats aggregates search effort. For stateful searches, States counts the
+// distinct states this run visited — the initial state plus every state
+// the run newly inserted into the visited store — matching how the paper's
+// Tables I/II count states per column. A caller-supplied pre-populated
+// (shared or cross-run) store therefore never inflates States or trips
+// MaxStates early; its hits surface as Revisits instead. For stateless
+// searches States counts visited nodes, including revisits. MaxDepth is
+// the depth, in events from the initial state (root = 0), of the deepest
+// state the run visited, under each engine's own visit order (BFS engines
+// visit states at shortest-path depth; DFS at first-search-path depth).
 type Stats struct {
 	States            int
 	Revisits          int

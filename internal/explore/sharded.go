@@ -1,7 +1,6 @@
 package explore
 
 import (
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 )
@@ -19,6 +18,29 @@ type storeShard struct {
 	hashed map[[16]byte]struct{}
 }
 
+// insertLocked records one key in the stripe (which must be locked) and
+// reports whether it was already present.
+func (sh *storeShard) insertLocked(exact bool, key string, fp [16]byte) bool {
+	if exact {
+		if sh.exact == nil {
+			sh.exact = make(map[string]struct{})
+		}
+		if _, dup := sh.exact[key]; dup {
+			return true
+		}
+		sh.exact[key] = struct{}{}
+		return false
+	}
+	if sh.hashed == nil {
+		sh.hashed = make(map[[16]byte]struct{})
+	}
+	if _, dup := sh.hashed[fp]; dup {
+		return true
+	}
+	sh.hashed[fp] = struct{}{}
+	return false
+}
+
 // ShardedStore is a concurrent visited-state set: the key space is
 // partitioned over mutex-striped shards selected by key hash, so Seen is
 // linearizable per key and goroutines hammering distinct stripes do not
@@ -26,6 +48,10 @@ type storeShard struct {
 // Store interface: exact full-key storage (NewShardedExactStore, the
 // ExactStore analogue) and 128-bit FNV-1a fingerprints
 // (NewShardedHashStore, the HashStore analogue).
+//
+// ShardedStore also implements BatchStore: SeenBatch groups its keys by
+// stripe and takes each stripe lock once per batch instead of once per
+// key, which is what ParallelBFS's workers use to amortize lock traffic.
 //
 // ParallelBFS requires a concurrency-safe store and uses a ShardedStore by
 // default; the sequential engines accept one too (it is merely slower than
@@ -45,39 +71,14 @@ func NewShardedExactStore() *ShardedStore { return &ShardedStore{exact: true} }
 // probability for a large memory saving on multi-million-state runs.
 func NewShardedHashStore() *ShardedStore { return &ShardedStore{} }
 
-// fingerprint is the 128-bit FNV-1a sum used both to pick the stripe and,
-// in hashed mode, as the stored key.
-func fingerprint(key string) [16]byte {
-	h := fnv.New128a()
-	h.Write([]byte(key))
-	var k [16]byte
-	h.Sum(k[:0])
-	return k
-}
-
 // Seen implements Store. It records key and reports whether it was already
 // present; for each distinct key exactly one call returns false, however
 // many goroutines race on it.
 func (s *ShardedStore) Seen(key string) bool {
 	fp := fingerprint(key)
-	sh := &s.shards[fp[0]]
+	sh := &s.shards[fp[15]]
 	sh.mu.Lock()
-	var dup bool
-	if s.exact {
-		if sh.exact == nil {
-			sh.exact = make(map[string]struct{})
-		}
-		if _, dup = sh.exact[key]; !dup {
-			sh.exact[key] = struct{}{}
-		}
-	} else {
-		if sh.hashed == nil {
-			sh.hashed = make(map[[16]byte]struct{})
-		}
-		if _, dup = sh.hashed[fp]; !dup {
-			sh.hashed[fp] = struct{}{}
-		}
-	}
+	dup := sh.insertLocked(s.exact, key, fp)
 	sh.mu.Unlock()
 	if !dup {
 		s.count.Add(1)
@@ -85,14 +86,65 @@ func (s *ShardedStore) Seen(key string) bool {
 	return dup
 }
 
+// SeenBatch implements BatchStore: it records every key and returns one
+// "was already present" answer per key, taking each involved stripe lock
+// once for the whole batch. Keys are committed in index order within each
+// stripe, so a key duplicated inside one batch reports false exactly at its
+// first occurrence, and the exactly-one-false guarantee of Seen holds
+// across any mix of racing SeenBatch and Seen callers.
+func (s *ShardedStore) SeenBatch(keys []string) []bool {
+	n := len(keys)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return []bool{s.Seen(keys[0])}
+	}
+	dups := make([]bool, n)
+	fps := make([][16]byte, n)
+	done := make([]bool, n)
+	for i, k := range keys {
+		fps[i] = fingerprint(k)
+	}
+	var added int64
+	// Batches are small (a worker's successor buffer), so the stripe
+	// grouping is a forward scan per distinct stripe rather than an
+	// allocated index.
+	for i := 0; i < n; i++ {
+		if done[i] {
+			continue
+		}
+		stripe := fps[i][15]
+		sh := &s.shards[stripe]
+		sh.mu.Lock()
+		for j := i; j < n; j++ {
+			if done[j] || fps[j][15] != stripe {
+				continue
+			}
+			done[j] = true
+			dups[j] = sh.insertLocked(s.exact, keys[j], fps[j])
+			if !dups[j] {
+				added++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if added > 0 {
+		s.count.Add(added)
+	}
+	return dups
+}
+
 // Len implements Store.
 func (s *ShardedStore) Len() int { return int(s.count.Load()) }
 
-var _ Store = (*ShardedStore)(nil)
+var _ BatchStore = (*ShardedStore)(nil)
 
 // syncStore serializes an arbitrary Store behind one mutex — the fallback
 // ParallelBFS uses when handed a store that is not a ShardedStore, keeping
-// any Store correct under concurrency at the price of contention.
+// any Store correct under concurrency at the price of contention. Its
+// SeenBatch takes the mutex once per batch, so even the fallback benefits
+// from batching.
 type syncStore struct {
 	mu    sync.Mutex
 	inner Store
@@ -104,15 +156,27 @@ func (s *syncStore) Seen(key string) bool {
 	return s.inner.Seen(key)
 }
 
+func (s *syncStore) SeenBatch(keys []string) []bool {
+	dups := make([]bool, len(keys))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, k := range keys {
+		dups[i] = s.inner.Seen(k)
+	}
+	return dups
+}
+
 func (s *syncStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.inner.Len()
 }
 
-// concurrentStore returns a store safe for concurrent Seen calls: the
-// configured store if it is already a ShardedStore, a fresh sharded exact
-// store when none is configured (mirroring the sequential ExactStore
+var _ BatchStore = (*syncStore)(nil)
+
+// concurrentStore returns a store safe for concurrent Seen/SeenBatch calls:
+// the configured store if it is already a ShardedStore, a fresh sharded
+// exact store when none is configured (mirroring the sequential ExactStore
 // default), or the configured store wrapped behind a single mutex.
 func (o *Options) concurrentStore() Store {
 	switch st := o.Store.(type) {

@@ -96,6 +96,134 @@ func TestShardedStoreMatchesSequentialStores(t *testing.T) {
 	}
 }
 
+// TestSeenBatchMatchesSeen drives SeenBatch single-threaded against a
+// reference per-key store, with batches that straddle stripes and repeat
+// keys inside one batch: answers must be index-aligned and identical to
+// calling Seen in sequence, in both storage modes.
+func TestSeenBatchMatchesSeen(t *testing.T) {
+	modes := []struct {
+		name string
+		mk   func() *ShardedStore
+	}{
+		{"exact", NewShardedExactStore},
+		{"hashed", NewShardedHashStore},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			batched := mode.mk()
+			ref := NewExactStore()
+			refSeen := 0
+			for op := 0; op < 3000; op++ {
+				batch := make([]string, rng.Intn(9)) // includes empty batches
+				for i := range batch {
+					batch[i] = fmt.Sprintf("key-%d", rng.Intn(400))
+				}
+				if rng.Intn(4) == 0 && len(batch) >= 2 {
+					batch[len(batch)-1] = batch[0] // force an intra-batch duplicate
+				}
+				dups := batched.SeenBatch(batch)
+				if len(dups) != len(batch) {
+					t.Fatalf("op %d: %d answers for %d keys", op, len(dups), len(batch))
+				}
+				for i, key := range batch {
+					want := ref.Seen(key)
+					if !want {
+						refSeen++
+					}
+					if dups[i] != want {
+						t.Fatalf("op %d key %d (%q): SeenBatch = %v, sequential Seen = %v", op, i, key, dups[i], want)
+					}
+				}
+			}
+			if batched.Len() != refSeen {
+				t.Errorf("Len() = %d, want %d", batched.Len(), refSeen)
+			}
+		})
+	}
+}
+
+// TestSeenBatchExactlyOneInsert is the concurrency property test of the
+// batched fast path: goroutines racing batched and unbatched inserts of
+// overlapping key sequences (with intra-batch duplicates) must observe
+// exactly one false per distinct key, across both storage modes. Run under
+// go test -race in CI, this also exercises the stripe-grouped locking.
+func TestSeenBatchExactlyOneInsert(t *testing.T) {
+	const (
+		goroutines = 16
+		distinct   = 2000
+	)
+	modes := []struct {
+		name string
+		mk   func() *ShardedStore
+	}{
+		{"exact", NewShardedExactStore},
+		{"hashed", NewShardedHashStore},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			keys := make([]string, distinct)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("state-key-%d", i)
+			}
+			store := mode.mk()
+			inserts := make([]int32, distinct) // per-key count of false answers
+			credit := func(idx []int, dups []bool) {
+				for k, d := range dups {
+					if !d {
+						atomic.AddInt32(&inserts[idx[k]], 1)
+					}
+				}
+			}
+			var wg sync.WaitGroup
+			wg.Add(goroutines)
+			for g := 0; g < goroutines; g++ {
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(g)))
+					order := rng.Perm(distinct) // full pass: every key at least once
+					if g%2 == 0 {
+						// Unbatched racer.
+						for _, i := range order {
+							if !store.Seen(keys[i]) {
+								atomic.AddInt32(&inserts[i], 1)
+							}
+						}
+						return
+					}
+					// Batched racer: random batch sizes, occasional
+					// intra-batch duplicates.
+					for pos := 0; pos < len(order); {
+						n := 1 + rng.Intn(48)
+						if pos+n > len(order) {
+							n = len(order) - pos
+						}
+						idx := append([]int(nil), order[pos:pos+n]...)
+						pos += n
+						if rng.Intn(3) == 0 {
+							idx = append(idx, idx[rng.Intn(len(idx))])
+						}
+						batch := make([]string, len(idx))
+						for k, i := range idx {
+							batch[k] = keys[i]
+						}
+						credit(idx, store.SeenBatch(batch))
+					}
+				}(g)
+			}
+			wg.Wait()
+			for i, n := range inserts {
+				if n != 1 {
+					t.Fatalf("key %d inserted %d times, want exactly 1", i, n)
+				}
+			}
+			if store.Len() != distinct {
+				t.Errorf("Len() = %d, want %d", store.Len(), distinct)
+			}
+		})
+	}
+}
+
 // TestConcurrentStoreFallback checks the store selection of the parallel
 // engine: nil yields a fresh sharded exact store, a ShardedStore passes
 // through, and anything else is serialized behind a mutex (and remains

@@ -1,6 +1,9 @@
 package explore
 
-import "hash/fnv"
+import (
+	"encoding/binary"
+	"math/bits"
+)
 
 // Store is the visited-state set of a stateful search.
 type Store interface {
@@ -8,6 +11,66 @@ type Store interface {
 	Seen(key string) bool
 	// Len returns the number of distinct keys recorded.
 	Len() int
+}
+
+// BatchStore is a Store with a batched insert fast path. SeenBatch records
+// every key and reports, per key, whether it was already present — with the
+// same exactly-one-false-per-distinct-key guarantee as Seen, including for
+// duplicates within a single batch (the first occurrence reports false).
+// Concurrent stores use batching to amortize their per-key locking:
+// ShardedStore takes each stripe lock once per batch instead of once per
+// key.
+type BatchStore interface {
+	Store
+	// SeenBatch records keys and returns one "was already present" answer
+	// per key, index-aligned with keys.
+	SeenBatch(keys []string) []bool
+}
+
+// seenBatch flushes keys through the store's batched fast path when it has
+// one, and degenerates to a per-key loop otherwise.
+func seenBatch(store Store, keys []string) []bool {
+	if bs, ok := store.(BatchStore); ok {
+		return bs.SeenBatch(keys)
+	}
+	dups := make([]bool, len(keys))
+	for i, k := range keys {
+		dups[i] = store.Seen(k)
+	}
+	return dups
+}
+
+// 128-bit FNV-1a constants (matching hash/fnv): the offset basis and the
+// prime 2^88 + 0x13b.
+const (
+	fnvOffset128Hi = 0x6c62272e07bb0142
+	fnvOffset128Lo = 0x62b821756295c58d
+	fnvPrime128Lo  = 0x13b
+	fnvPrime128Hi  = 24 // the prime's high part is 1 << (64 + 24)
+)
+
+// fingerprint is the 128-bit FNV-1a sum of key, bit-identical to
+// hash/fnv's New128a but allocation-free: the stdlib hasher escapes to the
+// heap on every call, which dominated the profile of HashStore.Seen (one
+// hasher per visited-set probe). Both sequential stores and the sharded
+// concurrent store share this helper; ShardedStore additionally selects
+// its stripe from the last byte — FNV-1a mixes low-order bits first, so
+// the low byte is well distributed even for keys that differ only near
+// the end (state keys share long structural prefixes), while the high
+// byte would collapse them onto a few stripes.
+func fingerprint(key string) [16]byte {
+	hi, lo := uint64(fnvOffset128Hi), uint64(fnvOffset128Lo)
+	for i := 0; i < len(key); i++ {
+		lo ^= uint64(key[i])
+		// Multiply the 128-bit state by the prime modulo 2^128.
+		carry, plo := bits.Mul64(fnvPrime128Lo, lo)
+		hi = carry + lo<<fnvPrime128Hi + fnvPrime128Lo*hi
+		lo = plo
+	}
+	var k [16]byte
+	binary.BigEndian.PutUint64(k[:8], hi)
+	binary.BigEndian.PutUint64(k[8:], lo)
+	return k
 }
 
 // ExactStore keeps full canonical keys: collision-free, memory-hungry.
@@ -50,10 +113,7 @@ func (s *HashStore) Seen(key string) bool {
 	if s.m == nil {
 		s.m = make(map[[16]byte]struct{})
 	}
-	h := fnv.New128a()
-	h.Write([]byte(key))
-	var k [16]byte
-	h.Sum(k[:0])
+	k := fingerprint(key)
 	if _, ok := s.m[k]; ok {
 		return true
 	}

@@ -1,0 +1,107 @@
+package explore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestFingerprintMatchesStdlibFNV pins the hand-inlined 128-bit FNV-1a to
+// the stdlib implementation it replaces: any divergence would silently
+// change every hashed store's key space.
+func TestFingerprintMatchesStdlibFNV(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	keys := []string{"", "a", "ab", "proc0:val1|proc1:val2|bag{m1,m2}", strings.Repeat("x", 4096)}
+	for i := 0; i < 500; i++ {
+		b := make([]byte, rng.Intn(64))
+		for j := range b {
+			b[j] = byte(rng.Intn(256))
+		}
+		keys = append(keys, string(b))
+	}
+	for _, key := range keys {
+		h := fnv.New128a()
+		h.Write([]byte(key))
+		var want [16]byte
+		h.Sum(want[:0])
+		if got := fingerprint(key); got != want {
+			t.Fatalf("fingerprint(%q) = %x, stdlib FNV-128a %x", key, got, want)
+		}
+	}
+}
+
+// TestStoreSeenAllocs is the allocs/op guard for the visited-set hot path:
+// probing an already-present key must not allocate in any store — the
+// stdlib hasher HashStore used to build per call escaped to the heap on
+// every probe.
+func TestStoreSeenAllocs(t *testing.T) {
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("proc%d:val%d|bag{m%d}", i%4, i, i%7)
+	}
+	stores := []struct {
+		name  string
+		store Store
+	}{
+		{"HashStore", NewHashStore()},
+		{"ExactStore", NewExactStore()},
+		{"ShardedHash", NewShardedHashStore()},
+		{"ShardedExact", NewShardedExactStore()},
+	}
+	for _, st := range stores {
+		t.Run(st.name, func(t *testing.T) {
+			for _, k := range keys {
+				st.store.Seen(k)
+			}
+			var i int
+			allocs := testing.AllocsPerRun(200, func() {
+				st.store.Seen(keys[i%len(keys)])
+				i++
+			})
+			if allocs != 0 {
+				t.Errorf("Seen on present keys allocates %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkFingerprint guards the allocation-free claim and the raw
+// throughput of the shared fingerprint helper.
+func BenchmarkFingerprint(b *testing.B) {
+	key := "proc0:val17|proc1:val3|proc2:val9|bag{READ_REPL:0>2,ACK:1>0}"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = fingerprint(key)
+	}
+}
+
+// BenchmarkStoreSeenHot measures the steady-state (key already present)
+// visited-set probe across the stores; allocs/op must be zero.
+func BenchmarkStoreSeenHot(b *testing.B) {
+	keys := make([]string, 1<<12)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("proc%d:val%d|bag{m%d}", i%4, i, i%97)
+	}
+	stores := []struct {
+		name string
+		mk   func() Store
+	}{
+		{"hash", func() Store { return NewHashStore() }},
+		{"sharded-hash", func() Store { return NewShardedHashStore() }},
+	}
+	for _, st := range stores {
+		b.Run(st.name, func(b *testing.B) {
+			store := st.mk()
+			for _, k := range keys {
+				store.Seen(k)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				store.Seen(keys[i%len(keys)])
+			}
+		})
+	}
+}

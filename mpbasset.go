@@ -120,7 +120,21 @@ type Options struct {
 	// stateless/read-only, with BFS's usual proviso that reduced search
 	// requires an acyclic state graph (true of all bundled protocol
 	// models). Stateless and DPOR searches do not support workers.
+	//
+	// Within each frontier, workers claim contiguous chunks and steal
+	// half-ranges from the most-loaded worker when idle, flushing
+	// visited-set inserts in batches; ChunkSize and BatchSize tune that
+	// scheduler and never change results, only throughput.
 	Workers int
+	// ChunkSize fixes how many frontier nodes a parallel worker claims
+	// per grab; 0 means adaptive (frontier/(workers*8), clamped to
+	// [1, 1024]). Only meaningful with Workers > 0.
+	ChunkSize int
+	// BatchSize is the number of successor keys a parallel worker buffers
+	// before a batched visited-set insert (one stripe lock per batch
+	// instead of per key); 0 means the default of 64. Only meaningful
+	// with Workers > 0.
+	BatchSize int
 	// ExactStates stores full state keys instead of 128-bit fingerprints
 	// (more memory, zero collision risk).
 	ExactStates bool
@@ -149,6 +163,8 @@ func Check(p *Protocol, opts Options) (*Result, error) {
 		MaxDuration: opts.MaxDuration,
 		TrackTrace:  opts.TrackTrace,
 		Workers:     opts.Workers,
+		ChunkSize:   opts.ChunkSize,
+		BatchSize:   opts.BatchSize,
 	}
 	parallel := opts.Workers > 0
 	switch {
