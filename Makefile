@@ -1,6 +1,8 @@
 # Development and CI entry points. `make ci` is what the CI workflow runs:
 # vet + build + full test suite, plus the race detector over the packages
-# with concurrent code (the parallel search engine and the core it drives).
+# with concurrent code (the parallel search engine and the core it drives)
+# and the packages whose tests exercise it (the POR ignoring-proviso matrix
+# and the cyclic protocol generators).
 
 GO ?= go
 
@@ -18,7 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/explore/ ./internal/core/
+	$(GO) test -race ./internal/explore/ ./internal/core/ ./internal/por/ ./internal/mptest/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

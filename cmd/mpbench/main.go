@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"mpbasset/internal/cli"
 	"mpbasset/internal/eval"
 )
 
@@ -31,15 +32,21 @@ func main() {
 	)
 	flag.Parse()
 
-	if *analysis {
-		eval.PrintAnalysis(os.Stdout)
-		return
-	}
-	opts := eval.Options{Budget: *budget, Paper: *paper, Workers: *workers, ChunkSize: *chunk, BatchSize: *batch}
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "mpbench:", err)
 		os.Exit(1)
 	}
+	if *analysis {
+		// The §II-C analysis runs no search; engine flags are irrelevant.
+		eval.PrintAnalysis(os.Stdout)
+		return
+	}
+	// mpbench's stateful cells run SPOR; reuse the shared flag validation
+	// so -chunk/-batch without -workers is rejected, not silently ignored.
+	if err := cli.ValidateParallelFlags("spor", *workers, *chunk, *batch); err != nil {
+		fail(err)
+	}
+	opts := eval.Options{Budget: *budget, Paper: *paper, Workers: *workers, ChunkSize: *chunk, BatchSize: *batch}
 	emit := func(title string, rows []eval.Row) {
 		if *jsonOut {
 			if err := eval.WriteJSON(os.Stdout, title, rows); err != nil {

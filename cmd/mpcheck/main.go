@@ -56,6 +56,9 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := cli.ValidateParallelFlags(*search, *workers, *chunk, *batch); err != nil {
+		return err
+	}
 
 	p, roles, err := cli.BuildProtocol(*protocol, *setting, *model, *wrong)
 	if err != nil {
@@ -113,12 +116,8 @@ func run(args []string) error {
 		return fmt.Errorf("unknown search %q", *search)
 	}
 	if *workers > 0 {
-		switch *search {
-		case "spor", "unreduced", "bfs":
-			engine = explore.ParallelBFS
-		default:
-			return fmt.Errorf("-workers requires a stateful search (spor, unreduced or bfs), not %q", *search)
-		}
+		// ValidateParallelFlags already rejected non-stateful searches.
+		engine = explore.ParallelBFS
 	}
 
 	fmt.Printf("checking %s [%s, %s]\n", p.Name, *search, strat)
@@ -164,7 +163,11 @@ func report(res *explore.Result) {
 	fmt.Printf("depth:     %d\n", st.MaxDepth)
 	fmt.Printf("time:      %s\n", st.Duration.Round(time.Millisecond))
 	if st.ReducedExpansions+st.FullExpansions > 0 {
-		fmt.Printf("expansions: %d reduced / %d full\n", st.ReducedExpansions, st.FullExpansions)
+		fmt.Printf("expansions: %d reduced / %d full", st.ReducedExpansions, st.FullExpansions)
+		if st.ProvisoExpansions > 0 {
+			fmt.Printf(" (%d promoted by the ignoring proviso)", st.ProvisoExpansions)
+		}
+		fmt.Println()
 	}
 }
 

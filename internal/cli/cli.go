@@ -89,6 +89,29 @@ func BuildProtocol(protocol, setting, model string, wrong bool) (*core.Protocol,
 	}
 }
 
+// ValidateParallelFlags checks the parallel-search flag combinations the
+// CLIs accept: -workers requires a stateful search (the frontier-parallel
+// engine replaces spor/unreduced/bfs only), and the scheduler tuning knobs
+// -chunk/-batch are meaningless without -workers — passing them without it
+// is rejected instead of silently ignored.
+func ValidateParallelFlags(search string, workers, chunk, batch int) error {
+	if workers > 0 {
+		switch search {
+		case "spor", "unreduced", "bfs":
+			return nil
+		default:
+			return fmt.Errorf("-workers requires a stateful search (spor, unreduced or bfs), not %q", search)
+		}
+	}
+	if chunk != 0 {
+		return fmt.Errorf("-chunk requires -workers (it tunes the parallel scheduler's claim size)")
+	}
+	if batch != 0 {
+		return fmt.Errorf("-batch requires -workers (it tunes the parallel visited-set insert batching)")
+	}
+	return nil
+}
+
 // ParseSplit maps a CLI split name to a refinement strategy.
 func ParseSplit(s string) (refine.Strategy, error) {
 	switch s {

@@ -80,6 +80,40 @@ func TestBuildProtocolErrors(t *testing.T) {
 	}
 }
 
+func TestValidateParallelFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		search  string
+		workers int
+		chunk   int
+		batch   int
+		wantErr string // substring; empty means accepted
+	}{
+		{"sequential defaults", "spor", 0, 0, 0, ""},
+		{"workers with spor", "spor", 8, 0, 0, ""},
+		{"workers with unreduced", "unreduced", 2, 0, 0, ""},
+		{"workers with bfs", "bfs", 4, 0, 0, ""},
+		{"workers with knobs", "bfs", 4, 16, 128, ""},
+		{"workers with stateless", "stateless", 4, 0, 0, "-workers requires a stateful search"},
+		{"workers with dpor", "dpor", 1, 0, 0, "-workers requires a stateful search"},
+		{"chunk without workers", "spor", 0, 16, 0, "-chunk requires -workers"},
+		{"batch without workers", "spor", 0, 0, 64, "-batch requires -workers"},
+		{"both knobs without workers", "bfs", 0, 8, 8, "-chunk requires -workers"},
+	}
+	for _, tc := range cases {
+		err := ValidateParallelFlags(tc.search, tc.workers, tc.chunk, tc.batch)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
 func TestParseSplit(t *testing.T) {
 	want := map[string]refine.Strategy{
 		"":         refine.None,

@@ -30,10 +30,11 @@ type Options struct {
 	// (3,1,1,1) row of Table II and doubles the Paxos ballots.
 	Paper bool
 	// Workers > 0 runs the stateful cells (SPOR, unreduced) with the
-	// frontier-parallel BFS engine and that many workers — sound for the
-	// bundled models, whose state graphs are acyclic, and reproducing the
-	// sequential state counts exactly. DPOR cells are inherently
-	// sequential and ignore it.
+	// frontier-parallel BFS engine and that many workers — sound on any
+	// model (the engine enforces the queue variant of the ignoring
+	// proviso, so reduction is safe on cyclic state graphs too) and
+	// reproducing the sequential BFS state counts exactly. DPOR cells are
+	// inherently sequential and ignore it.
 	Workers int
 	// ChunkSize and BatchSize tune the parallel engine's work-stealing
 	// scheduler (nodes claimed per grab, successor keys per batched

@@ -4,20 +4,99 @@ import (
 	"mpbasset/internal/core"
 )
 
-type noStack struct{}
+// noProviso is the Proviso of searches that need no ignoring discipline
+// (stateless search, whose depth bound guarantees termination and which
+// never claims Verified on a cut run).
+type noProviso struct{}
 
-func (noStack) OnStack(string) bool { return false }
+func (noProviso) OnStack(string) bool    { return false }
+func (noProviso) Ignoring([]string) bool { return false }
 
 type parentLink struct {
 	parent string
 	ev     core.Event
 }
 
+// bfsProviso is the queue variant of the ignoring proviso (C3) shared by
+// the BFS engines: a reduced expansion of a node may be kept only if it
+// discovers at least one state that was not yet visited when the node's
+// level began. Otherwise the reduced expansion enqueues nothing new, the
+// deferred events would never be retried on a cycle, and the engine
+// promotes the expansion to a full one.
+//
+// Membership in the level-start snapshot is computed without copying the
+// store: a key is in the snapshot iff the store already holds it AND it
+// was not first inserted during the current level (the fresh set). The
+// sequential engine maintains fresh incrementally in FIFO order;
+// ParallelBFS derives the same predicate after its level barrier from the
+// per-successor insert outcomes — both evaluate the identical,
+// order-independent "visited before this level began" test, which is what
+// keeps parallel verdicts bit-identical to sequential ones.
+type bfsProviso struct {
+	has   HasStore // nil when the store cannot answer membership
+	fresh map[string]struct{}
+	level int
+}
+
+// newBFSProviso builds the proviso for store. Tracking is only armed when
+// a reducing expander is present; unreduced searches skip the per-state
+// bookkeeping entirely.
+func newBFSProviso(store Store, exp Expander) *bfsProviso {
+	if _, full := exp.(FullExpander); full {
+		return nil
+	}
+	b := &bfsProviso{fresh: make(map[string]struct{})}
+	b.has, _ = store.(HasStore)
+	return b
+}
+
+// OnStack implements Proviso: BFS has no stack.
+func (b *bfsProviso) OnStack(string) bool { return false }
+
+// Ignoring implements Proviso: true iff every successor was already
+// visited when the current level began. An unknown membership (store
+// without Has) counts as visited, conservatively promoting the expansion.
+func (b *bfsProviso) Ignoring(succKeys []string) bool {
+	for _, k := range succKeys {
+		if b.has == nil {
+			continue
+		}
+		if !b.has.Has(k) {
+			return false
+		}
+		if _, fresh := b.fresh[k]; fresh {
+			return false
+		}
+	}
+	return true
+}
+
+// advance resets the fresh set when the search crosses into a new level.
+func (b *bfsProviso) advance(depth int) {
+	if depth != b.level {
+		b.level = depth
+		clear(b.fresh)
+	}
+}
+
+// markNew records a key first inserted during the current level.
+func (b *bfsProviso) markNew(key string) { b.fresh[key] = struct{}{} }
+
+// succKeys collects the canonical keys of succs into buf.
+func succKeys(buf []string, succs []dfsSucc) []string {
+	buf = buf[:0]
+	for i := range succs {
+		buf = append(buf, succs[i].key)
+	}
+	return buf
+}
+
 // BFS runs a stateful breadth-first search. Counterexamples are
-// shortest-path when TrackTrace is set. BFS has no stack, so the cycle
-// proviso degenerates: combining BFS with a reducing expander is sound only
-// on acyclic state graphs (which all bundled protocol models are); prefer
-// DFS otherwise.
+// shortest-path when TrackTrace is set. BFS enforces the queue variant of
+// the ignoring proviso (C3): a reduced expansion whose successors were all
+// visited before its level began is promoted to a full expansion (counted
+// in Stats.ProvisoExpansions), keeping partial-order reduction sound on
+// cyclic state graphs — the BFS counterpart of the DFS stack proviso.
 func BFS(p *core.Protocol, opts Options) (*Result, error) {
 	init, err := p.InitialState()
 	if err != nil {
@@ -28,8 +107,10 @@ func BFS(p *core.Protocol, opts Options) (*Result, error) {
 		store   = opts.store()
 		canon   = opts.canon()
 		exp     = opts.expander()
+		prov    = newBFSProviso(store, exp)
 		lim     = newLimiter(opts)
 		limited bool
+		keyBuf  []string
 	)
 	defer func() { res.Stats.Duration = lim.elapsed() }()
 
@@ -60,6 +141,9 @@ func BFS(p *core.Protocol, opts Options) (*Result, error) {
 		if n.depth > res.Stats.MaxDepth {
 			res.Stats.MaxDepth = n.depth
 		}
+		if prov != nil {
+			prov.advance(n.depth)
+		}
 		if lim.depthExceeded(n.depth) {
 			limited = true
 			continue
@@ -69,31 +153,54 @@ func BFS(p *core.Protocol, opts Options) (*Result, error) {
 			res.Stats.Deadlocks++
 			continue
 		}
-		chosen := exp.Expand(n.st, enabled, noStack{})
-		if len(chosen) < len(enabled) {
+		var chosen []core.Event
+		if prov != nil {
+			chosen = exp.Expand(n.st, enabled, prov)
+		} else {
+			chosen = enabled
+		}
+		reduced := len(chosen) < len(enabled)
+		succs, err := execAll(p, n.st, chosen, canon)
+		if err != nil {
+			return nil, err
+		}
+		if reduced {
+			keyBuf = succKeys(keyBuf, succs)
+			if prov.Ignoring(keyBuf) {
+				// Queue proviso (C3): the reduced expansion rediscovered
+				// only states visited before this level — its deferred
+				// events could be ignored forever around a cycle, so the
+				// state is re-expanded fully.
+				reduced = false
+				res.Stats.ProvisoExpansions++
+				if succs, err = execAll(p, n.st, enabled, canon); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if reduced {
 			res.Stats.ReducedExpansions++
 		} else {
 			res.Stats.FullExpansions++
 		}
-		for _, ev := range chosen {
-			ns, err := p.Execute(n.st, ev)
-			if err != nil {
-				return nil, err
-			}
+		for i := range succs {
+			sc := &succs[i]
 			res.Stats.Events++
-			key := canon(ns)
-			if store.Seen(key) {
+			if store.Seen(sc.key) {
 				res.Stats.Revisits++
 				continue
 			}
+			if prov != nil {
+				prov.markNew(sc.key)
+			}
 			res.Stats.States++
 			if parents != nil {
-				parents[key] = parentLink{parent: n.key, ev: ev}
+				parents[sc.key] = parentLink{parent: n.key, ev: sc.ev}
 			}
-			if verr := p.CheckInvariant(ns); verr != nil {
+			if verr := p.CheckInvariant(sc.st); verr != nil {
 				res.Verdict = VerdictViolated
 				res.Violation = verr
-				res.Trace = trace(key)
+				res.Trace = trace(sc.key)
 				return &res, nil
 			}
 			if lim.statesExceeded(res.Stats.States) || lim.timeExceeded() {
@@ -101,7 +208,7 @@ func BFS(p *core.Protocol, opts Options) (*Result, error) {
 				queue.reset()
 				break
 			}
-			queue.push(node{st: ns, key: key, depth: n.depth + 1})
+			queue.push(node{st: sc.st, key: sc.key, depth: n.depth + 1})
 		}
 	}
 

@@ -23,6 +23,19 @@ type dfsStack struct {
 
 func (d *dfsStack) OnStack(key string) bool { return d.onStack[key] }
 
+// Ignoring implements Proviso with the DFS stack discipline: a reduced
+// expansion must be promoted to a full one when some successor is on the
+// current search stack, i.e. the reduced expansion would close a cycle on
+// which its deferred events could be ignored forever.
+func (d *dfsStack) Ignoring(succKeys []string) bool {
+	for _, k := range succKeys {
+		if d.onStack[k] {
+			return true
+		}
+	}
+	return false
+}
+
 // DFS runs a stateful depth-first search: every distinct state is visited
 // once, the invariant is checked on each visit, and the search stops at the
 // first violation with a counterexample trace (the paper's "first bug"
@@ -30,7 +43,9 @@ func (d *dfsStack) OnStack(key string) bool { return d.onStack[key] }
 //
 // DFS cooperates with reducing expanders: when a reduced expansion would
 // close a cycle back onto the search stack, the state is re-expanded fully
-// (cycle proviso C3), keeping POR sound on cyclic state graphs.
+// (the stack variant of the ignoring proviso C3, counted in
+// Stats.ProvisoExpansions), keeping POR sound on cyclic state graphs. The
+// BFS engines enforce the same proviso with a queue discipline instead.
 func DFS(p *core.Protocol, opts Options) (*Result, error) {
 	init, err := p.InitialState()
 	if err != nil {
@@ -45,6 +60,7 @@ func DFS(p *core.Protocol, opts Options) (*Result, error) {
 		stack   []dfsFrame
 		sinfo   = &dfsStack{onStack: make(map[string]bool)}
 		limited bool
+		keyBuf  []string
 	)
 	defer func() { res.Stats.Duration = lim.elapsed() }()
 
@@ -61,18 +77,13 @@ func DFS(p *core.Protocol, opts Options) (*Result, error) {
 			return nil, err
 		}
 		if reduced {
-			// Cycle proviso (C3): a reduced expansion must not close a
-			// cycle on the stack, or the deferred events could be ignored
-			// forever.
-			closes := false
-			for _, sc := range succs {
-				if sinfo.onStack[sc.key] {
-					closes = true
-					break
-				}
-			}
-			if closes {
+			keyBuf = succKeys(keyBuf, succs)
+			if sinfo.Ignoring(keyBuf) {
+				// Stack proviso (C3): a reduced expansion must not close a
+				// cycle on the stack, or the deferred events could be
+				// ignored forever.
 				reduced = false
+				res.Stats.ProvisoExpansions++
 				if succs, err = execAll(p, s, enabled, canon); err != nil {
 					return nil, err
 				}

@@ -6,20 +6,26 @@
 // (Theorem 2: refined and unrefined systems generate the same state graph).
 //
 // Searches are parameterized by an Expander, the hook through which
-// partial-order reduction restricts the explored events of a state. The
-// stateful DFS engine implements the cycle proviso (ample condition C3):
-// whenever a reduced expansion would close a cycle on the search stack, the
-// state is fully expanded.
+// partial-order reduction restricts the explored events of a state. Every
+// stateful engine enforces the ignoring proviso (ample condition C3) with
+// the discipline matching its search order, exposed through the Proviso
+// hook and reported as Stats.ProvisoExpansions: DFS fully expands a state
+// whenever a reduced expansion would close a cycle on the search stack
+// (the stack proviso), while BFS and ParallelBFS fully expand a state
+// whenever a reduced expansion yields only states already visited before
+// the state's level began (the queue proviso). Either way a reducing
+// expander is sound on cyclic state graphs.
 //
 // ParallelBFS scales the stateful BFS across a worker pool
 // (Options.Workers): each frontier is expanded concurrently against a
 // sharded, mutex-striped visited-state store (ShardedStore, in exact-key
 // and 128-bit-fingerprint modes), and a deterministic in-order merge
 // commits each level so verdicts, statistics and counterexample traces are
-// bit-identical to the sequential BFS for any worker count. Its soundness
-// conditions are those of the hooks it parallelizes: the protocol's
-// Enabled/Execute/CheckInvariant, the Canon function and the Expander must
-// be stateless or read-only (true of everything in this repository), and —
-// as for any BFS, which has no stack for the cycle proviso — combining it
-// with a reducing expander is sound only on acyclic state graphs.
+// bit-identical to the sequential BFS for any worker count — the queue
+// proviso included, which is evaluated after the level barrier against the
+// level-start visited snapshot rather than the live concurrent store. Its
+// soundness conditions are those of the hooks it parallelizes: the
+// protocol's Enabled/Execute/CheckInvariant, the Canon function and the
+// Expander must be stateless or read-only (true of everything in this
+// repository).
 package explore

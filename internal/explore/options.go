@@ -7,30 +7,56 @@ import (
 	"mpbasset/internal/core"
 )
 
-// StackInfo exposes the search stack to expanders: the static POR needs it
-// for the cycle proviso, and diagnostic expanders may inspect it. Searches
-// without a stack (BFS) report nothing on it.
-type StackInfo interface {
+// Proviso is the ignoring-proviso (C3) hook of a search engine: the
+// engine-specific test deciding whether a reduced expansion may be kept or
+// must be promoted to a full one so that deferred events cannot be ignored
+// forever around a cycle. Each stateful engine supplies its own
+// implementation — DFS the classic stack discipline (a reduced expansion
+// must not close a cycle onto the search stack), the BFS engines the queue
+// proviso (a reduced expansion must discover at least one state that was
+// not yet visited when the node's level began). The proviso decision is
+// the engine's: it executes the chosen events, queries the hook with the
+// successor keys and re-expands fully when the hook reports ignoring.
+//
+// The hook is also passed to Expander.Expand, but strictly for diagnostics
+// (logging, assertions): the event set an expander returns must be a pure
+// function of the state and its enabled events, never of the hook's
+// answers. Engines hand different implementations to Expand — DFS its live
+// stack, ParallelBFS workers an inert one, since no snapshot-consistent
+// answer exists mid-level — so conditioning the selection on the hook
+// would both lose the bit-identical sequential/parallel guarantee and
+// confuse the engine-side proviso accounting.
+type Proviso interface {
 	// OnStack reports whether the state with the given canonical key is on
-	// the current search stack.
+	// the current search stack. Engines without a stack (BFS) report false.
 	OnStack(key string) bool
+	// Ignoring reports whether a reduced expansion that yields exactly the
+	// states with the given canonical keys could defer its remaining
+	// events forever, in which case the engine re-expands the state fully.
+	// DFS: some successor is on the search stack (the reduced expansion
+	// would close a cycle). BFS: every successor was already visited when
+	// the expanded node's level began (the reduced expansion enqueues
+	// nothing new, so the deferred events would never be retried).
+	Ignoring(succKeys []string) bool
 }
 
 // Expander selects the events to explore from a state. A nil Expander (or
 // the FullExpander) yields unreduced search; package por provides the
 // stubborn-set expander.
 //
-// Contract: the returned slice must be a subset of enabled. Returning a
-// slice of the same length as enabled counts as a full expansion.
+// Contract: the returned slice must be a subset of enabled, and must be a
+// deterministic function of s and enabled alone — prov is informational
+// (see Proviso). Returning a slice of the same length as enabled counts as
+// a full expansion.
 type Expander interface {
-	Expand(s *core.State, enabled []core.Event, stack StackInfo) []core.Event
+	Expand(s *core.State, enabled []core.Event, prov Proviso) []core.Event
 }
 
 // FullExpander explores every enabled event (no reduction).
 type FullExpander struct{}
 
 // Expand implements Expander.
-func (FullExpander) Expand(_ *core.State, enabled []core.Event, _ StackInfo) []core.Event {
+func (FullExpander) Expand(_ *core.State, enabled []core.Event, _ Proviso) []core.Event {
 	return enabled
 }
 

@@ -51,11 +51,14 @@ type pSucc struct {
 
 // pOutcome is the expansion record of one frontier node, written by exactly
 // one worker and read only after the level's WaitGroup barrier.
+// provisoFull marks a node whose reduced expansion the queue proviso
+// promoted to a full one after the barrier.
 type pOutcome struct {
-	processed bool // false when a deadline stop dropped the node
-	deadlock  bool
-	reduced   bool
-	succs     []pSucc
+	processed   bool // false when a deadline stop dropped the node
+	deadlock    bool
+	reduced     bool
+	provisoFull bool
+	succs       []pSucc
 }
 
 // claimSpan is one worker's remaining range [next, end) of the frontier,
@@ -145,10 +148,16 @@ func (s *claimSpan) stealHalf() (lo, hi int, ok bool) {
 // the protocol's Enabled/Execute/CheckInvariant, the Canon function and the
 // Expander must not mutate shared state (true of core.Protocol, package
 // symmetry's canonicalizers and package por's expander, which only read
-// their precomputed analyses). BFS's cycle-proviso caveat is unchanged:
-// combining any BFS engine with a reducing expander is sound only on
-// acyclic state graphs (which all bundled protocol models are); prefer DFS
-// otherwise.
+// their precomputed analyses). Like sequential BFS, the engine enforces
+// the queue variant of the ignoring proviso (C3), so combining it with a
+// reducing expander is sound on cyclic state graphs too: after each
+// level's barrier, any reduced expansion whose successors were all visited
+// before the level began is promoted to a full expansion
+// (Stats.ProvisoExpansions). The proviso is evaluated against the
+// visited-set snapshot committed at level start — a successor is "already
+// visited" exactly when no phase-one insert of its key won — never against
+// the live concurrent store, so the decision is independent of worker
+// interleaving and identical to the sequential engine's.
 func ParallelBFS(p *core.Protocol, opts Options) (*Result, error) {
 	init, err := p.InitialState()
 	if err != nil {
@@ -167,6 +176,17 @@ func ParallelBFS(p *core.Protocol, opts Options) (*Result, error) {
 	var parents map[string]parentLink
 	if opts.TrackTrace {
 		parents = make(map[string]parentLink)
+	}
+
+	// The queue proviso normally needs no membership probe here (the
+	// level-start snapshot is derived from insert outcomes), but the
+	// sequential engine does need one and, on a caller-supplied store
+	// without Has, degrades by promoting every reduced expansion. Mirror
+	// that degradation so the bit-identical guarantee holds for any store.
+	conservativeProviso := false
+	if opts.Store != nil {
+		_, hasProbe := opts.Store.(HasStore)
+		conservativeProviso = !hasProbe
 	}
 
 	ikey := canon(init)
@@ -192,7 +212,7 @@ func ParallelBFS(p *core.Protocol, opts Options) (*Result, error) {
 			out.processed = true
 			return nil
 		}
-		chosen := exp.Expand(n.st, enabled, noStack{})
+		chosen := exp.Expand(n.st, enabled, noProviso{})
 		out.reduced = len(chosen) < len(enabled)
 		out.succs = make([]pSucc, len(chosen))
 		for k, ev := range chosen {
@@ -355,6 +375,80 @@ func ParallelBFS(p *core.Protocol, opts Options) (*Result, error) {
 			}
 		}
 
+		// Queue proviso (C3): a reduced expansion that rediscovered only
+		// states visited before this level began would defer its remaining
+		// events forever around a cycle; promote it to a full expansion.
+		// "Visited before the level began" is derived from the phase-one
+		// insert outcomes — a key is outside the level-start snapshot iff
+		// some successor instance won its insert (wasNew) — so the verdict
+		// is order-independent and bit-identical to sequential BFS for any
+		// worker count, scheduler and insert path. Promoted nodes are
+		// re-expanded sequentially in frontier order: their phase-one
+		// successors were all duplicates, so re-inserting cannot disturb
+		// other outcomes, and the deferred events' states must be committed
+		// in deterministic order anyway.
+		anyReduced := false
+		for i := range outcomes {
+			if outcomes[i].processed && outcomes[i].reduced {
+				anyReduced = true
+				break
+			}
+		}
+		if anyReduced {
+			var fresh map[string]struct{}
+			if !conservativeProviso {
+				fresh = make(map[string]struct{})
+				for i := range outcomes {
+					if !outcomes[i].processed {
+						continue
+					}
+					for j := range outcomes[i].succs {
+						if sc := &outcomes[i].succs[j]; sc.wasNew {
+							fresh[sc.key] = struct{}{}
+						}
+					}
+				}
+			}
+			for i := range outcomes {
+				out := &outcomes[i]
+				if !out.processed || !out.reduced {
+					continue
+				}
+				// conservativeProviso mirrors the sequential engine's
+				// degradation for stores without a Has probe: promote
+				// every reduced expansion (see bfsProviso.Ignoring),
+				// keeping the two engines bit-identical there too.
+				ignoring := true
+				if !conservativeProviso {
+					for j := range out.succs {
+						if _, ok := fresh[out.succs[j].key]; ok {
+							ignoring = false
+							break
+						}
+					}
+				}
+				if !ignoring {
+					continue
+				}
+				out.reduced = false
+				out.provisoFull = true
+				enabled := p.Enabled(frontier[i].st)
+				out.succs = make([]pSucc, len(enabled))
+				for k, ev := range enabled {
+					ns, err := p.Execute(frontier[i].st, ev)
+					if err != nil {
+						return nil, err
+					}
+					sc := &out.succs[k]
+					*sc = pSucc{st: ns, key: canon(ns), ev: ev}
+					if !store.Seen(sc.key) {
+						sc.wasNew = true
+						sc.verr = p.CheckInvariant(sc.st)
+					}
+				}
+			}
+		}
+
 		// Deterministic merge: commit the level in frontier order, exactly
 		// as the sequential engine would have. newVerr maps each key first
 		// inserted this level to its invariant result; entries are deleted
@@ -387,6 +481,9 @@ func ParallelBFS(p *core.Protocol, opts Options) (*Result, error) {
 				res.Stats.ReducedExpansions++
 			} else {
 				res.Stats.FullExpansions++
+				if out.provisoFull {
+					res.Stats.ProvisoExpansions++
+				}
 			}
 			for j := range out.succs {
 				sc := &out.succs[j]

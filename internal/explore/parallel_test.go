@@ -181,7 +181,7 @@ func TestParallelBFSMatchesSequentialBFS(t *testing.T) {
 						}
 					}
 					if par.Verdict == explore.VerdictViolated {
-						if _, err := explore.ReplayViolation(p, par.Trace); err != nil {
+						if _, err := explore.ReplayViolation(p, par.Trace, xo.Canon); err != nil {
 							t.Errorf("%s: counterexample does not replay: %v", cfg.name, err)
 						}
 					}
@@ -359,7 +359,7 @@ func TestParallelBFSTraceReplay(t *testing.T) {
 			if len(res.Trace) == 0 {
 				t.Fatal("violated verdict with empty trace")
 			}
-			st, err := explore.ReplayViolation(p, res.Trace)
+			st, err := explore.ReplayViolation(p, res.Trace, nil)
 			if err != nil {
 				t.Fatalf("counterexample does not replay: %v", err)
 			}

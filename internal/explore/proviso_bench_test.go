@@ -1,0 +1,56 @@
+package explore
+
+import (
+	"testing"
+
+	"mpbasset/internal/core"
+	"mpbasset/internal/mptest"
+)
+
+// BenchmarkQueueProviso measures the queue-proviso overhead of the BFS
+// engines on cyclic models: the per-level fresh-set bookkeeping plus the
+// promoted re-expansions, comparing unreduced search (no proviso
+// bookkeeping at all), reduced search (proviso armed and firing), and the
+// 8-worker parallel engine's post-barrier evaluation. Part of the CI
+// bench-smoke pass, so the proviso path cannot rot.
+func BenchmarkQueueProviso(b *testing.B) {
+	models := []struct {
+		name string
+		cfg  mptest.GenConfig
+	}{
+		{"bounce", mptest.GenConfig{Seed: 11, Quorums: true, Cycles: true, CyclePriority: 3}},
+		{"ring4", mptest.GenConfig{Seed: 11, Quorums: true, Cycles: true, RingSize: 4, CyclePriority: 3}},
+	}
+	for _, m := range models {
+		p, err := mptest.Random(m.cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runs := []struct {
+			name string
+			opts Options
+			run  func(*core.Protocol, Options) (*Result, error)
+		}{
+			{"BFS-unreduced", Options{}, BFS},
+			{"BFS-reduced", Options{Expander: loopExpander{}}, BFS},
+			{"ParallelBFS-8-reduced", Options{Expander: loopExpander{}, Workers: 8}, ParallelBFS},
+		}
+		for _, r := range runs {
+			b.Run(m.name+"/"+r.name, func(b *testing.B) {
+				b.ReportAllocs()
+				var proviso int
+				for i := 0; i < b.N; i++ {
+					res, err := r.run(p, r.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Verdict != VerdictVerified {
+						b.Fatalf("verdict %s", res.Verdict)
+					}
+					proviso = res.Stats.ProvisoExpansions
+				}
+				b.ReportMetric(float64(proviso), "proviso-expansions")
+			})
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package explore
+
+import (
+	"testing"
+
+	"mpbasset/internal/core"
+	"mpbasset/internal/mptest"
+)
+
+// loopExpander is a deterministic reducing expander independent of package
+// por (which explore cannot import): whenever an event of a ReadOnly
+// transition is enabled it explores only those, deferring everything else.
+// On mptest.IgnoringTrap this reproduces exactly the stubborn-set choice
+// that defeats proviso-less reduced BFS: the invisible token loop is
+// ReadOnly, the violating transition is not.
+type loopExpander struct{}
+
+func (loopExpander) Expand(_ *core.State, enabled []core.Event, _ Proviso) []core.Event {
+	var loop []core.Event
+	for _, ev := range enabled {
+		if ev.T.ReadOnly {
+			loop = append(loop, ev)
+		}
+	}
+	if len(loop) == 0 {
+		return enabled
+	}
+	return loop
+}
+
+// hasless hides the Has method of a Store, modeling a caller-supplied
+// store without the non-mutating membership probe.
+type hasless struct{ inner Store }
+
+func (h hasless) Seen(key string) bool { return h.inner.Seen(key) }
+func (h hasless) Len() int             { return h.inner.Len() }
+
+// TestBFSQueueProvisoFindsTrapViolation drives the engine-level proviso
+// without package por: the reduced BFS engines must promote the expansion
+// that closes the token ring and reach the violation, identically in the
+// sequential and parallel engines.
+func TestBFSQueueProvisoFindsTrapViolation(t *testing.T) {
+	for _, ring := range []int{2, 4} {
+		p, err := mptest.IgnoringTrap(ring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xo := Options{Expander: loopExpander{}, TrackTrace: true}
+		seq, err := BFS(p, xo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Verdict != VerdictViolated {
+			t.Fatalf("ring %d: BFS verdict %s, want CE", ring, seq.Verdict)
+		}
+		if seq.Stats.ProvisoExpansions != 1 {
+			t.Errorf("ring %d: ProvisoExpansions = %d, want 1", ring, seq.Stats.ProvisoExpansions)
+		}
+		if _, err := ReplayViolation(p, seq.Trace, nil); err != nil {
+			t.Errorf("ring %d: trace does not replay: %v", ring, err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			pxo := xo
+			pxo.Workers = workers
+			par, err := ParallelBFS(p, pxo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Verdict != seq.Verdict || !statsEqualProviso(par.Stats, seq.Stats) {
+				t.Errorf("ring %d workers %d: %s %+v, sequential %s %+v",
+					ring, workers, par.Verdict, par.Stats, seq.Verdict, seq.Stats)
+			}
+			for i := range par.Trace {
+				if par.Trace[i].StateKey != seq.Trace[i].StateKey {
+					t.Errorf("ring %d workers %d: trace step %d differs", ring, workers, i)
+					break
+				}
+			}
+		}
+	}
+}
+
+func statsEqualProviso(a, b Stats) bool {
+	a.Duration, b.Duration = 0, 0
+	return a == b
+}
+
+// TestBFSQueueProvisoHaslessStoreDegradesConservatively pins the fallback
+// for stores without the Has probe: the sequential BFS engine cannot
+// evaluate the level-start snapshot, so it must promote every reduced
+// expansion (sound, merely unreduced) — and in particular still find the
+// trap violation. ParallelBFS could evaluate the snapshot without a probe,
+// but must mirror the degradation so its results stay bit-identical to
+// sequential BFS on such stores too.
+func TestBFSQueueProvisoHaslessStoreDegradesConservatively(t *testing.T) {
+	p, err := mptest.IgnoringTrap(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BFS(p, Options{Expander: loopExpander{}, Store: hasless{inner: NewExactStore()}, TrackTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictViolated {
+		t.Fatalf("verdict %s, want CE (conservative degradation must stay sound)", res.Verdict)
+	}
+	if res.Stats.ReducedExpansions != 0 {
+		t.Errorf("ReducedExpansions = %d, want 0 (unknown membership promotes every reduced expansion)",
+			res.Stats.ReducedExpansions)
+	}
+	if res.Stats.ProvisoExpansions == 0 {
+		t.Error("ProvisoExpansions = 0, want > 0 (each promotion must be counted)")
+	}
+	for _, workers := range []int{1, 2, 8} {
+		par, err := ParallelBFS(p, Options{
+			Expander: loopExpander{}, Store: hasless{inner: NewExactStore()},
+			TrackTrace: true, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Verdict != res.Verdict || !statsEqualProviso(par.Stats, res.Stats) || len(par.Trace) != len(res.Trace) {
+			t.Errorf("workers %d: %s %+v (trace %d), sequential %s %+v (trace %d)",
+				workers, par.Verdict, par.Stats, len(par.Trace), res.Verdict, res.Stats, len(res.Trace))
+		}
+	}
+}
+
+// TestBFSProvisoSnapshotSemantics unit-tests bfsProviso's level-start
+// snapshot: only states visited before the current level began count as
+// "already visited"; keys first inserted during the level (the fresh set)
+// do not, and crossing into the next level re-admits them.
+func TestBFSProvisoSnapshotSemantics(t *testing.T) {
+	store := NewExactStore()
+	prov := newBFSProviso(store, loopExpander{})
+	if prov == nil {
+		t.Fatal("reducing expander must arm the proviso")
+	}
+	store.Seen("a") // visited at level 0
+
+	prov.advance(1)
+	store.Seen("b") // first inserted during level 1
+	prov.markNew("b")
+
+	if !prov.Ignoring([]string{"a"}) {
+		t.Error(`Ignoring(["a"]) = false, want true: "a" predates the level`)
+	}
+	if prov.Ignoring([]string{"a", "b"}) {
+		t.Error(`Ignoring(["a","b"]) = true, want false: "b" is fresh this level (still enqueued)`)
+	}
+	if prov.Ignoring([]string{"c"}) {
+		t.Error(`Ignoring(["c"]) = true, want false: "c" is unvisited`)
+	}
+
+	prov.advance(2) // next level: "b" now predates it
+	if !prov.Ignoring([]string{"a", "b"}) {
+		t.Error(`after advancing a level, Ignoring(["a","b"]) = false, want true`)
+	}
+
+	// FullExpander disables the bookkeeping entirely.
+	if p := newBFSProviso(store, FullExpander{}); p != nil {
+		t.Error("FullExpander must not arm the proviso")
+	}
+}

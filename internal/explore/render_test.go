@@ -64,7 +64,7 @@ func TestReplayViolationRejectsSatisfyingTrace(t *testing.T) {
 		t.Fatal("setup: expected verified")
 	}
 	// Empty trace ends in the initial state, which satisfies everything.
-	if _, err := ReplayViolation(p, nil); err == nil {
+	if _, err := ReplayViolation(p, nil, nil); err == nil {
 		t.Fatal("ReplayViolation accepted a satisfying end state")
 	}
 }

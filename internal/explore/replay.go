@@ -7,10 +7,19 @@ import (
 )
 
 // Replay re-executes a counterexample trace from the protocol's initial
-// state and returns the final state. It fails if any step does not apply —
-// the guarantee that reported traces are real executions, used by the test
-// suites and by tools that post-process counterexamples.
-func Replay(p *core.Protocol, trace []Step) (*core.State, error) {
+// state and returns the final state. Each step is verified two ways: the
+// recorded event must apply, and the canonical key of the replayed state
+// must equal the step's recorded StateKey — so a trace whose states were
+// mangled (or produced under a canonicalization bug) is rejected rather
+// than silently accepted. canon must be the Options.Canon the search ran
+// with (nil for the default core.(*State).Key), since traces record
+// canonical keys. This is the guarantee that reported traces are real
+// executions, used by the test suites and by tools that post-process
+// counterexamples.
+func Replay(p *core.Protocol, trace []Step, canon func(*core.State) string) (*core.State, error) {
+	if canon == nil {
+		canon = func(s *core.State) string { return s.Key() }
+	}
 	s, err := p.InitialState()
 	if err != nil {
 		return nil, err
@@ -20,6 +29,10 @@ func Replay(p *core.Protocol, trace []Step) (*core.State, error) {
 		if err != nil {
 			return nil, fmt.Errorf("replay step %d (%s): %w", i+1, step.Event, err)
 		}
+		if key := canon(ns); key != step.StateKey {
+			return nil, fmt.Errorf("replay step %d (%s): state key mismatch: replayed %q, recorded %q",
+				i+1, step.Event, key, step.StateKey)
+		}
 		s = ns
 	}
 	return s, nil
@@ -27,8 +40,8 @@ func Replay(p *core.Protocol, trace []Step) (*core.State, error) {
 
 // ReplayViolation replays the trace and additionally checks that the final
 // state violates the protocol's invariant, returning the violation.
-func ReplayViolation(p *core.Protocol, trace []Step) (*core.State, error) {
-	s, err := Replay(p, trace)
+func ReplayViolation(p *core.Protocol, trace []Step, canon func(*core.State) string) (*core.State, error) {
+	s, err := Replay(p, trace, canon)
 	if err != nil {
 		return nil, err
 	}

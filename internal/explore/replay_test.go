@@ -1,0 +1,58 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"mpbasset/internal/mptest"
+)
+
+func TestReplayVerifiesStateKeys(t *testing.T) {
+	trap, err := mptest.IgnoringTrap(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reduced trace walks the token ring before violating, giving a
+	// multi-step counterexample: [CYC, CYC, VIOLATE].
+	res, err := BFS(trap, Options{Expander: loopExpander{}, TrackTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictViolated || len(res.Trace) != 3 {
+		t.Fatalf("expected a 3-step violation trace, got %s (trace %d)", res.Verdict, len(res.Trace))
+	}
+
+	// The genuine trace replays, key checks included.
+	if _, err := ReplayViolation(trap, res.Trace, nil); err != nil {
+		t.Fatalf("genuine trace rejected: %v", err)
+	}
+
+	// A corrupted StateKey — e.g. produced by a canonicalization bug — is
+	// caught, including on the final step.
+	for _, corrupt := range []int{0, len(res.Trace) - 1} {
+		mangled := append([]Step(nil), res.Trace...)
+		mangled[corrupt].StateKey = "bogus|" + mangled[corrupt].StateKey
+		_, err := Replay(trap, mangled, nil)
+		if err == nil {
+			t.Fatalf("corrupted step %d accepted", corrupt)
+		}
+		if !strings.Contains(err.Error(), "state key mismatch") {
+			t.Errorf("corrupted step %d: error %q, want a state key mismatch", corrupt, err)
+		}
+	}
+
+	// An applicable event leading to the wrong state is caught by the key
+	// check even though execution succeeds: the final VIOLATE step applies
+	// from the initial state too, but reaches a state with the token in
+	// the wrong position.
+	misplaced := []Step{res.Trace[len(res.Trace)-1]}
+	if _, err := Replay(trap, misplaced, nil); err == nil || !strings.Contains(err.Error(), "state key mismatch") {
+		t.Errorf("misplaced final step: error %v, want a state key mismatch", err)
+	}
+
+	// A non-applicable event still errors as before: dropping the first
+	// hop leaves a CYC consumption whose message is not in flight.
+	if _, err := Replay(trap, res.Trace[1:], nil); err == nil || strings.Contains(err.Error(), "state key mismatch") {
+		t.Errorf("front-truncated trace: error %v, want an execution error", err)
+	}
+}

@@ -56,6 +56,14 @@ type Step struct {
 // the depth, in events from the initial state (root = 0), of the deepest
 // state the run visited, under each engine's own visit order (BFS engines
 // visit states at shortest-path depth; DFS at first-search-path depth).
+//
+// ProvisoExpansions counts the expansions the ignoring proviso (C3)
+// promoted from reduced to full: DFS promotes when a reduced expansion
+// would close a cycle onto the search stack, the BFS engines when a
+// reduced expansion yields only states already visited at the start of the
+// node's level. Each such expansion is also counted in FullExpansions
+// (never in ReducedExpansions); the counter is deterministic for every
+// engine, worker count and scheduler.
 type Stats struct {
 	States            int
 	Revisits          int
@@ -64,6 +72,7 @@ type Stats struct {
 	MaxDepth          int
 	FullExpansions    int
 	ReducedExpansions int
+	ProvisoExpansions int
 	Duration          time.Duration
 }
 

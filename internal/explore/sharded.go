@@ -135,10 +135,28 @@ func (s *ShardedStore) SeenBatch(keys []string) []bool {
 	return dups
 }
 
+// Has implements HasStore: a non-mutating membership probe, linearizable
+// per key like Seen.
+func (s *ShardedStore) Has(key string) bool {
+	fp := fingerprint(key)
+	sh := &s.shards[fp[15]]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.exact {
+		_, ok := sh.exact[key]
+		return ok
+	}
+	_, ok := sh.hashed[fp]
+	return ok
+}
+
 // Len implements Store.
 func (s *ShardedStore) Len() int { return int(s.count.Load()) }
 
-var _ BatchStore = (*ShardedStore)(nil)
+var (
+	_ BatchStore = (*ShardedStore)(nil)
+	_ HasStore   = (*ShardedStore)(nil)
+)
 
 // syncStore serializes an arbitrary Store behind one mutex — the fallback
 // ParallelBFS uses when handed a store that is not a ShardedStore, keeping

@@ -40,7 +40,7 @@ func StatelessDFS(p *core.Protocol, opts Options) (*Result, error) {
 		next  int
 	}
 	var stack []frame
-	sinfo := noStack{}
+	sinfo := noProviso{}
 
 	push := func(s *core.State, key string, via core.Event) error {
 		res.Stats.States++

@@ -27,6 +27,19 @@ type BatchStore interface {
 	SeenBatch(keys []string) []bool
 }
 
+// HasStore is a Store with a non-mutating membership probe. The sequential
+// BFS engine needs it for the queue variant of the ignoring proviso (C3):
+// deciding whether a reduced expansion discovered anything new must not
+// itself record the probed keys. All stores of this package implement it;
+// for a caller-supplied store without Has the proviso degrades
+// conservatively (every reduced expansion is promoted to a full one —
+// sound, merely unreduced).
+type HasStore interface {
+	Store
+	// Has reports whether key was already recorded, without recording it.
+	Has(key string) bool
+}
+
 // seenBatch flushes keys through the store's batched fast path when it has
 // one, and degenerates to a per-key loop otherwise.
 func seenBatch(store Store, keys []string) []bool {
@@ -94,6 +107,12 @@ func (s *ExactStore) Seen(key string) bool {
 	return false
 }
 
+// Has implements HasStore.
+func (s *ExactStore) Has(key string) bool {
+	_, ok := s.m[key]
+	return ok
+}
+
 // Len implements Store.
 func (s *ExactStore) Len() int { return len(s.m) }
 
@@ -121,10 +140,16 @@ func (s *HashStore) Seen(key string) bool {
 	return false
 }
 
+// Has implements HasStore.
+func (s *HashStore) Has(key string) bool {
+	_, ok := s.m[fingerprint(key)]
+	return ok
+}
+
 // Len implements Store.
 func (s *HashStore) Len() int { return len(s.m) }
 
 var (
-	_ Store = (*ExactStore)(nil)
-	_ Store = (*HashStore)(nil)
+	_ HasStore = (*ExactStore)(nil)
+	_ HasStore = (*HashStore)(nil)
 )

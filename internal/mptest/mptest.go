@@ -55,10 +55,23 @@ type GenConfig struct {
 	// AnyQuorums additionally allows unrestricted subset (AnyQuorum)
 	// transitions, guarded to small subsets to keep the powerset bounded.
 	AnyQuorums bool
-	// Cycles adds a ReadOnly reply loop between two processes, making the
-	// state graph cyclic (exercises the DFS cycle proviso). Without it,
-	// generated graphs are acyclic.
+	// Cycles adds a ReadOnly token loop, making the state graph cyclic
+	// (exercises the engines' ignoring provisos). Without it, generated
+	// graphs are acyclic.
 	Cycles bool
+	// RingSize sets the length of the token loop Cycles installs: 0 or 2
+	// is the original two-process reply bounce, larger values build a
+	// one-directional token ring over that many dedicated processes
+	// (appended after the n random ones), producing cycles the search
+	// crosses over several BFS levels.
+	RingSize int
+	// CyclePriority sets the Priority of the cycle transitions (default 0,
+	// tried last by the POR seed heuristic). A priority above the
+	// generated transitions' (2) makes the expander prefer the invisible
+	// loop as its stubborn-set seed — the adversarial configuration under
+	// which a reduced search without an ignoring proviso can defer visible
+	// events forever.
+	CyclePriority int
 	// Threshold, if positive, installs an invariant "process 0 completed
 	// fewer than Threshold rounds"; protocols whose process 0 can reach
 	// it yield counterexamples. Zero installs no invariant.
@@ -89,17 +102,29 @@ func Random(cfg GenConfig) (*core.Protocol, error) {
 		}
 	}
 	var initial []core.Message
+	procs := n
 	if cfg.Cycles {
-		ts = append(ts, cycleTransitions(n)...)
-		initial = append(initial, core.Message{From: 1, To: 0, Type: "CYC", Payload: payload{V: 0}})
+		if cfg.RingSize > 2 {
+			// A dedicated one-directional token ring appended after the n
+			// random processes: its cycles span RingSize BFS levels.
+			ts = append(ts, ringTransitions(core.ProcessID(n), cfg.RingSize, cfg.CyclePriority)...)
+			initial = append(initial, core.Message{
+				From: core.ProcessID(n + cfg.RingSize - 1), To: core.ProcessID(n),
+				Type: "CYC", Payload: payload{V: 0},
+			})
+			procs = n + cfg.RingSize
+		} else {
+			ts = append(ts, cycleTransitions(cfg.CyclePriority)...)
+			initial = append(initial, core.Message{From: 1, To: 0, Type: "CYC", Payload: payload{V: 0}})
+		}
 	}
 
 	p := &core.Protocol{
 		Name:            fmt.Sprintf("random-%d", cfg.Seed),
-		N:               n,
+		N:               procs,
 		InitialMessages: initial,
 		Init: func() []core.LocalState {
-			locals := make([]core.LocalState, n)
+			locals := make([]core.LocalState, procs)
 			for i := range locals {
 				locals[i] = &Local{}
 			}
@@ -257,7 +282,7 @@ func anySubsetTransition(rng *rand.Rand, proc core.ProcessID, limit int, types [
 
 // cycleTransitions builds a two-process ReadOnly token loop: process 0 and
 // 1 bounce a CYC message forever, so the state graph contains a cycle.
-func cycleTransitions(n int) []*core.Transition {
+func cycleTransitions(priority int) []*core.Transition {
 	mk := func(self, other core.ProcessID) *core.Transition {
 		return &core.Transition{
 			Name:     "CYC",
@@ -267,7 +292,7 @@ func cycleTransitions(n int) []*core.Transition {
 			Peers:    []core.ProcessID{other},
 			IsReply:  true,
 			ReadOnly: true,
-			Priority: 0,
+			Priority: priority,
 			Sends:    []core.SendSpec{{Type: "CYC", ToSenders: true}},
 			Apply: func(c *core.Ctx) {
 				c.Send(c.Msgs[0].From, "CYC", payload{V: 0})
@@ -275,4 +300,88 @@ func cycleTransitions(n int) []*core.Transition {
 		}
 	}
 	return []*core.Transition{mk(0, 1), mk(1, 0)}
+}
+
+// ringTransitions builds a one-directional ReadOnly token ring over size
+// processes starting at first: each member consumes CYC from its
+// predecessor and forwards it to its successor, so the state graph
+// contains a cycle of length size.
+func ringTransitions(first core.ProcessID, size, priority int) []*core.Transition {
+	ts := make([]*core.Transition, size)
+	for i := 0; i < size; i++ {
+		self := first + core.ProcessID(i)
+		prev := first + core.ProcessID((i+size-1)%size)
+		next := first + core.ProcessID((i+1)%size)
+		ts[i] = &core.Transition{
+			Name:     "CYC",
+			Proc:     self,
+			MsgType:  "CYC",
+			Quorum:   1,
+			Peers:    []core.ProcessID{prev},
+			ReadOnly: true,
+			Priority: priority,
+			Sends:    []core.SendSpec{{Type: "CYC", To: []core.ProcessID{next}}},
+			Apply: func(c *core.Ctx) {
+				c.Send(next, "CYC", payload{V: 0})
+			},
+		}
+	}
+	return ts
+}
+
+// IgnoringTrap returns the minimal deterministic cyclic protocol on which
+// a reduced breadth-first search WITHOUT an ignoring proviso is unsound:
+// ring (>= 2) processes carry an invisible, high-priority CYC token loop,
+// and process 0 owns a single visible transition that violates the
+// invariant. The POR expander always seeds its stubborn set at the token
+// holder (priority 5 beats the violating transition's 0), the loop is
+// independent of process 0, so every ample set is the lone enabled CYC
+// event — a reduced BFS just chases the token around the ring, rediscovers
+// visited states forever, and reports Verified although the violation is
+// one step away. The DFS stack proviso and the BFS queue proviso both
+// promote the expansion that closes the ring, finding the violation via
+// the identical trace (ring-1 CYC hops, then the violating event).
+func IgnoringTrap(ring int) (*core.Protocol, error) {
+	if ring < 2 {
+		return nil, fmt.Errorf("mptest: IgnoringTrap needs a ring of at least 2, got %d", ring)
+	}
+	ts := []*core.Transition{{
+		Name:     "VIOLATE",
+		Proc:     0,
+		Priority: 0,
+		Visible:  true,
+		LocalGuard: func(ls core.LocalState) bool {
+			return ls.(*Local).Rounds < 1
+		},
+		Apply: func(c *core.Ctx) {
+			c.Local.(*Local).Rounds++
+		},
+	}}
+	ts = append(ts, ringTransitions(1, ring, 5)...)
+	p := &core.Protocol{
+		Name: fmt.Sprintf("ignoring-trap-%d", ring),
+		N:    1 + ring,
+		InitialMessages: []core.Message{{
+			From: core.ProcessID(ring), To: 1, Type: "CYC", Payload: payload{V: 0},
+		}},
+		Init: func() []core.LocalState {
+			locals := make([]core.LocalState, 1+ring)
+			for i := range locals {
+				locals[i] = &Local{}
+			}
+			return locals
+		},
+		Transitions:   ts,
+		ValidateSends: true,
+		Invariant: func(s *core.State) error {
+			if r := s.Local(0).(*Local).Rounds; r >= 1 {
+				return fmt.Errorf("process 0 reached %d rounds (threshold 1)", r)
+			}
+			return nil
+		},
+	}
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
 }

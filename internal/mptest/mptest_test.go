@@ -80,6 +80,77 @@ func TestCyclicGeneration(t *testing.T) {
 	}
 }
 
+func TestRingGeneration(t *testing.T) {
+	for _, ring := range []int{3, 5} {
+		p, err := Random(GenConfig{Seed: 2, Cycles: true, RingSize: ring, CyclePriority: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := Random(GenConfig{Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.N != base.N+ring {
+			t.Errorf("ring %d: N = %d, want %d (ring processes appended)", ring, p.N, base.N+ring)
+		}
+		cyc := 0
+		for _, tr := range p.Transitions {
+			if tr.Name == "CYC" {
+				cyc++
+				if tr.Priority != 3 {
+					t.Errorf("ring transition priority %d, want 3", tr.Priority)
+				}
+				if !tr.ReadOnly {
+					t.Error("ring transitions must be ReadOnly")
+				}
+			}
+		}
+		if cyc != ring {
+			t.Errorf("ring %d: %d CYC transitions, want %d", ring, cyc, ring)
+		}
+		res, err := explore.DFS(p, explore.Options{MaxStates: 500000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != explore.VerdictVerified {
+			t.Errorf("ring %d: %s (no threshold, must verify)", ring, res.Verdict)
+		}
+		if res.Stats.Revisits == 0 {
+			t.Errorf("ring %d: expected revisits on a cyclic state graph", ring)
+		}
+	}
+}
+
+func TestIgnoringTrap(t *testing.T) {
+	if _, err := IgnoringTrap(1); err == nil {
+		t.Error("ring of 1 accepted")
+	}
+	for _, ring := range []int{2, 4} {
+		p, err := IgnoringTrap(ring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.N != ring+1 {
+			t.Errorf("ring %d: N = %d, want %d", ring, p.N, ring+1)
+		}
+		// Ground truth: the violation is reachable (one step away), and
+		// the unreduced state graph is the ring × {pre, post violation}.
+		res, err := explore.BFS(p, explore.Options{TrackTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != explore.VerdictViolated {
+			t.Fatalf("ring %d: %s, want CE", ring, res.Verdict)
+		}
+		if len(res.Trace) != 1 {
+			t.Errorf("ring %d: shortest counterexample has %d steps, want 1", ring, len(res.Trace))
+		}
+		if _, err := explore.ReplayViolation(p, res.Trace, nil); err != nil {
+			t.Errorf("ring %d: trace does not replay: %v", ring, err)
+		}
+	}
+}
+
 func TestThresholdInstallsInvariant(t *testing.T) {
 	violated := 0
 	for seed := int64(0); seed < 30; seed++ {

@@ -22,6 +22,15 @@
 //     dependent on every transition of those processes.
 //
 // The expander implements the ample-set provisos: C2 (a reduced ample set
-// must contain no property-visible transition) here, and C3 (cycle
-// proviso) in cooperation with the DFS engine of package explore.
+// must contain no property-visible transition) here, and C3 (the ignoring
+// proviso) in cooperation with the engines of package explore. C3 demands
+// that deferred events cannot be ignored forever around a cycle, and each
+// engine discharges it with the discipline matching its search order: DFS
+// promotes a reduced expansion to a full one when some successor is on the
+// search stack (the classic stack/cycle proviso), while BFS and
+// ParallelBFS promote when every successor of a reduced expansion was
+// already visited before the expanded node's level began (the queue
+// proviso — if nothing new is enqueued, the deferred events would never be
+// retried). Both disciplines make the reduction sound on cyclic state
+// graphs; promoted expansions are reported in Stats.ProvisoExpansions.
 package por

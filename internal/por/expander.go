@@ -78,10 +78,13 @@ func newExpander(a *Analysis) *Expander {
 // Analysis exposes the underlying static analysis (diagnostics, tests).
 func (e *Expander) Analysis() *Analysis { return e.a }
 
-// Expand implements explore.Expander. The cycle proviso (C3) is enforced by
-// the DFS engine; Expand enforces C1 (stubbornness) and C2 (a reduced
+// Expand implements explore.Expander. The ignoring proviso (C3) is
+// enforced by the engines themselves — DFS re-expands when a reduced
+// expansion would close a cycle on its stack, the BFS engines when a
+// reduced expansion discovers no state that was unvisited at the start of
+// the node's level; Expand enforces C1 (stubbornness) and C2 (a reduced
 // ample set contains no visible transition).
-func (e *Expander) Expand(s *core.State, enabled []core.Event, _ explore.StackInfo) []core.Event {
+func (e *Expander) Expand(s *core.State, enabled []core.Event, _ explore.Proviso) []core.Event {
 	if len(enabled) <= 1 {
 		return enabled
 	}

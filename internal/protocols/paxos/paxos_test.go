@@ -85,7 +85,7 @@ func TestFaultyCounterexampleReplays(t *testing.T) {
 	if res.Verdict != explore.VerdictViolated {
 		t.Fatalf("verdict %s, want CE", res.Verdict)
 	}
-	if _, err := explore.ReplayViolation(p, res.Trace); err != nil {
+	if _, err := explore.ReplayViolation(p, res.Trace, nil); err != nil {
 		t.Fatalf("counterexample does not replay to a consensus violation: %v", err)
 	}
 	if !strings.Contains(res.Violation.Error(), "consensus violated") {

@@ -79,7 +79,7 @@ func TestWrongRegularityCounterexampleReplays(t *testing.T) {
 	if res.Verdict != explore.VerdictViolated {
 		t.Fatalf("verdict %s, want CE", res.Verdict)
 	}
-	if _, err := explore.ReplayViolation(p, res.Trace); err != nil {
+	if _, err := explore.ReplayViolation(p, res.Trace, nil); err != nil {
 		t.Fatalf("counterexample does not replay to a violation: %v", err)
 	}
 	if !strings.Contains(res.Violation.Error(), "wrong regularity violated") {

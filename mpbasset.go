@@ -21,9 +21,12 @@
 // in-order merge, so verdicts, state counts and counterexamples are
 // reproducible and identical to the sequential search for any worker
 // count. Parallel search is sound for the reduced searches because the
-// expanders and canonicalizers are stateless/read-only; combining it (like
-// any BFS) with partial-order reduction additionally requires an acyclic
-// state graph, which all bundled protocol models have.
+// expanders and canonicalizers are stateless/read-only, and — like every
+// engine here — it enforces the ignoring proviso, so partial-order
+// reduction stays sound on cyclic state graphs too: DFS re-expands states
+// whose reduced expansion would close a cycle on its stack, the BFS
+// engines re-expand states whose reduced expansion discovers nothing that
+// was unvisited when their level began (see Result.Stats.ProvisoExpansions).
 //
 // See the examples/ directory for complete programs and cmd/mpcheck for
 // the command-line interface.
@@ -85,8 +88,9 @@ const (
 	SearchSPOR Search = iota + 1
 	// SearchUnreduced is plain stateful DFS.
 	SearchUnreduced
-	// SearchBFS is stateful BFS (shortest counterexamples; combine with
-	// reduction only on acyclic models).
+	// SearchBFS is stateful BFS (shortest counterexamples). Safe to
+	// combine with reduction on any model: the queue variant of the
+	// ignoring proviso keeps POR sound on cyclic state graphs.
 	SearchBFS
 	// SearchStateless is depth-first search without a visited set.
 	SearchStateless
@@ -116,10 +120,11 @@ type Options struct {
 	// that many workers (sharing a sharded concurrent visited-state
 	// store); results are deterministic and identical to sequential BFS
 	// for any worker count. Applies to SearchSPOR, SearchUnreduced and
-	// SearchBFS — sound because the expanders and canon functions are
-	// stateless/read-only, with BFS's usual proviso that reduced search
-	// requires an acyclic state graph (true of all bundled protocol
-	// models). Stateless and DPOR searches do not support workers.
+	// SearchBFS — sound on every model, cyclic ones included: the
+	// expanders and canon functions are stateless/read-only, and the
+	// engine enforces the queue variant of the ignoring proviso against
+	// the level-start visited snapshot. Stateless and DPOR searches do
+	// not support workers.
 	//
 	// Within each frontier, workers claim contiguous chunks and steal
 	// half-ranges from the most-loaded worker when idle, flushing
