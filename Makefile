@@ -1,12 +1,16 @@
 # Development and CI entry points. `make ci` is what the CI workflow runs:
 # vet + build + full test suite, plus the race detector over the packages
-# with concurrent code (the parallel search engine and the core it drives)
-# and the packages whose tests exercise it (the POR ignoring-proviso matrix
-# and the cyclic protocol generators).
+# with concurrent code (the parallel search engine, the spill-to-disk
+# store, and the core they drive) and the packages whose tests exercise
+# them (the POR ignoring-proviso matrix, the cyclic protocol generators,
+# and the eval cells that run spill-backed parallel searches). `make fuzz`
+# runs the native fuzz targets — the cross-engine differential harness and
+# the fingerprint pin — for FUZZTIME each (CI smokes them at 30s).
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all vet build test race bench bench-smoke ci
+.PHONY: all vet build test race fuzz bench bench-smoke ci
 
 all: ci
 
@@ -20,7 +24,11 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/explore/ ./internal/core/ ./internal/por/ ./internal/mptest/
+	$(GO) test -race ./internal/explore/ ./internal/core/ ./internal/por/ ./internal/mptest/ ./internal/eval/
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzEngineAgreement$$' -fuzztime $(FUZZTIME) ./internal/explore/
+	$(GO) test -run '^$$' -fuzz '^FuzzFingerprint128$$' -fuzztime $(FUZZTIME) ./internal/explore/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

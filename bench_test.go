@@ -375,6 +375,87 @@ func BenchmarkFrontierScheduler(b *testing.B) {
 	}
 }
 
+// BenchmarkSpillStoreOverhead quantifies the cost of the spill-to-disk
+// visited store against the in-memory baseline on the skewed deep
+// workloads of BenchmarkFrontierScheduler (deep Paxos, combined-split
+// refined multicast), SPOR-reduced with 4 frontier-parallel workers — the
+// configuration a beyond-RAM run would use. The budgets force different
+// spill pressure: "unbounded" never touches disk, "1MiB" spills the tail
+// of a large run, "64KiB" keeps almost the whole visited set on disk, so
+// the three time/op columns trace the overhead curve. All configurations
+// explore the identical state space (states/op is constant); spillruns/op
+// reports the disk activity.
+func BenchmarkSpillStoreOverhead(b *testing.B) {
+	targets := []struct {
+		name string
+		mk   func() (*core.Protocol, error)
+	}{
+		{"DeepPaxos_231", func() (*core.Protocol, error) {
+			return paxos.New(paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1})
+		}},
+		{"RefinedMulticast_3111", func() (*core.Protocol, error) {
+			p, err := multicast.New(multicast.Config{
+				HonestReceivers: 3, HonestInitiators: 1,
+				ByzantineReceivers: 1, ByzantineInitiators: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return refine.Split(p, refine.Combined)
+		}},
+	}
+	budgets := []struct {
+		name  string
+		bytes int64
+	}{
+		{"unbounded", 0},
+		{"budget-1MiB", 1 << 20},
+		{"budget-64KiB", 64 << 10},
+	}
+	for _, tg := range targets {
+		p, err := tg.mk()
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp, err := por.NewExpander(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, bud := range budgets {
+			b.Run(fmt.Sprintf("%s/%s", tg.name, bud.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					opts := explore.Options{
+						Expander:    exp,
+						Workers:     4,
+						MaxDuration: benchBudget(),
+					}
+					var spill *explore.SpillStore
+					if bud.bytes > 0 {
+						spill, err = explore.NewSpillStore(explore.SpillConfig{BudgetBytes: bud.bytes, Dir: b.TempDir()})
+						if err != nil {
+							b.Fatal(err)
+						}
+						opts.Store = spill
+					} else {
+						opts.Store = explore.NewShardedHashStore()
+					}
+					res, err := explore.ParallelBFS(p, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if spill != nil {
+						if err := spill.Close(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(res.Stats.States), "states")
+					b.ReportMetric(float64(res.Stats.SpillRuns), "spillruns")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkShardedStore isolates the visited-set stores: the sequential
 // stores single-threaded versus the sharded store hammered by GOMAXPROCS
 // goroutines (b.RunParallel), on a shared synthetic key stream.

@@ -29,6 +29,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "run the stateful cells with this many frontier-parallel BFS workers (0 = sequential DFS)")
 		chunk    = flag.Int("chunk", 0, "frontier nodes a parallel worker claims per grab (0 = adaptive; needs -workers)")
 		batch    = flag.Int("batch", 0, "successor keys a parallel worker buffers per batched visited-set insert (0 = default 64; needs -workers)")
+		memB     = flag.String("mem-budget", "", "visited-set memory budget per cell, e.g. 512M: past it, fingerprints spill to sorted runs on disk (empty = in-memory only)")
+		spillDir = flag.String("spill-dir", "", "directory for spill run files (default: a temporary directory per cell; needs -mem-budget)")
 	)
 	flag.Parse()
 
@@ -42,11 +44,23 @@ func main() {
 		return
 	}
 	// mpbench's stateful cells run SPOR; reuse the shared flag validation
-	// so -chunk/-batch without -workers is rejected, not silently ignored.
+	// so -chunk/-batch without -workers (or -spill-dir without
+	// -mem-budget) is rejected, not silently ignored.
 	if err := cli.ValidateParallelFlags("spor", *workers, *chunk, *batch); err != nil {
 		fail(err)
 	}
-	opts := eval.Options{Budget: *budget, Paper: *paper, Workers: *workers, ChunkSize: *chunk, BatchSize: *batch}
+	memBudget, err := cli.ParseBytes(*memB)
+	if err != nil {
+		fail(err)
+	}
+	if err := cli.ValidateSpillFlags("spor", memBudget, *spillDir); err != nil {
+		fail(err)
+	}
+	opts := eval.Options{
+		Budget: *budget, Paper: *paper,
+		Workers: *workers, ChunkSize: *chunk, BatchSize: *batch,
+		StoreBudgetBytes: memBudget, SpillDir: *spillDir,
+	}
 	emit := func(title string, rows []eval.Row) {
 		if *jsonOut {
 			if err := eval.WriteJSON(os.Stdout, title, rows); err != nil {

@@ -50,6 +50,8 @@ func run(args []string) error {
 		workers  = fs.Int("workers", 0, "explore BFS frontiers with this many parallel workers (0 = sequential; spor, unreduced and bfs searches only)")
 		chunk    = fs.Int("chunk", 0, "frontier nodes a parallel worker claims per grab (0 = adaptive; needs -workers)")
 		batch    = fs.Int("batch", 0, "successor keys a parallel worker buffers per batched visited-set insert (0 = default 64; needs -workers)")
+		memB     = fs.String("mem-budget", "", "visited-set memory budget, e.g. 512M or 2G: past it, fingerprints spill to sorted runs on disk (empty = in-memory only; spor, unreduced and bfs searches)")
+		spillDir = fs.String("spill-dir", "", "directory for spill run files (default: a temporary directory; needs -mem-budget)")
 		dotOut   = fs.String("dot", "", "write the full state graph (small models!) as Graphviz DOT to this file")
 		traceDot = fs.String("trace-dot", "", "write the counterexample trace as Graphviz DOT to this file")
 	)
@@ -57,6 +59,13 @@ func run(args []string) error {
 		return err
 	}
 	if err := cli.ValidateParallelFlags(*search, *workers, *chunk, *batch); err != nil {
+		return err
+	}
+	memBudget, err := cli.ParseBytes(*memB)
+	if err != nil {
+		return err
+	}
+	if err := cli.ValidateSpillFlags(*search, memBudget, *spillDir); err != nil {
 		return err
 	}
 
@@ -83,7 +92,21 @@ func run(args []string) error {
 		ChunkSize:   *chunk,
 		BatchSize:   *batch,
 	}
-	if *workers > 0 {
+	var spill *explore.SpillStore
+	switch {
+	case memBudget > 0:
+		// The spill store is concurrency-safe, so it serves the
+		// sequential engines and ParallelBFS alike.
+		spill, err = explore.NewSpillStore(explore.SpillConfig{BudgetBytes: memBudget, Dir: *spillDir})
+		if err != nil {
+			return err
+		}
+		// The deferred close covers the error returns below; the explicit
+		// close before the exit paths at the bottom covers os.Exit(2).
+		// Close is idempotent, so both may run.
+		defer spill.Close()
+		opts.Store = spill
+	case *workers > 0:
 		opts.Store = explore.NewShardedHashStore()
 	}
 	if *sym {
@@ -124,12 +147,23 @@ func run(args []string) error {
 	if *workers > 0 {
 		fmt.Printf("workers:   %d (frontier-parallel BFS)\n", *workers)
 	}
+	if memBudget > 0 {
+		fmt.Printf("mem-budget: %d bytes (visited set spills to disk past it)\n", memBudget)
+	}
 	if *dotOut != "" {
 		if err := writeGraphDOT(p, *dotOut); err != nil {
 			return err
 		}
 	}
 	res, err := engine(p, opts)
+	// Close before the exit paths below: the spill store owns run files
+	// and possibly a temporary directory, and run() exits the process on
+	// a violation.
+	if spill != nil {
+		if cerr := spill.Close(); err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -168,6 +202,10 @@ func report(res *explore.Result) {
 			fmt.Printf(" (%d promoted by the ignoring proviso)", st.ProvisoExpansions)
 		}
 		fmt.Println()
+	}
+	if st.SpillRuns > 0 || st.DiskProbes > 0 {
+		fmt.Printf("spill:     %d runs, %d bytes written, %d disk probes\n",
+			st.SpillRuns, st.SpillBytes, st.DiskProbes)
 	}
 }
 

@@ -4,6 +4,7 @@ package cli
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -108,6 +109,67 @@ func ValidateParallelFlags(search string, workers, chunk, batch int) error {
 	}
 	if batch != 0 {
 		return fmt.Errorf("-batch requires -workers (it tunes the parallel visited-set insert batching)")
+	}
+	return nil
+}
+
+// ParseBytes parses a human-readable byte size like "64M", "1.5GiB" or
+// "4096": a non-negative decimal number with an optional binary-multiple
+// suffix K/M/G/T (the B/iB spellings are accepted and equivalent —
+// multiples are always 1024-based). An empty string is 0.
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, nil
+	}
+	upper := strings.ToUpper(t)
+	mult := int64(1)
+	for _, suf := range []struct {
+		text string
+		mult int64
+	}{
+		{"KIB", 1 << 10}, {"KB", 1 << 10}, {"K", 1 << 10},
+		{"MIB", 1 << 20}, {"MB", 1 << 20}, {"M", 1 << 20},
+		{"GIB", 1 << 30}, {"GB", 1 << 30}, {"G", 1 << 30},
+		{"TIB", 1 << 40}, {"TB", 1 << 40}, {"T", 1 << 40},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(upper, suf.text) {
+			mult = suf.mult
+			upper = strings.TrimSpace(strings.TrimSuffix(upper, suf.text))
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(upper, 64)
+	if err != nil || math.IsNaN(v) {
+		return 0, fmt.Errorf("byte size %q: want a number with an optional K/M/G/T suffix", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("byte size %q: must not be negative", s)
+	}
+	bytes := v * float64(mult)
+	if bytes >= float64(1<<62) {
+		return 0, fmt.Errorf("byte size %q: too large", s)
+	}
+	return int64(bytes), nil
+}
+
+// ValidateSpillFlags checks the spill-store flag combinations the CLIs
+// accept: -mem-budget requires a stateful search (stateless and DPOR
+// searches keep no visited set to spill), and -spill-dir is meaningless
+// without -mem-budget — passing it alone is rejected instead of silently
+// ignored, mirroring ValidateParallelFlags.
+func ValidateSpillFlags(search string, budgetBytes int64, spillDir string) error {
+	if budgetBytes > 0 {
+		switch search {
+		case "spor", "unreduced", "bfs":
+			return nil
+		default:
+			return fmt.Errorf("-mem-budget requires a stateful search (spor, unreduced or bfs), not %q", search)
+		}
+	}
+	if spillDir != "" {
+		return fmt.Errorf("-spill-dir requires -mem-budget (the spill directory is meaningless without a memory budget)")
 	}
 	return nil
 }

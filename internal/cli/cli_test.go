@@ -114,6 +114,79 @@ func TestValidateParallelFlags(t *testing.T) {
 	}
 }
 
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"", 0, false},
+		{"0", 0, false},
+		{"4096", 4096, false},
+		{" 4096 ", 4096, false},
+		{"512B", 512, false},
+		{"1K", 1 << 10, false},
+		{"1k", 1 << 10, false},
+		{"64M", 64 << 20, false},
+		{"64MB", 64 << 20, false},
+		{"64MiB", 64 << 20, false},
+		{"2G", 2 << 30, false},
+		{"1T", 1 << 40, false},
+		{"1.5K", 1536, false},
+		{"-1", 0, true},
+		{"-1K", 0, true},
+		{"x", 0, true},
+		{"Kx", 0, true},
+		{"12Q", 0, true},
+		{"NaN", 0, true},
+		{"Inf", 0, true},
+		{"1e30", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseBytes(tc.in)
+		if tc.err {
+			if err == nil {
+				t.Errorf("ParseBytes(%q) = %d, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Errorf("ParseBytes(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+	}
+}
+
+func TestValidateSpillFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		search  string
+		budget  int64
+		dir     string
+		wantErr string // substring; empty means accepted
+	}{
+		{"no spill flags", "spor", 0, "", ""},
+		{"budget with spor", "spor", 1 << 20, "", ""},
+		{"budget with unreduced", "unreduced", 1 << 20, "", ""},
+		{"budget with bfs", "bfs", 1 << 20, "", ""},
+		{"budget and dir", "bfs", 1 << 20, "/tmp/spill", ""},
+		{"budget with stateless", "stateless", 1 << 20, "", "-mem-budget requires a stateful search"},
+		{"budget with dpor", "dpor", 1 << 20, "", "-mem-budget requires a stateful search"},
+		{"dir without budget", "spor", 0, "/tmp/spill", "-spill-dir requires -mem-budget"},
+	}
+	for _, tc := range cases {
+		err := ValidateSpillFlags(tc.search, tc.budget, tc.dir)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
 func TestParseSplit(t *testing.T) {
 	want := map[string]refine.Strategy{
 		"":         refine.None,

@@ -43,6 +43,17 @@ type Options struct {
 	// Workers.
 	ChunkSize int
 	BatchSize int
+	// StoreBudgetBytes > 0 runs the stateful cells over a two-tier
+	// explore.SpillStore: the visited set's in-memory hot tier is bounded
+	// by the budget and spills sorted fingerprint runs to disk. Cell
+	// results (verdicts, state and event counts) are bit-identical to the
+	// in-memory stores; only the cell's wall-clock changes. DPOR cells
+	// keep no visited set and ignore it.
+	StoreBudgetBytes int64
+	// SpillDir is the spill store's run-file directory; empty means a
+	// fresh temporary directory per cell, removed when the cell finishes.
+	// Only meaningful with StoreBudgetBytes > 0.
+	SpillDir string
 }
 
 func (o Options) budget() time.Duration {
@@ -71,7 +82,9 @@ type Row struct {
 	Cells    []Cell
 }
 
-// run executes one search and converts the result into a cell.
+// run executes one search and converts the result into a cell. A spill
+// store configured by stateful() owns disk state and is released here
+// once the cell's search returns.
 func run(column string, p *core.Protocol, opts Options, search func(*core.Protocol, explore.Options) (*explore.Result, error), xo explore.Options) Cell {
 	xo.MaxDuration = opts.budget()
 	xo.MaxStates = opts.MaxStates
@@ -79,6 +92,11 @@ func run(column string, p *core.Protocol, opts Options, search func(*core.Protoc
 		xo.Store = explore.NewHashStore()
 	}
 	res, err := search(p, xo)
+	if c, ok := xo.Store.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return Cell{Column: column, Err: err}
 	}
@@ -96,16 +114,29 @@ func run(column string, p *core.Protocol, opts Options, search func(*core.Protoc
 }
 
 // stateful selects the sequential DFS engine or, when opts.Workers is set,
-// the frontier-parallel BFS engine with a sharded concurrent store.
-func (o Options) stateful(xo explore.Options) (func(*core.Protocol, explore.Options) (*explore.Result, error), explore.Options) {
+// the frontier-parallel BFS engine with a sharded concurrent store. With
+// StoreBudgetBytes it backs either engine with a fresh spill store (the
+// SpillStore is concurrency-safe, so the same store serves both); run()
+// closes it when the cell finishes.
+func (o Options) stateful(xo explore.Options) (func(*core.Protocol, explore.Options) (*explore.Result, error), explore.Options, error) {
+	engine := explore.DFS
 	if o.Workers > 0 {
 		xo.Workers = o.Workers
 		xo.ChunkSize = o.ChunkSize
 		xo.BatchSize = o.BatchSize
-		xo.Store = explore.NewShardedHashStore()
-		return explore.ParallelBFS, xo
+		engine = explore.ParallelBFS
 	}
-	return explore.DFS, xo
+	switch {
+	case o.StoreBudgetBytes > 0:
+		sp, err := explore.NewSpillStore(explore.SpillConfig{BudgetBytes: o.StoreBudgetBytes, Dir: o.SpillDir})
+		if err != nil {
+			return nil, xo, err
+		}
+		xo.Store = sp
+	case o.Workers > 0:
+		xo.Store = explore.NewShardedHashStore()
+	}
+	return engine, xo, nil
 }
 
 // RunSPOR is the standard stateful DFS + static POR cell used across both
@@ -115,7 +146,10 @@ func RunSPOR(column string, p *core.Protocol, opts Options) Cell {
 	if err != nil {
 		return Cell{Column: column, Err: err}
 	}
-	search, xo := opts.stateful(explore.Options{Expander: exp})
+	search, xo, err := opts.stateful(explore.Options{Expander: exp})
+	if err != nil {
+		return Cell{Column: column, Err: err}
+	}
 	return run(column, p, opts, search, xo)
 }
 
@@ -127,7 +161,10 @@ func RunDPOR(column string, p *core.Protocol, opts Options) Cell {
 
 // RunUnreduced is the plain stateful cell.
 func RunUnreduced(column string, p *core.Protocol, opts Options) Cell {
-	search, xo := opts.stateful(explore.Options{})
+	search, xo, err := opts.stateful(explore.Options{})
+	if err != nil {
+		return Cell{Column: column, Err: err}
+	}
 	return run(column, p, opts, search, xo)
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mpbasset/internal/explore"
+	"mpbasset/internal/protocols/paxos"
 )
 
 func TestTable1VerdictsMatchPaper(t *testing.T) {
@@ -70,6 +71,41 @@ func TestTable2VerdictsAndShape(t *testing.T) {
 			if c.States > unsplit.States {
 				t.Errorf("%s %s [%s]: %d states above unsplit %d",
 					r.Protocol, r.Setting, c.Column, c.States, unsplit.States)
+			}
+		}
+	}
+}
+
+// TestCellsUnderMemoryBudget pins the eval layer's spill plumbing: a SPOR
+// cell and an unreduced cell run under a tiny memory budget must report
+// the same verdict, state and event counts as their in-memory runs —
+// sequential and parallel — and the per-cell spill store must not leak
+// into the next cell (each run closes its own).
+func TestCellsUnderMemoryBudget(t *testing.T) {
+	p, err := paxos.New(paxos.Config{Proposers: 1, Acceptors: 3, Learners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 4} {
+		base := Options{Budget: time.Minute, Workers: workers}
+		budgeted := base
+		budgeted.StoreBudgetBytes = 2048
+		budgeted.SpillDir = t.TempDir()
+		for _, cell := range []struct {
+			name string
+			run  func(Options) Cell
+		}{
+			{"spor", func(o Options) Cell { return RunSPOR("spor", p, o) }},
+			{"unreduced", func(o Options) Cell { return RunUnreduced("unreduced", p, o) }},
+		} {
+			ref := cell.run(base)
+			got := cell.run(budgeted)
+			if ref.Err != nil || got.Err != nil {
+				t.Fatalf("workers=%d %s: errors %v / %v", workers, cell.name, ref.Err, got.Err)
+			}
+			if got.Verdict != ref.Verdict || got.States != ref.States || got.Events != ref.Events {
+				t.Errorf("workers=%d %s: budgeted cell %s states=%d events=%d, in-memory %s states=%d events=%d",
+					workers, cell.name, got.Verdict, got.States, got.Events, ref.Verdict, ref.States, ref.Events)
 			}
 		}
 	}

@@ -97,7 +97,7 @@ func succKeys(buf []string, succs []dfsSucc) []string {
 // visited before its level began is promoted to a full expansion (counted
 // in Stats.ProvisoExpansions), keeping partial-order reduction sound on
 // cyclic state graphs — the BFS counterpart of the DFS stack proviso.
-func BFS(p *core.Protocol, opts Options) (*Result, error) {
+func BFS(p *core.Protocol, opts Options) (result *Result, err error) {
 	init, err := p.InitialState()
 	if err != nil {
 		return nil, err
@@ -112,7 +112,13 @@ func BFS(p *core.Protocol, opts Options) (*Result, error) {
 		limited bool
 		keyBuf  []string
 	)
-	defer func() { res.Stats.Duration = lim.elapsed() }()
+	defer func() {
+		res.Stats.Duration = lim.elapsed()
+		captureSpillStats(store, &res.Stats)
+		if serr := storeErr(store); serr != nil && err == nil {
+			result, err = nil, serr
+		}
+	}()
 
 	type node struct {
 		st    *core.State

@@ -46,7 +46,7 @@ func (d *dfsStack) Ignoring(succKeys []string) bool {
 // (the stack variant of the ignoring proviso C3, counted in
 // Stats.ProvisoExpansions), keeping POR sound on cyclic state graphs. The
 // BFS engines enforce the same proviso with a queue discipline instead.
-func DFS(p *core.Protocol, opts Options) (*Result, error) {
+func DFS(p *core.Protocol, opts Options) (result *Result, err error) {
 	init, err := p.InitialState()
 	if err != nil {
 		return nil, err
@@ -62,7 +62,13 @@ func DFS(p *core.Protocol, opts Options) (*Result, error) {
 		limited bool
 		keyBuf  []string
 	)
-	defer func() { res.Stats.Duration = lim.elapsed() }()
+	defer func() {
+		res.Stats.Duration = lim.elapsed()
+		captureSpillStats(store, &res.Stats)
+		if serr := storeErr(store); serr != nil && err == nil {
+			result, err = nil, serr
+		}
+	}()
 
 	expand := func(s *core.State) ([]dfsSucc, error) {
 		enabled := p.Enabled(s)

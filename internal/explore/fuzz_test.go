@@ -1,0 +1,191 @@
+// FuzzEngineAgreement is the cross-engine differential fuzz harness: fuzz
+// inputs decode into a generated protocol (an mptest.GenConfig — ring
+// size, cycle priority, fault/quorum knobs — or the ignoring trap), and
+// every stateful engine must agree on it, over in-memory and spill-to-disk
+// stores alike. Any divergence in verdict, state count, statistics or
+// replayed trace fails the input. The seed corpus covers IgnoringTrap and
+// the soundness-matrix configurations of por/proviso_test.go, so plain
+// `go test` exercises them deterministically; `go test -fuzz
+// FuzzEngineAgreement` explores the configuration space beyond the seeds
+// (the `make fuzz` / CI smoke entry point).
+package explore_test
+
+import (
+	"testing"
+
+	"mpbasset/internal/core"
+	"mpbasset/internal/explore"
+	"mpbasset/internal/mptest"
+	"mpbasset/internal/por"
+)
+
+// fuzzMaxStates bounds one fuzz execution; inputs whose unreduced state
+// space exceeds it are skipped as uninteresting (the bound must never be
+// hit mid-comparison, since a limited run's statistics depend on visit
+// order).
+const fuzzMaxStates = 5000
+
+// fuzzEngines is the engine matrix of the harness: sequential BFS and DFS
+// plus ParallelBFS at 1 and 4 workers under both schedulers. Sequential
+// BFS doubles as the reference when run over the in-memory store.
+func fuzzEngines() []diffEngine {
+	parallel := func(workers int, sched explore.Sched) func(*core.Protocol, explore.Options) (*explore.Result, error) {
+		return func(p *core.Protocol, xo explore.Options) (*explore.Result, error) {
+			xo.Workers = workers
+			xo.Sched = sched
+			return explore.ParallelBFS(p, xo)
+		}
+	}
+	return []diffEngine{
+		{"BFS", explore.BFS, true},
+		{"DFS", explore.DFS, false},
+		{"ParallelBFS-1", parallel(1, explore.SchedWorkStealing), true},
+		{"ParallelBFS-4", parallel(4, explore.SchedWorkStealing), true},
+		{"ParallelBFS-4-single-index", parallel(4, explore.SchedSingleIndex), true},
+	}
+}
+
+// decodeFuzzProtocol maps raw fuzz arguments onto a bounded protocol:
+// either the ignoring trap (ring 2..6) or a generated protocol whose
+// knobs are clamped to the generator's meaningful ranges.
+func decodeFuzzProtocol(seed int64, procs, ring, prio, threshold uint8, quorums, anyQuorums, cycles, trap bool) (*core.Protocol, error) {
+	if trap {
+		return mptest.IgnoringTrap(2 + int(ring%5))
+	}
+	return mptest.Random(mptest.GenConfig{
+		Seed:          seed,
+		MaxProcs:      2 + int(procs%3), // 2..4 processes
+		Quorums:       quorums,
+		AnyQuorums:    anyQuorums,
+		Cycles:        cycles,
+		RingSize:      int(ring % 6), // 0, 2..5 (1 behaves as the 2-bounce)
+		CyclePriority: int(prio % 6), // benign 0 through adversarial 5
+		Threshold:     int(threshold % 3),
+	})
+}
+
+func FuzzEngineAgreement(f *testing.F) {
+	// Seed corpus: an acyclic quorum protocol, the cyclic soundness-matrix
+	// configurations (two-process bounce and longer rings at benign and
+	// adversarial cycle priorities, with and without violations), a
+	// violating deep-cycle seed, and the ignoring trap at rings 2 and 4.
+	f.Add(int64(0), uint8(2), uint8(0), uint8(0), uint8(0), true, false, false, false)
+	f.Add(int64(0), uint8(2), uint8(0), uint8(0), uint8(1), true, false, true, false)
+	f.Add(int64(5), uint8(2), uint8(0), uint8(3), uint8(1), true, false, true, false)
+	f.Add(int64(3), uint8(2), uint8(3), uint8(3), uint8(1), true, false, true, false)
+	f.Add(int64(9), uint8(2), uint8(4), uint8(3), uint8(2), true, true, true, false)
+	f.Add(int64(1), uint8(2), uint8(3), uint8(3), uint8(2), true, false, true, false)
+	f.Add(int64(0), uint8(0), uint8(0), uint8(0), uint8(0), false, false, false, true)
+	f.Add(int64(0), uint8(0), uint8(2), uint8(0), uint8(0), false, false, false, true)
+
+	f.Fuzz(func(t *testing.T, seed int64, procs, ring, prio, threshold uint8, quorums, anyQuorums, cycles, trap bool) {
+		p, err := decodeFuzzProtocol(seed, procs, ring, prio, threshold, quorums, anyQuorums, cycles, trap)
+		if err != nil {
+			t.Fatalf("generator rejected a clamped config: %v", err)
+		}
+		xo := explore.Options{TrackTrace: true, MaxStates: fuzzMaxStates}
+
+		// Reference: sequential unreduced BFS over the in-memory store.
+		memRef := xo
+		memRef.Store = explore.NewHashStore()
+		ref, err := explore.BFS(p, memRef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Verdict == explore.VerdictLimit {
+			t.Skip("state space exceeds the fuzz budget")
+		}
+
+		check := func(label string, eng diffEngine, reduced *por.Expander, want *explore.Result) {
+			for _, spillStore := range []struct {
+				name  string
+				store func() explore.Store
+			}{
+				{"mem", func() explore.Store { return explore.NewHashStore() }},
+				{"spill", func() explore.Store { return tinySpill(t, 512) }},
+			} {
+				run := xo
+				run.Store = spillStore.store()
+				if reduced != nil {
+					run.Expander = reduced
+				}
+				res, err := eng.run(p, run)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", label, eng.name, spillStore.name, err)
+				}
+				// Soundness first: every engine, store and reduction must
+				// reach the reference verdict.
+				if res.Verdict != ref.Verdict {
+					t.Errorf("%s/%s/%s: verdict %s, reference %s", label, eng.name, spillStore.name, res.Verdict, ref.Verdict)
+					continue
+				}
+				if res.Verdict == explore.VerdictViolated {
+					if _, err := explore.ReplayViolation(p, res.Trace, nil); err != nil {
+						t.Errorf("%s/%s/%s: counterexample does not replay: %v", label, eng.name, spillStore.name, err)
+					}
+				}
+				if want == nil {
+					continue // reduced DFS explores its own reduced graph
+				}
+				// Bit-identity against the family reference. DFS visits
+				// the identical unreduced state space but at first-path
+				// depths (and stops at a different first violation), so it
+				// is compared on verified runs with MaxDepth masked.
+				rs, ws := maskSpill(res.Stats), maskSpill(want.Stats)
+				if !eng.bfs {
+					if res.Verdict != explore.VerdictVerified {
+						continue
+					}
+					rs.MaxDepth, ws.MaxDepth = 0, 0
+				}
+				if rs != ws {
+					t.Errorf("%s/%s/%s: stats %+v, want %+v", label, eng.name, spillStore.name, rs, ws)
+				}
+				if eng.bfs {
+					if len(res.Trace) != len(want.Trace) {
+						t.Errorf("%s/%s/%s: trace length %d, want %d", label, eng.name, spillStore.name, len(res.Trace), len(want.Trace))
+						continue
+					}
+					for i := range res.Trace {
+						if res.Trace[i].StateKey != want.Trace[i].StateKey ||
+							res.Trace[i].Event.Key() != want.Trace[i].Event.Key() {
+							t.Errorf("%s/%s/%s: trace step %d diverges", label, eng.name, spillStore.name, i)
+							break
+						}
+					}
+				}
+			}
+		}
+
+		// Unreduced: every engine over both stores against the reference.
+		for _, eng := range fuzzEngines() {
+			check("unreduced", eng, nil, ref)
+		}
+
+		// SPOR-reduced: the BFS family must be bit-identical to the
+		// reduced sequential reference; reduced DFS explores a different
+		// (stack-proviso) reduced graph, so it is held to verdict
+		// agreement and trace replay only.
+		exp, err := por.NewExpander(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		redRef := xo
+		redRef.Store = explore.NewHashStore()
+		redRef.Expander = exp
+		red, err := explore.BFS(p, redRef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if red.Verdict != ref.Verdict {
+			t.Errorf("reduced BFS verdict %s, unreduced %s (POR unsound on this input)", red.Verdict, ref.Verdict)
+		}
+		for _, eng := range fuzzEngines() {
+			want := red
+			if !eng.bfs {
+				want = nil
+			}
+			check("spor", eng, exp, want)
+		}
+	})
+}

@@ -158,7 +158,7 @@ func (s *claimSpan) stealHalf() (lo, hi int, ok bool) {
 // visited" exactly when no phase-one insert of its key won — never against
 // the live concurrent store, so the decision is independent of worker
 // interleaving and identical to the sequential engine's.
-func ParallelBFS(p *core.Protocol, opts Options) (*Result, error) {
+func ParallelBFS(p *core.Protocol, opts Options) (result *Result, err error) {
 	init, err := p.InitialState()
 	if err != nil {
 		return nil, err
@@ -171,7 +171,13 @@ func ParallelBFS(p *core.Protocol, opts Options) (*Result, error) {
 		lim     = newLimiter(opts)
 		limited bool
 	)
-	defer func() { res.Stats.Duration = lim.elapsed() }()
+	defer func() {
+		res.Stats.Duration = lim.elapsed()
+		captureSpillStats(store, &res.Stats)
+		if serr := storeErr(store); serr != nil && err == nil {
+			result, err = nil, serr
+		}
+	}()
 
 	var parents map[string]parentLink
 	if opts.TrackTrace {

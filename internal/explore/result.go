@@ -64,6 +64,15 @@ type Step struct {
 // node's level. Each such expansion is also counted in FullExpansions
 // (never in ReducedExpansions); the counter is deterministic for every
 // engine, worker count and scheduler.
+//
+// SpillRuns, SpillBytes and DiskProbes report the disk tier's activity
+// when the search ran over a SpillStore (always zero otherwise): sorted
+// run files written (merges included), bytes written to disk, and
+// membership probes that consulted the disk tier. They describe storage
+// effort, not the explored state space: like Duration — and unlike every
+// other counter — they are NOT covered by the engines' determinism
+// guarantee (in parallel runs the insert timing moves the spill points),
+// and the differential test suites mask them when comparing runs.
 type Stats struct {
 	States            int
 	Revisits          int
@@ -73,6 +82,9 @@ type Stats struct {
 	FullExpansions    int
 	ReducedExpansions int
 	ProvisoExpansions int
+	SpillRuns         int
+	SpillBytes        int64
+	DiskProbes        int64
 	Duration          time.Duration
 }
 

@@ -153,9 +153,13 @@ func (s *ShardedStore) Has(key string) bool {
 // Len implements Store.
 func (s *ShardedStore) Len() int { return int(s.count.Load()) }
 
+// ConcurrencySafe implements ConcurrentStore.
+func (s *ShardedStore) ConcurrencySafe() {}
+
 var (
-	_ BatchStore = (*ShardedStore)(nil)
-	_ HasStore   = (*ShardedStore)(nil)
+	_ BatchStore      = (*ShardedStore)(nil)
+	_ HasStore        = (*ShardedStore)(nil)
+	_ ConcurrentStore = (*ShardedStore)(nil)
 )
 
 // syncStore serializes an arbitrary Store behind one mutex — the fallback
@@ -193,14 +197,15 @@ func (s *syncStore) Len() int {
 var _ BatchStore = (*syncStore)(nil)
 
 // concurrentStore returns a store safe for concurrent Seen/SeenBatch calls:
-// the configured store if it is already a ShardedStore, a fresh sharded
+// the configured store if it declares itself concurrency-safe (ShardedStore,
+// SpillStore, or any caller-supplied ConcurrentStore), a fresh sharded
 // exact store when none is configured (mirroring the sequential ExactStore
 // default), or the configured store wrapped behind a single mutex.
 func (o *Options) concurrentStore() Store {
 	switch st := o.Store.(type) {
 	case nil:
 		return NewShardedExactStore()
-	case *ShardedStore:
+	case ConcurrentStore:
 		return st
 	default:
 		return &syncStore{inner: st}

@@ -1,0 +1,330 @@
+package explore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mpbasset/internal/core"
+	"mpbasset/internal/mptest"
+)
+
+// tinySpillStore returns a SpillStore whose hot tier holds only a handful
+// of entries, so even small state spaces force multiple spills (and, past
+// mergeRuns, merges).
+func tinySpillStore(t testing.TB) *SpillStore {
+	t.Helper()
+	s, err := NewSpillStore(SpillConfig{BudgetBytes: 4 * hotEntryBytes, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("SpillStore.Close: %v", err)
+		}
+	})
+	return s
+}
+
+func spillKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("proc%d:val%d|bag{m%d}", i%4, i, i%97)
+	}
+	return keys
+}
+
+// TestSpillStoreMatchesHashStore drives both fingerprint stores with the
+// identical key stream (fresh keys interleaved with duplicates) and
+// requires answer-for-answer agreement, across enough keys to force many
+// spills and at least one merge.
+func TestSpillStoreMatchesHashStore(t *testing.T) {
+	spill := tinySpillStore(t)
+	ref := NewHashStore()
+	keys := spillKeys(2000)
+	for i, k := range keys {
+		if got, want := spill.Seen(k), ref.Seen(k); got != want {
+			t.Fatalf("key %d fresh: spill Seen=%v, hash Seen=%v", i, got, want)
+		}
+		// Revisit an earlier key every other step: its answer must be a
+		// duplicate in both stores, whichever tier holds it by now.
+		if i%2 == 1 {
+			old := keys[i/2]
+			if got, want := spill.Seen(old), ref.Seen(old); got != want {
+				t.Fatalf("key %d revisit %q: spill Seen=%v, hash Seen=%v", i, old, got, want)
+			}
+		}
+		if spill.Len() != ref.Len() {
+			t.Fatalf("key %d: spill Len=%d, hash Len=%d", i, spill.Len(), ref.Len())
+		}
+	}
+	for i, k := range keys {
+		if !spill.Has(k) {
+			t.Fatalf("Has(%d) = false after insert", i)
+		}
+	}
+	if spill.Has("never-inserted") {
+		t.Error("Has reports a never-inserted key")
+	}
+	runs, bytes, probes := spill.SpillStats()
+	if runs == 0 || bytes == 0 {
+		t.Errorf("spill never fired: runs=%d bytes=%d (budget %d entries over %d keys)",
+			runs, bytes, spill.budgetEntries, len(keys))
+	}
+	if probes == 0 {
+		t.Error("no probe ever consulted the disk tier")
+	}
+	if err := spill.Err(); err != nil {
+		t.Errorf("probe error: %v", err)
+	}
+}
+
+// TestSpillStoreSeenBatch checks the batched path: intra-batch duplicates
+// report false exactly at their first occurrence, answers match the
+// per-key path, and batches spanning both tiers stay correct.
+func TestSpillStoreSeenBatch(t *testing.T) {
+	spill := tinySpillStore(t)
+	ref := NewHashStore()
+	keys := spillKeys(600)
+	for lo := 0; lo < len(keys); lo += 40 {
+		hi := lo + 40
+		// Each batch: 40 fresh keys, 10 re-sends of earlier ones, plus an
+		// intra-batch duplicate pair.
+		batch := append([]string(nil), keys[lo:hi]...)
+		for j := 0; j < 10 && j < lo; j++ {
+			batch = append(batch, keys[j*3%lo])
+		}
+		batch = append(batch, keys[lo], keys[lo])
+		got := spill.SeenBatch(batch)
+		for i, k := range batch {
+			if want := ref.Seen(k); got[i] != want {
+				t.Fatalf("batch at %d, key %d (%q): spill=%v, ref=%v", lo, i, k, got[i], want)
+			}
+		}
+		if spill.Len() != ref.Len() {
+			t.Fatalf("batch at %d: spill Len=%d, ref Len=%d", lo, spill.Len(), ref.Len())
+		}
+	}
+}
+
+// TestSpillStoreMergeCompactsRuns fills the store far enough that the run
+// count crosses the merge threshold, then checks that the disk tier was
+// compacted to a single file and that membership survived the merge.
+func TestSpillStoreMergeCompactsRuns(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewSpillStore(SpillConfig{BudgetBytes: 2 * hotEntryBytes, Dir: dir, MergeRuns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	keys := spillKeys(200)
+	for _, k := range keys {
+		s.Seen(k)
+	}
+	if got := len(*s.runs.Load()); got >= 4 {
+		t.Errorf("disk tier holds %d runs, want fewer than the merge threshold 4", got)
+	}
+	for i, k := range keys {
+		if !s.Has(k) {
+			t.Fatalf("key %d lost across merges", i)
+		}
+	}
+	if s.Len() != len(keys) {
+		t.Errorf("Len=%d, want %d", s.Len(), len(keys))
+	}
+	// Retired run files are unlinked from the directory even though their
+	// handles stay open for in-flight probes.
+	files, err := filepath.Glob(filepath.Join(dir, "run-*.fp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(*s.runs.Load()) {
+		t.Errorf("%d run files on disk, %d registered", len(files), len(*s.runs.Load()))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, _ = filepath.Glob(filepath.Join(dir, "run-*.fp"))
+	if len(files) != 0 {
+		t.Errorf("Close left %d run files behind: %v", len(files), files)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Errorf("Close removed the caller-supplied dir: %v", err)
+	}
+}
+
+// TestSpillStoreConcurrentExactlyOneFalse is the linearizability property
+// test: goroutines hammer a racing mix of Seen and SeenBatch over an
+// overlapping key space while spills and merges run underneath; for every
+// distinct key exactly one answer across all goroutines must be false.
+func TestSpillStoreConcurrentExactlyOneFalse(t *testing.T) {
+	const (
+		goroutines = 8
+		keySpace   = 1500
+	)
+	s, err := NewSpillStore(SpillConfig{BudgetBytes: 8 * hotEntryBytes, Dir: t.TempDir(), MergeRuns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	keys := spillKeys(keySpace)
+	wins := make([]atomic.Int32, keySpace)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				for i := 0; i < keySpace; i++ {
+					idx := (i*7 + g*13) % keySpace
+					if !s.Seen(keys[idx]) {
+						wins[idx].Add(1)
+					}
+				}
+				return
+			}
+			batch := make([]string, 0, 32)
+			idxs := make([]int, 0, 32)
+			flush := func() {
+				for i, dup := range s.SeenBatch(batch) {
+					if !dup {
+						wins[idxs[i]].Add(1)
+					}
+				}
+				batch, idxs = batch[:0], idxs[:0]
+			}
+			for i := 0; i < keySpace; i++ {
+				idx := (i*11 + g*17) % keySpace
+				batch = append(batch, keys[idx])
+				idxs = append(idxs, idx)
+				if len(batch) == cap(batch) {
+					flush()
+				}
+			}
+			flush()
+		}(g)
+	}
+	wg.Wait()
+	for i := range wins {
+		if got := wins[i].Load(); got != 1 {
+			t.Errorf("key %d reported fresh %d times, want exactly 1", i, got)
+		}
+	}
+	if s.Len() != keySpace {
+		t.Errorf("Len=%d, want %d", s.Len(), keySpace)
+	}
+	if err := s.Err(); err != nil {
+		t.Errorf("probe error: %v", err)
+	}
+}
+
+// TestSpillBackedTraceReplays is the spill replay regression: a trace
+// recorded under a budget so tight that the run spills on every insert
+// (the whole visited set lives on disk mid-search) must replay with every
+// state key verified — exactly like an in-memory trace — and the
+// corrupted-trace rejection path must still fire on it.
+func TestSpillBackedTraceReplays(t *testing.T) {
+	// Two violating models: a generated cyclic protocol (violation two
+	// levels deep), and the ignoring trap under the reducing expander,
+	// whose counterexample walks the full token ring — six levels of
+	// spill-backed frontier before the violating event.
+	random, err := mptest.Random(mptest.GenConfig{Seed: 1, Quorums: true, Cycles: true, RingSize: 3, CyclePriority: 3, Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trap, err := mptest.IgnoringTrap(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		p    *core.Protocol
+		xo   Options
+	}{
+		{"random-cyclic", random, Options{TrackTrace: true}},
+		{"ignoring-trap-6-reduced", trap, Options{TrackTrace: true, Expander: loopExpander{}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mem := tc.xo
+			mem.Store = NewHashStore()
+			ref, err := BFS(tc.p, mem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Verdict != VerdictViolated {
+				t.Fatalf("reference run verdict %s, want CE", ref.Verdict)
+			}
+			spill, err := NewSpillStore(SpillConfig{BudgetBytes: 1, Dir: t.TempDir(), MergeRuns: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer spill.Close()
+			sp := tc.xo
+			sp.Store = spill
+			res, err := BFS(tc.p, sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.SpillRuns == 0 {
+				t.Fatal("run never spilled — the regression does not cover the disk tier")
+			}
+			if res.Verdict != VerdictViolated || len(res.Trace) != len(ref.Trace) {
+				t.Fatalf("spill-backed run: %s with %d steps, in-memory %s with %d",
+					res.Verdict, len(res.Trace), ref.Verdict, len(ref.Trace))
+			}
+			for i := range res.Trace {
+				if res.Trace[i].StateKey != ref.Trace[i].StateKey || res.Trace[i].Event.Key() != ref.Trace[i].Event.Key() {
+					t.Fatalf("trace step %d: %+v over spill, %+v in memory", i, res.Trace[i], ref.Trace[i])
+				}
+			}
+			if _, err := ReplayViolation(tc.p, res.Trace, nil); err != nil {
+				t.Fatalf("spill-backed counterexample does not replay: %v", err)
+			}
+			// The rejection path: a mangled state key in a spill-recorded
+			// trace is caught like any other.
+			mangled := append([]Step(nil), res.Trace...)
+			mangled[len(mangled)-1].StateKey = "bogus|" + mangled[len(mangled)-1].StateKey
+			if _, err := Replay(tc.p, mangled, nil); err == nil {
+				t.Error("corrupted spill-backed trace accepted")
+			}
+		})
+	}
+}
+
+// TestSpillStoreConfig covers the constructor's validation and directory
+// handling.
+func TestSpillStoreConfig(t *testing.T) {
+	if _, err := NewSpillStore(SpillConfig{}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := NewSpillStore(SpillConfig{BudgetBytes: -5}); err == nil {
+		t.Error("negative budget accepted")
+	}
+	s, err := NewSpillStore(SpillConfig{BudgetBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.budgetEntries != 1 {
+		t.Errorf("sub-entry budget resolves to %d entries, want 1", s.budgetEntries)
+	}
+	dir := s.dir
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("temp spill dir missing: %v", err)
+	}
+	for _, k := range spillKeys(40) {
+		s.Seen(k)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Errorf("Close kept the store-created temp dir %s", dir)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}

@@ -40,6 +40,57 @@ type HasStore interface {
 	Has(key string) bool
 }
 
+// ConcurrentStore marks a Store whose methods are safe for concurrent
+// callers. ParallelBFS uses a marked store directly; an unmarked
+// caller-supplied store is serialized behind a mutex instead (see
+// Options.concurrentStore). ShardedStore and SpillStore are marked.
+type ConcurrentStore interface {
+	Store
+	// ConcurrencySafe is a marker method with no behavior.
+	ConcurrencySafe()
+}
+
+// SpillReporter is implemented by stores with a disk tier (SpillStore).
+// The engines copy its counters into Stats when a search ends, so spill
+// activity shows up next to the search statistics.
+type SpillReporter interface {
+	// SpillStats reports run files written (merges included), total bytes
+	// written to disk, and membership probes that consulted the disk
+	// tier.
+	SpillStats() (runs int, spilledBytes, diskProbes int64)
+}
+
+// captureSpillStats copies the store's spill counters into st when the
+// store has a disk tier; a no-op for purely in-memory stores.
+func captureSpillStats(store Store, st *Stats) {
+	if sr, ok := store.(SpillReporter); ok {
+		st.SpillRuns, st.SpillBytes, st.DiskProbes = sr.SpillStats()
+	}
+}
+
+// FailableStore is implemented by stores whose membership probes can fail
+// after the fact — probes have no error return, so a failing tier (a
+// SpillStore disk read) answers "not present" and records the failure for
+// Err. The engines check Err once the search ends and turn a recorded
+// failure into a search error: a probe that silently under-reports
+// membership could otherwise cost termination on cyclic graphs.
+// Caller-supplied stores with deferred failure modes get the same
+// treatment by implementing this interface.
+type FailableStore interface {
+	Store
+	// Err returns the first deferred probe failure, or nil.
+	Err() error
+}
+
+// storeErr surfaces a deferred store failure once a search has finished;
+// in-memory stores never fail.
+func storeErr(store Store) error {
+	if s, ok := store.(FailableStore); ok {
+		return s.Err()
+	}
+	return nil
+}
+
 // seenBatch flushes keys through the store's batched fast path when it has
 // one, and degenerates to a per-key loop otherwise.
 func seenBatch(store Store, keys []string) []bool {

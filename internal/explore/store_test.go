@@ -32,6 +32,86 @@ func TestFingerprintMatchesStdlibFNV(t *testing.T) {
 	}
 }
 
+// FuzzFingerprint128 pins the allocation-free 128-bit FNV-1a against
+// hash/fnv on arbitrary canonical keys — the fuzzing counterpart of
+// TestFingerprintMatchesStdlibFNV. Every hashed store (HashStore,
+// ShardedStore, SpillStore, disk runs included) shares this function, so
+// a divergence would silently split their key spaces.
+func FuzzFingerprint128(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte(""))
+	f.Add([]byte("a"))
+	f.Add([]byte("proc0:val1|proc1:val2|bag{m1,m2}"))
+	f.Add([]byte(strings.Repeat("x", 4096)))
+	f.Add([]byte{0x00, 0xff, 0x80, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := fnv.New128a()
+		h.Write(data)
+		var want [16]byte
+		h.Sum(want[:0])
+		if got := fingerprint(string(data)); got != want {
+			t.Fatalf("fingerprint(%x) = %x, stdlib FNV-128a %x", data, got, want)
+		}
+	})
+}
+
+// TestFingerprintCollisionBehavior documents what a 128-bit fingerprint
+// collision would do to each store mode. The fingerprint stores
+// (HashStore, and SpillStore's tiers) retain only the fingerprint, so two
+// distinct keys with equal fingerprints would be conflated — simulated
+// here by pre-seeding the stores with the victim's fingerprint under a
+// phantom "other" key. The exact stores (ExactStore, ShardedStore in
+// exact mode — the ExactStates option) key on the full canonical string:
+// no fingerprint ever decides membership on their path, so they are
+// immune by construction, not merely by probability.
+func TestFingerprintCollisionBehavior(t *testing.T) {
+	const victim = "proc0:val1|proc1:val2|bag{m1}"
+
+	// HashStore: membership is decided by the fingerprint alone.
+	hs := NewHashStore()
+	hs.m = map[[16]byte]struct{}{fingerprint(victim): {}}
+	if !hs.Seen(victim) {
+		t.Error("HashStore: a colliding fingerprint must conflate the victim (dup expected)")
+	}
+
+	// SpillStore: both tiers hold bare fingerprints. Seed the hot tier
+	// with the colliding fingerprint, spill it to disk, and the victim
+	// must still be conflated by the disk probe.
+	sp, err := NewSpillStore(SpillConfig{BudgetBytes: 1, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	if sp.seenFP(fingerprint(victim)) {
+		t.Fatal("phantom colliding insert reported dup")
+	}
+	if runs, _, _ := sp.SpillStats(); runs == 0 {
+		t.Fatal("one-entry budget did not spill — the disk tier is not exercised")
+	}
+	if !sp.Seen(victim) {
+		t.Error("SpillStore: a colliding fingerprint on disk must conflate the victim (dup expected)")
+	}
+
+	// ExactStore: the full key is the map key; a would-be collision is
+	// invisible because no fingerprint participates in membership.
+	es := NewExactStore()
+	es.Seen("some-other-key-entirely")
+	if es.Seen(victim) {
+		t.Error("ExactStore: distinct key reported dup")
+	}
+	if _, ok := es.m[victim]; !ok {
+		t.Error("ExactStore does not retain the full canonical key")
+	}
+
+	// ShardedStore in exact mode: the fingerprint only selects the
+	// stripe; membership is still decided on the full key.
+	se := NewShardedExactStore()
+	se.Seen("some-other-key-entirely")
+	if se.Seen(victim) {
+		t.Error("exact ShardedStore: distinct key reported dup")
+	}
+}
+
 // TestStoreSeenAllocs is the allocs/op guard for the visited-set hot path:
 // probing an already-present key must not allocate in any store — the
 // stdlib hasher HashStore used to build per call escaped to the heap on

@@ -28,6 +28,13 @@
 // engines re-expand states whose reduced expansion discovers nothing that
 // was unvisited when their level began (see Result.Stats.ProvisoExpansions).
 //
+// Setting Options.StoreBudgetBytes bounds the visited set's memory
+// footprint for beyond-RAM state spaces: the search runs over a two-tier
+// spill store whose in-memory hot tier flushes sorted runs of 128-bit
+// fingerprints to disk (Options.SpillDir) past the budget, again with
+// verdicts, statistics and traces bit-identical to the in-memory stores;
+// Result.Stats reports the spill activity.
+//
 // See the examples/ directory for complete programs and cmd/mpcheck for
 // the command-line interface.
 package mpbasset
@@ -141,8 +148,23 @@ type Options struct {
 	// with Workers > 0.
 	BatchSize int
 	// ExactStates stores full state keys instead of 128-bit fingerprints
-	// (more memory, zero collision risk).
+	// (more memory, zero collision risk). Incompatible with
+	// StoreBudgetBytes: the spill tier stores fingerprints only.
 	ExactStates bool
+	// StoreBudgetBytes > 0 bounds the visited set's in-memory footprint:
+	// the search runs over a two-tier explore.SpillStore whose hot tier
+	// spills sorted runs of 128-bit fingerprints to disk when it exceeds
+	// the budget, letting runs explore state spaces far beyond RAM.
+	// Verdicts, search statistics and traces are bit-identical to the
+	// in-memory stores for every stateful search, sequential or parallel;
+	// Result.Stats reports the spill activity (SpillRuns, SpillBytes,
+	// DiskProbes). Stateless and DPOR searches keep no visited set and
+	// reject the option.
+	StoreBudgetBytes int64
+	// SpillDir is the directory for the spill store's run files; empty
+	// means a fresh temporary directory, removed when the check returns.
+	// Only meaningful (and only accepted) with StoreBudgetBytes > 0.
+	SpillDir string
 	// MaxStates bounds the number of explored states; 0 = unlimited.
 	MaxStates int
 	// MaxDuration bounds the wall-clock time; 0 = unlimited.
@@ -171,14 +193,37 @@ func Check(p *Protocol, opts Options) (*Result, error) {
 		ChunkSize:   opts.ChunkSize,
 		BatchSize:   opts.BatchSize,
 	}
+	if opts.SpillDir != "" && opts.StoreBudgetBytes <= 0 {
+		return nil, fmt.Errorf("mpbasset: SpillDir requires StoreBudgetBytes (the spill directory is meaningless without a memory budget)")
+	}
 	parallel := opts.Workers > 0
-	switch {
-	case parallel && opts.ExactStates:
-		xo.Store = explore.NewShardedExactStore()
-	case parallel:
-		xo.Store = explore.NewShardedHashStore()
-	case !opts.ExactStates:
-		xo.Store = explore.NewHashStore()
+	var spill *explore.SpillStore
+	if opts.StoreBudgetBytes > 0 {
+		if opts.ExactStates {
+			return nil, fmt.Errorf("mpbasset: StoreBudgetBytes is incompatible with ExactStates (the spill tier stores 128-bit fingerprints only)")
+		}
+		switch opts.Search {
+		case SearchStateless, SearchDPOR:
+			return nil, fmt.Errorf("mpbasset: StoreBudgetBytes requires a stateful search (stateless and DPOR searches keep no visited set)")
+		}
+		sp, err := explore.NewSpillStore(explore.SpillConfig{
+			BudgetBytes: opts.StoreBudgetBytes,
+			Dir:         opts.SpillDir,
+		})
+		if err != nil {
+			return nil, err
+		}
+		spill = sp
+		xo.Store = sp
+	} else {
+		switch {
+		case parallel && opts.ExactStates:
+			xo.Store = explore.NewShardedExactStore()
+		case parallel:
+			xo.Store = explore.NewShardedHashStore()
+		case !opts.ExactStates:
+			xo.Store = explore.NewHashStore()
+		}
 	}
 	if opts.SymmetryRoles != nil {
 		canon, err := symmetry.New(p.N, opts.SymmetryRoles)
@@ -187,6 +232,23 @@ func Check(p *Protocol, opts Options) (*Result, error) {
 		}
 		xo.Canon = canon.Canon
 	}
+	res, err := runSearch(p, opts, xo, parallel)
+	// The spill store owns disk state (run files, possibly a temporary
+	// directory); release it before handing the result back. Spill
+	// activity was already copied into res.Stats by the engine.
+	if spill != nil {
+		if cerr := spill.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runSearch dispatches to the engine selected by opts.Search.
+func runSearch(p *Protocol, opts Options, xo explore.Options, parallel bool) (*Result, error) {
 	search := opts.Search
 	if search == 0 {
 		search = SearchSPOR

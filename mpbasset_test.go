@@ -185,6 +185,85 @@ func TestCheckWorkers(t *testing.T) {
 	}
 }
 
+// TestCheckStoreBudget drives the facade's spill path: a check under a
+// tiny memory budget must spill to disk, report the spill activity, and
+// reproduce the unconstrained run's verdict and search statistics
+// bit-identically — sequential and parallel, verified and violating.
+func TestCheckStoreBudget(t *testing.T) {
+	verified, err := paxos.New(paxos.Config{Proposers: 1, Acceptors: 3, Learners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	violating, err := paxos.New(paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1, Faulty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		p    *mpbasset.Protocol
+		opts mpbasset.Options
+	}{
+		{"sequential-spor", verified, mpbasset.Options{}},
+		{"parallel-spor", verified, mpbasset.Options{Workers: 4}},
+		{"bfs-violating", violating, mpbasset.Options{Search: mpbasset.SearchBFS, TrackTrace: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, err := mpbasset.Check(tc.p, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			budgeted := tc.opts
+			budgeted.StoreBudgetBytes = 2048
+			budgeted.SpillDir = t.TempDir()
+			res, err := mpbasset.Check(tc.p, budgeted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.SpillRuns == 0 || res.Stats.SpillBytes == 0 {
+				t.Fatalf("tiny budget never spilled: %+v", res.Stats)
+			}
+			if res.Verdict != ref.Verdict {
+				t.Errorf("verdict %s under budget, %s without", res.Verdict, ref.Verdict)
+			}
+			rs, ws := res.Stats, ref.Stats
+			rs.Duration, ws.Duration = 0, 0
+			rs.SpillRuns, rs.SpillBytes, rs.DiskProbes = 0, 0, 0
+			ws.SpillRuns, ws.SpillBytes, ws.DiskProbes = 0, 0, 0
+			if rs != ws {
+				t.Errorf("stats %+v under budget, %+v without", rs, ws)
+			}
+			if len(res.Trace) != len(ref.Trace) {
+				t.Errorf("trace length %d under budget, %d without", len(res.Trace), len(ref.Trace))
+			}
+		})
+	}
+}
+
+// TestCheckStoreBudgetRejections pins the option-combination errors.
+func TestCheckStoreBudgetRejections(t *testing.T) {
+	p, err := paxos.New(paxos.Config{Proposers: 1, Acceptors: 3, Learners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mpbasset.Check(p, mpbasset.Options{SpillDir: t.TempDir()}); err == nil {
+		t.Error("SpillDir without StoreBudgetBytes accepted")
+	}
+	if _, err := mpbasset.Check(p, mpbasset.Options{StoreBudgetBytes: 1 << 20, ExactStates: true}); err == nil {
+		t.Error("StoreBudgetBytes with ExactStates accepted")
+	}
+	if _, err := mpbasset.Check(p, mpbasset.Options{StoreBudgetBytes: 1 << 20, Search: mpbasset.SearchStateless}); err == nil {
+		t.Error("StoreBudgetBytes with stateless search accepted")
+	}
+	single, err := paxos.New(paxos.Config{Proposers: 1, Acceptors: 3, Learners: 1, Model: paxos.ModelSingle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mpbasset.Check(single, mpbasset.Options{StoreBudgetBytes: 1 << 20, Search: mpbasset.SearchDPOR}); err == nil {
+		t.Error("StoreBudgetBytes with DPOR search accepted")
+	}
+}
+
 func TestCheckNilProtocol(t *testing.T) {
 	if _, err := mpbasset.Check(nil, mpbasset.Options{}); err == nil {
 		t.Fatal("nil protocol accepted")
