@@ -1,16 +1,27 @@
-# Development and CI entry points. `make ci` is what the CI workflow runs:
-# vet + build + full test suite, plus the race detector over the packages
-# with concurrent code (the parallel search engine, the spill-to-disk
-# store, and the core they drive) and the packages whose tests exercise
-# them (the POR ignoring-proviso matrix, the cyclic protocol generators,
-# and the eval cells that run spill-backed parallel searches). `make fuzz`
-# runs the native fuzz targets — the cross-engine differential harness and
-# the fingerprint pin — for FUZZTIME each (CI smokes them at 30s).
+# Development and CI entry points. `make ci` is what every CI matrix cell
+# runs: vet + build + full test suite, plus the race detector over the
+# packages with concurrent code (the parallel search engines, the
+# spill-to-disk store, and the core they drive) and the packages whose
+# tests exercise them (the POR ignoring-proviso matrix, the cyclic
+# protocol generators, and the eval cells that run spill-backed parallel
+# searches). `make fuzz` runs the native fuzz targets — the cross-engine
+# differential harness and the fingerprint pin — for FUZZTIME each (CI
+# smokes them at 30s, with the corpus cached across runs so coverage
+# accumulates). `make bench-ci` is the perf trajectory: a fixed-work
+# mpbench run whose report (BENCH_ci.json) is gated against the committed
+# BENCH_baseline.json and uploaded as a CI artifact; regenerate the
+# baseline with `make bench-baseline` after an intentional perf or
+# state-count change. `make lint` needs staticcheck on PATH (CI installs
+# it; it is not part of `make ci` so offline builds stay dependency-free).
 
 GO ?= go
 FUZZTIME ?= 30s
+# The bench smoke's fixed work cap: every cell stops at this many states
+# (or the budget), so baseline and CI runs compare like against like.
+BENCH_MAX_STATES ?= 20000
+BENCH_BUDGET ?= 30s
 
-.PHONY: all vet build test race fuzz bench bench-smoke ci
+.PHONY: all vet build test race fuzz bench bench-smoke bench-ci bench-baseline lint ci
 
 all: ci
 
@@ -38,5 +49,22 @@ bench:
 # measurements.
 bench-smoke:
 	MPBASSET_BENCH_BUDGET=2s $(GO) test -bench . -benchtime 1x -run '^$$' . ./internal/explore/
+
+# The CI perf gate: run both tables under the fixed work cap, write the
+# machine-readable report, and fail on >BENCH_REGRESS_PCT% per-cell
+# wall-clock regression (or any determinism drift) against the committed
+# baseline. Wall-clock only compares like against like when the baseline
+# came from the same machine class: after the first green CI run, download
+# its BENCH_ci artifact and commit it as BENCH_baseline.json so the gate
+# measures runner-to-runner drift, not laptop-vs-runner drift.
+BENCH_REGRESS_PCT ?= 25
+bench-ci:
+	$(GO) run ./cmd/mpbench -budget $(BENCH_BUDGET) -max-states $(BENCH_MAX_STATES) -regress-pct $(BENCH_REGRESS_PCT) -out BENCH_ci.json -baseline BENCH_baseline.json
+
+bench-baseline:
+	$(GO) run ./cmd/mpbench -budget $(BENCH_BUDGET) -max-states $(BENCH_MAX_STATES) -out BENCH_baseline.json
+
+lint:
+	staticcheck ./...
 
 ci: vet build test race

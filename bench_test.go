@@ -299,6 +299,78 @@ func BenchmarkParallelBFS(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelDFS compares the speculative parallel DFS engine across
+// worker-pool sizes and steal depths on the bundled protocols,
+// SPOR-reduced with the sharded concurrent store — the configuration
+// mpcheck -workers runs for the DFS searches. Every configuration commits
+// the identical state space in the identical order (the engine is
+// bit-identical to sequential DFS), so states/op is constant and time/op
+// isolates the speculation win: the commit walk spends its time on cheap
+// store probes while the workers precompute Enabled/Expand/Execute and the
+// invariant checks. Wall-clock gains need GOMAXPROCS > 1.
+func BenchmarkParallelDFS(b *testing.B) {
+	targets := []struct {
+		name string
+		mk   func() (*core.Protocol, error)
+	}{
+		{"Paxos_231", func() (*core.Protocol, error) {
+			return paxos.New(paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1})
+		}},
+		{"Multicast_3111", func() (*core.Protocol, error) {
+			return multicast.New(multicast.Config{HonestReceivers: 3, HonestInitiators: 1, ByzantineReceivers: 1, ByzantineInitiators: 1})
+		}},
+		{"Storage_31", func() (*core.Protocol, error) {
+			return storage.New(storage.Config{Objects: 3, Readers: 1})
+		}},
+	}
+	type cfg struct {
+		name       string
+		workers    int
+		stealDepth int
+	}
+	cfgs := []cfg{
+		{"seq", 0, 0}, // sequential DFS baseline
+		{"workers-1", 1, 0},
+		{"workers-4", 4, 0},
+		{"workers-8", 8, 0},
+		{"workers-4-steal-2", 4, 2},
+		{"workers-4-steal-32", 4, 32},
+	}
+	for _, tg := range targets {
+		for _, c := range cfgs {
+			b.Run(fmt.Sprintf("%s/%s", tg.name, c.name), func(b *testing.B) {
+				p, err := tg.mk()
+				if err != nil {
+					b.Fatal(err)
+				}
+				exp, err := por.NewExpander(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				engine := explore.DFS
+				if c.workers > 0 {
+					engine = explore.ParallelDFS
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := engine(p, explore.Options{
+						Expander:    exp,
+						Workers:     c.workers,
+						StealDepth:  c.stealDepth,
+						Store:       explore.NewShardedHashStore(),
+						MaxDuration: benchBudget(),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(res.Stats.States), "states")
+					b.ReportMetric(float64(res.Stats.Events), "events")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFrontierScheduler compares ParallelBFS's two intra-level
 // schedulers on skewed-frontier workloads — frontiers whose nodes differ
 // widely in expansion cost, where a single shared claim index serializes

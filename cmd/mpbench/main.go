@@ -1,11 +1,15 @@
 // Command mpbench regenerates the paper's evaluation tables: Table I
 // (quorum semantics) and Table II (transition refinement), plus the
-// state-space analysis of §II-C.
+// state-space analysis of §II-C. It doubles as the CI perf harness: -out
+// serializes every table of a run into a machine-readable report, and
+// -baseline gates the run against a committed report, failing on wall-clock
+// regressions past a threshold or on determinism drift.
 //
 //	mpbench -table 1
 //	mpbench -table 2 -budget 2m
 //	mpbench -table 2 -paper          # includes Echo Multicast (3,1,1,1)
 //	mpbench -analysis
+//	mpbench -max-states 20000 -budget 30s -out BENCH_ci.json -baseline BENCH_baseline.json
 package main
 
 import (
@@ -22,13 +26,17 @@ func main() {
 	var (
 		table    = flag.Int("table", 0, "table to regenerate: 1 or 2 (0 = both)")
 		budget   = flag.Duration("budget", time.Minute, "wall-clock limit per cell (the paper's 48h-timeout analogue)")
+		maxSt    = flag.Int("max-states", 0, "state limit per cell (0 = unlimited); fixes the explored work so -baseline compares like against like")
 		paper    = flag.Bool("paper", false, "run paper-scale workloads (adds Echo Multicast (3,1,1,1); doubles Paxos ballots)")
 		analysis = flag.Bool("analysis", false, "print the paper's §II-C/§IV-A state-space analysis")
 		verify   = flag.Bool("verify", true, "fail if any verdict deviates from the paper's")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of the table layout")
-		workers  = flag.Int("workers", 0, "run the stateful cells with this many frontier-parallel BFS workers (0 = sequential DFS)")
-		chunk    = flag.Int("chunk", 0, "frontier nodes a parallel worker claims per grab (0 = adaptive; needs -workers)")
-		batch    = flag.Int("batch", 0, "successor keys a parallel worker buffers per batched visited-set insert (0 = default 64; needs -workers)")
+		outFile  = flag.String("out", "", "write the run's machine-readable report (all tables) to this file, e.g. BENCH_ci.json")
+		baseline = flag.String("baseline", "", "gate the run against this committed report (e.g. BENCH_baseline.json): exit 1 on regressions")
+		regPct   = flag.Float64("regress-pct", 25, "tolerated per-cell wall-clock growth over the baseline, in percent (needs -baseline)")
+		regFloor = flag.Duration("regress-floor", 250*time.Millisecond, "noise floor: baseline cells faster than this are not duration-gated (needs -baseline)")
+		workers  = flag.Int("workers", 0, "run the stateful cells with this many speculative parallel DFS workers (0 = sequential DFS)")
+		stealD   = flag.Int("steal-depth", 0, "events a parallel DFS worker speculates below a stolen sibling (0 = default 8; needs -workers)")
 		memB     = flag.String("mem-budget", "", "visited-set memory budget per cell, e.g. 512M: past it, fingerprints spill to sorted runs on disk (empty = in-memory only)")
 		spillDir = flag.String("spill-dir", "", "directory for spill run files (default: a temporary directory per cell; needs -mem-budget)")
 	)
@@ -43,10 +51,10 @@ func main() {
 		eval.PrintAnalysis(os.Stdout)
 		return
 	}
-	// mpbench's stateful cells run SPOR; reuse the shared flag validation
-	// so -chunk/-batch without -workers (or -spill-dir without
-	// -mem-budget) is rejected, not silently ignored.
-	if err := cli.ValidateParallelFlags("spor", *workers, *chunk, *batch); err != nil {
+	// mpbench's stateful cells run SPOR (a DFS search); reuse the shared
+	// flag validation so -steal-depth without -workers (or -spill-dir
+	// without -mem-budget) is rejected, not silently ignored.
+	if err := cli.ValidateParallelFlags("spor", *workers, 0, 0, *stealD); err != nil {
 		fail(err)
 	}
 	memBudget, err := cli.ParseBytes(*memB)
@@ -56,12 +64,17 @@ func main() {
 	if err := cli.ValidateSpillFlags("spor", memBudget, *spillDir); err != nil {
 		fail(err)
 	}
+	if *baseline == "" && (*regPct != 25 || *regFloor != 250*time.Millisecond) {
+		fail(fmt.Errorf("-regress-pct/-regress-floor require -baseline (they tune the regression gate)"))
+	}
 	opts := eval.Options{
-		Budget: *budget, Paper: *paper,
-		Workers: *workers, ChunkSize: *chunk, BatchSize: *batch,
+		Budget: *budget, MaxStates: *maxSt, Paper: *paper,
+		Workers: *workers, StealDepth: *stealD,
 		StoreBudgetBytes: memBudget, SpillDir: *spillDir,
 	}
+	var report eval.Report
 	emit := func(title string, rows []eval.Row) {
+		report.Tables = append(report.Tables, eval.TableToJSON(title, rows))
 		if *jsonOut {
 			if err := eval.WriteJSON(os.Stdout, title, rows); err != nil {
 				fail(err)
@@ -94,5 +107,35 @@ func main() {
 				fail(err)
 			}
 		}
+	}
+	if *outFile != "" {
+		if err := eval.WriteReportFile(*outFile, report); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "mpbench: report written to %s\n", *outFile)
+	}
+	if *baseline != "" {
+		base, err := eval.ReadReportFile(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		// An explicit `-regress-floor 0` means "gate every cell": map it to
+		// the library's negative disable sentinel (0 would re-select the
+		// default floor).
+		floorMS := float64(*regFloor) / float64(time.Millisecond)
+		if *regFloor == 0 {
+			floorMS = -1
+		}
+		regs := eval.CompareReports(base, report, eval.CompareOptions{
+			MaxSlowdownPct: *regPct,
+			MinDurationMS:  floorMS,
+		})
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "mpbench: regression:", r)
+			}
+			fail(fmt.Errorf("%d regression(s) against %s", len(regs), *baseline))
+		}
+		fmt.Fprintf(os.Stderr, "mpbench: no regressions against %s\n", *baseline)
 	}
 }

@@ -41,15 +41,16 @@ func run(args []string) error {
 		setting  = fs.String("setting", "", "process counts, e.g. 2,3,1 (paxos P,A,L), 3,0,1,1 (multicast HR,HI,BR,BI), 3,1 (storage B,R)")
 		model    = fs.String("model", "quorum", "modeling style: quorum | single")
 		split    = fs.String("split", "none", "transition refinement: none | reply | quorum | combined")
-		search   = fs.String("search", "spor", "search: spor | unreduced | bfs | stateless | dpor")
+		search   = fs.String("search", "spor", "search: spor | unreduced (alias: dfs) | bfs | stateless | dpor")
 		wrong    = fs.Bool("wrong", false, "check the deliberately wrong storage specification")
 		sym      = fs.Bool("symmetry", false, "enable role-based symmetry reduction")
 		trace    = fs.Bool("trace", false, "print the annotated counterexample trace, if any")
 		budget   = fs.Duration("budget", 5*time.Minute, "wall-clock limit")
 		maxSt    = fs.Int("max-states", 0, "state limit (0 = unlimited)")
-		workers  = fs.Int("workers", 0, "explore BFS frontiers with this many parallel workers (0 = sequential; spor, unreduced and bfs searches only)")
-		chunk    = fs.Int("chunk", 0, "frontier nodes a parallel worker claims per grab (0 = adaptive; needs -workers)")
-		batch    = fs.Int("batch", 0, "successor keys a parallel worker buffers per batched visited-set insert (0 = default 64; needs -workers)")
+		workers  = fs.Int("workers", 0, "parallelize the search with this many workers: spor/unreduced/dfs run speculative parallel DFS, bfs runs frontier-parallel BFS (0 = sequential)")
+		chunk    = fs.Int("chunk", 0, "frontier nodes a parallel BFS worker claims per grab (0 = adaptive; needs -workers with -search bfs)")
+		batch    = fs.Int("batch", 0, "successor keys a parallel BFS worker buffers per batched visited-set insert (0 = default 64; needs -workers with -search bfs)")
+		stealD   = fs.Int("steal-depth", 0, "events a parallel DFS worker speculates below a stolen sibling before stealing afresh (0 = default 8; needs -workers with a DFS search)")
 		memB     = fs.String("mem-budget", "", "visited-set memory budget, e.g. 512M or 2G: past it, fingerprints spill to sorted runs on disk (empty = in-memory only; spor, unreduced and bfs searches)")
 		spillDir = fs.String("spill-dir", "", "directory for spill run files (default: a temporary directory; needs -mem-budget)")
 		dotOut   = fs.String("dot", "", "write the full state graph (small models!) as Graphviz DOT to this file")
@@ -58,7 +59,7 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if err := cli.ValidateParallelFlags(*search, *workers, *chunk, *batch); err != nil {
+	if err := cli.ValidateParallelFlags(*search, *workers, *chunk, *batch, *stealD); err != nil {
 		return err
 	}
 	memBudget, err := cli.ParseBytes(*memB)
@@ -91,12 +92,13 @@ func run(args []string) error {
 		Workers:     *workers,
 		ChunkSize:   *chunk,
 		BatchSize:   *batch,
+		StealDepth:  *stealD,
 	}
 	var spill *explore.SpillStore
 	switch {
 	case memBudget > 0:
 		// The spill store is concurrency-safe, so it serves the
-		// sequential engines and ParallelBFS alike.
+		// sequential and parallel engines alike.
 		spill, err = explore.NewSpillStore(explore.SpillConfig{BudgetBytes: memBudget, Dir: *spillDir})
 		if err != nil {
 			return err
@@ -118,7 +120,12 @@ func run(args []string) error {
 		fmt.Printf("symmetry group: %d permutations\n", canon.NumPermutations())
 	}
 
+	// Each stateful search pairs with the parallel engine that reproduces
+	// it bit-identically: the DFS searches with the speculative ParallelDFS,
+	// bfs with the frontier-parallel ParallelBFS.
+	// ValidateParallelFlags already rejected -workers on other searches.
 	var engine func(*core.Protocol, explore.Options) (*explore.Result, error)
+	parallelEngine := "speculative parallel DFS"
 	switch *search {
 	case "spor":
 		exp, err := por.NewExpander(p)
@@ -127,10 +134,20 @@ func run(args []string) error {
 		}
 		opts.Expander = exp
 		engine = explore.DFS
-	case "unreduced":
+		if *workers > 0 {
+			engine = explore.ParallelDFS
+		}
+	case "unreduced", "dfs":
 		engine = explore.DFS
+		if *workers > 0 {
+			engine = explore.ParallelDFS
+		}
 	case "bfs":
 		engine = explore.BFS
+		if *workers > 0 {
+			engine = explore.ParallelBFS
+			parallelEngine = "frontier-parallel BFS"
+		}
 	case "stateless":
 		engine = explore.StatelessDFS
 	case "dpor":
@@ -138,14 +155,10 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown search %q", *search)
 	}
-	if *workers > 0 {
-		// ValidateParallelFlags already rejected non-stateful searches.
-		engine = explore.ParallelBFS
-	}
 
 	fmt.Printf("checking %s [%s, %s]\n", p.Name, *search, strat)
 	if *workers > 0 {
-		fmt.Printf("workers:   %d (frontier-parallel BFS)\n", *workers)
+		fmt.Printf("workers:   %d (%s)\n", *workers, parallelEngine)
 	}
 	if memBudget > 0 {
 		fmt.Printf("mem-budget: %d bytes (visited set spills to disk past it)\n", memBudget)

@@ -90,25 +90,50 @@ func BuildProtocol(protocol, setting, model string, wrong bool) (*core.Protocol,
 	}
 }
 
+// dfsSearch reports whether the CLI search name selects a DFS-based
+// stateful search ("dfs" is the CLI alias for "unreduced").
+func dfsSearch(search string) bool {
+	switch search {
+	case "spor", "unreduced", "dfs":
+		return true
+	}
+	return false
+}
+
 // ValidateParallelFlags checks the parallel-search flag combinations the
-// CLIs accept: -workers requires a stateful search (the frontier-parallel
-// engine replaces spor/unreduced/bfs only), and the scheduler tuning knobs
-// -chunk/-batch are meaningless without -workers — passing them without it
-// is rejected instead of silently ignored.
-func ValidateParallelFlags(search string, workers, chunk, batch int) error {
+// CLIs accept: -workers requires a stateful search — the DFS searches
+// (spor, unreduced and its dfs alias) run the speculative parallel DFS
+// engine, bfs the frontier-parallel BFS engine. The tuning knobs are
+// engine-specific and rejected elsewhere instead of silently ignored:
+// -chunk/-batch tune the BFS frontier scheduler (they keep their original
+// rule of requiring -workers, and additionally need the bfs search now
+// that the DFS searches parallelize differently), while -steal-depth tunes
+// DFS subtree speculation and needs -workers with a DFS search.
+func ValidateParallelFlags(search string, workers, chunk, batch, stealDepth int) error {
 	if workers > 0 {
-		switch search {
-		case "spor", "unreduced", "bfs":
-			return nil
-		default:
-			return fmt.Errorf("-workers requires a stateful search (spor, unreduced or bfs), not %q", search)
+		if !dfsSearch(search) && search != "bfs" {
+			return fmt.Errorf("-workers requires a stateful search (spor, unreduced, dfs or bfs), not %q", search)
 		}
+	} else {
+		if chunk != 0 {
+			return fmt.Errorf("-chunk requires -workers (it tunes the parallel BFS scheduler's claim size)")
+		}
+		if batch != 0 {
+			return fmt.Errorf("-batch requires -workers (it tunes the parallel BFS visited-set insert batching)")
+		}
+		if stealDepth != 0 {
+			return fmt.Errorf("-steal-depth requires -workers (it tunes parallel DFS subtree speculation)")
+		}
+		return nil
 	}
-	if chunk != 0 {
-		return fmt.Errorf("-chunk requires -workers (it tunes the parallel scheduler's claim size)")
+	if chunk != 0 && search != "bfs" {
+		return fmt.Errorf("-chunk tunes the parallel BFS frontier scheduler; the %q search runs parallel DFS (tune -steal-depth instead)", search)
 	}
-	if batch != 0 {
-		return fmt.Errorf("-batch requires -workers (it tunes the parallel visited-set insert batching)")
+	if batch != 0 && search != "bfs" {
+		return fmt.Errorf("-batch tunes the parallel BFS insert batching; the %q search runs parallel DFS (tune -steal-depth instead)", search)
+	}
+	if stealDepth != 0 && !dfsSearch(search) {
+		return fmt.Errorf("-steal-depth tunes parallel DFS subtree speculation; the %q search runs parallel BFS (tune -chunk/-batch instead)", search)
 	}
 	return nil
 }
@@ -161,12 +186,10 @@ func ParseBytes(s string) (int64, error) {
 // ignored, mirroring ValidateParallelFlags.
 func ValidateSpillFlags(search string, budgetBytes int64, spillDir string) error {
 	if budgetBytes > 0 {
-		switch search {
-		case "spor", "unreduced", "bfs":
+		if dfsSearch(search) || search == "bfs" {
 			return nil
-		default:
-			return fmt.Errorf("-mem-budget requires a stateful search (spor, unreduced or bfs), not %q", search)
 		}
+		return fmt.Errorf("-mem-budget requires a stateful search (spor, unreduced, dfs or bfs), not %q", search)
 	}
 	if spillDir != "" {
 		return fmt.Errorf("-spill-dir requires -mem-budget (the spill directory is meaningless without a memory budget)")

@@ -82,26 +82,39 @@ func TestBuildProtocolErrors(t *testing.T) {
 
 func TestValidateParallelFlags(t *testing.T) {
 	cases := []struct {
-		name    string
-		search  string
-		workers int
-		chunk   int
-		batch   int
-		wantErr string // substring; empty means accepted
+		name       string
+		search     string
+		workers    int
+		chunk      int
+		batch      int
+		stealDepth int
+		wantErr    string // substring; empty means accepted
 	}{
-		{"sequential defaults", "spor", 0, 0, 0, ""},
-		{"workers with spor", "spor", 8, 0, 0, ""},
-		{"workers with unreduced", "unreduced", 2, 0, 0, ""},
-		{"workers with bfs", "bfs", 4, 0, 0, ""},
-		{"workers with knobs", "bfs", 4, 16, 128, ""},
-		{"workers with stateless", "stateless", 4, 0, 0, "-workers requires a stateful search"},
-		{"workers with dpor", "dpor", 1, 0, 0, "-workers requires a stateful search"},
-		{"chunk without workers", "spor", 0, 16, 0, "-chunk requires -workers"},
-		{"batch without workers", "spor", 0, 0, 64, "-batch requires -workers"},
-		{"both knobs without workers", "bfs", 0, 8, 8, "-chunk requires -workers"},
+		// -workers selects the engine matching the search family.
+		{"sequential defaults", "spor", 0, 0, 0, 0, ""},
+		{"workers with spor", "spor", 8, 0, 0, 0, ""},
+		{"workers with unreduced", "unreduced", 2, 0, 0, 0, ""},
+		{"workers with dfs alias", "dfs", 4, 0, 0, 0, ""},
+		{"workers with bfs", "bfs", 4, 0, 0, 0, ""},
+		{"workers with stateless", "stateless", 4, 0, 0, 0, "-workers requires a stateful search"},
+		{"workers with dpor", "dpor", 1, 0, 0, 0, "-workers requires a stateful search"},
+		// -chunk/-batch keep their original rule (they need -workers) and
+		// tune the BFS frontier scheduler only.
+		{"workers with bfs knobs", "bfs", 4, 16, 128, 0, ""},
+		{"chunk without workers", "spor", 0, 16, 0, 0, "-chunk requires -workers"},
+		{"batch without workers", "spor", 0, 0, 64, 0, "-batch requires -workers"},
+		{"both knobs without workers", "bfs", 0, 8, 8, 0, "-chunk requires -workers"},
+		{"chunk with parallel dfs", "spor", 4, 16, 0, 0, "-chunk tunes the parallel BFS frontier scheduler"},
+		{"batch with parallel dfs", "dfs", 4, 0, 64, 0, "-batch tunes the parallel BFS insert batching"},
+		// -steal-depth mirrors them for the DFS searches.
+		{"steal-depth with spor", "spor", 4, 0, 0, 8, ""},
+		{"steal-depth with dfs alias", "dfs", 8, 0, 0, 3, ""},
+		{"steal-depth with unreduced", "unreduced", 2, 0, 0, 64, ""},
+		{"steal-depth without workers", "spor", 0, 0, 0, 8, "-steal-depth requires -workers"},
+		{"steal-depth with parallel bfs", "bfs", 4, 0, 0, 8, "-steal-depth tunes parallel DFS subtree speculation"},
 	}
 	for _, tc := range cases {
-		err := ValidateParallelFlags(tc.search, tc.workers, tc.chunk, tc.batch)
+		err := ValidateParallelFlags(tc.search, tc.workers, tc.chunk, tc.batch, tc.stealDepth)
 		if tc.wantErr == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error: %v", tc.name, err)
@@ -167,6 +180,7 @@ func TestValidateSpillFlags(t *testing.T) {
 		{"no spill flags", "spor", 0, "", ""},
 		{"budget with spor", "spor", 1 << 20, "", ""},
 		{"budget with unreduced", "unreduced", 1 << 20, "", ""},
+		{"budget with dfs alias", "dfs", 1 << 20, "", ""},
 		{"budget with bfs", "bfs", 1 << 20, "", ""},
 		{"budget and dir", "bfs", 1 << 20, "/tmp/spill", ""},
 		{"budget with stateless", "stateless", 1 << 20, "", "-mem-budget requires a stateful search"},

@@ -1,0 +1,193 @@
+// The cross-run perf trajectory: mpbench serializes every table of one
+// invocation into a Report (BENCH_ci.json in CI, BENCH_baseline.json
+// committed to the repo) and CompareReports gates a current report against
+// a baseline — wall-clock regressions past a threshold fail, and so do
+// determinism breaches (verdict or state-count drift on cells the engines
+// guarantee to be bit-identical run-to-run).
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Report is the machine-readable outcome of one mpbench invocation: every
+// table it ran, in emission order.
+type Report struct {
+	Tables []TableJSON `json:"tables"`
+}
+
+// WriteReport serializes r as indented JSON.
+func WriteReport(w io.Writer, r Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteReportFile writes r to path, creating or truncating it.
+func WriteReportFile(path string, r Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteReport(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadReport parses a report previously written by WriteReport.
+func ReadReport(rd io.Reader) (Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return Report{}, fmt.Errorf("bench report: %w", err)
+	}
+	return r, nil
+}
+
+// ReadReportFile reads a report from path.
+func ReadReportFile(path string) (Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Report{}, err
+	}
+	defer f.Close()
+	return ReadReport(f)
+}
+
+// Regression is one gate violation found by CompareReports.
+type Regression struct {
+	Table  string
+	Row    string
+	Column string
+	// Kind classifies the violation: "duration" (wall-clock past the
+	// threshold), "determinism" (verdict or state/event drift), "error"
+	// (the current cell failed), or "missing" (a baseline cell the current
+	// report no longer has).
+	Kind   string
+	Detail string
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s / %s [%s]: %s: %s", r.Table, r.Row, r.Column, r.Kind, r.Detail)
+}
+
+// CompareOptions tunes the regression gate.
+type CompareOptions struct {
+	// MaxSlowdownPct is the tolerated per-cell wall-clock growth over the
+	// baseline, in percent; cells slower than baseline*(1+pct/100) fail.
+	// <= 0 means the default of 25.
+	MaxSlowdownPct float64
+	// MinDurationMS is the noise floor: cells whose baseline ran faster
+	// than this are skipped by the duration gate (their timing is
+	// scheduler noise, not signal). < 0 disables the floor; 0 means the
+	// default of 250ms.
+	MinDurationMS float64
+}
+
+func (o CompareOptions) pct() float64 {
+	if o.MaxSlowdownPct > 0 {
+		return o.MaxSlowdownPct
+	}
+	return 25
+}
+
+func (o CompareOptions) floor() float64 {
+	if o.MinDurationMS < 0 {
+		return 0
+	}
+	if o.MinDurationMS == 0 {
+		return 250
+	}
+	return o.MinDurationMS
+}
+
+// CompareReports gates current against baseline cell by cell (tables
+// matched by title, rows by protocol/setting/property, cells by column)
+// and returns every regression found, in baseline order:
+//
+//   - a baseline cell absent from the current report is "missing";
+//   - a current cell that errored is "error";
+//   - a verdict change is "determinism", and so is state- or event-count
+//     drift on cells neither side cut short (a Limit verdict can come from
+//     a wall-clock budget, whose cut point is timing-dependent, so limited
+//     cells are only held to verdict agreement);
+//   - a cell whose baseline wall-clock is at or above the noise floor and
+//     whose current wall-clock exceeds it by more than the threshold is
+//     "duration".
+//
+// Cells present only in the current report are new coverage, not
+// regressions.
+func CompareReports(baseline, current Report, opts CompareOptions) []Regression {
+	curTables := make(map[string]TableJSON, len(current.Tables))
+	for _, t := range current.Tables {
+		curTables[t.Title] = t
+	}
+	var regs []Regression
+	for _, bt := range baseline.Tables {
+		ct, ok := curTables[bt.Title]
+		if !ok {
+			regs = append(regs, Regression{Table: bt.Title, Kind: "missing", Detail: "table absent from the current report"})
+			continue
+		}
+		curRows := make(map[string]RowJSON, len(ct.Rows))
+		for _, r := range ct.Rows {
+			curRows[r.Protocol+"|"+r.Setting+"|"+r.Property] = r
+		}
+		for _, br := range bt.Rows {
+			rowName := fmt.Sprintf("%s %s — %s", br.Protocol, br.Setting, br.Property)
+			cr, ok := curRows[br.Protocol+"|"+br.Setting+"|"+br.Property]
+			if !ok {
+				regs = append(regs, Regression{Table: bt.Title, Row: rowName, Kind: "missing", Detail: "row absent from the current report"})
+				continue
+			}
+			curCells := make(map[string]CellJSON, len(cr.Cells))
+			for _, c := range cr.Cells {
+				curCells[c.Column] = c
+			}
+			for _, bc := range br.Cells {
+				cc, ok := curCells[bc.Column]
+				if !ok {
+					regs = append(regs, Regression{Table: bt.Title, Row: rowName, Column: bc.Column, Kind: "missing", Detail: "cell absent from the current report"})
+					continue
+				}
+				regs = append(regs, compareCell(bt.Title, rowName, bc, cc, opts)...)
+			}
+		}
+	}
+	return regs
+}
+
+func compareCell(table, row string, base, cur CellJSON, opts CompareOptions) []Regression {
+	if base.Error != "" {
+		return nil // a broken baseline cell gates nothing
+	}
+	if cur.Error != "" {
+		return []Regression{{Table: table, Row: row, Column: cur.Column, Kind: "error", Detail: cur.Error}}
+	}
+	var regs []Regression
+	if cur.Verdict != base.Verdict {
+		regs = append(regs, Regression{
+			Table: table, Row: row, Column: cur.Column, Kind: "determinism",
+			Detail: fmt.Sprintf("verdict %s, baseline %s", cur.Verdict, base.Verdict),
+		})
+		return regs // state counts are incomparable across verdicts
+	}
+	if base.Verdict != "Limit" && (cur.States != base.States || cur.Events != base.Events) {
+		regs = append(regs, Regression{
+			Table: table, Row: row, Column: cur.Column, Kind: "determinism",
+			Detail: fmt.Sprintf("states=%d events=%d, baseline states=%d events=%d", cur.States, cur.Events, base.States, base.Events),
+		})
+	}
+	if base.DurationMS >= opts.floor() && cur.DurationMS > base.DurationMS*(1+opts.pct()/100) {
+		regs = append(regs, Regression{
+			Table: table, Row: row, Column: cur.Column, Kind: "duration",
+			Detail: fmt.Sprintf("%.0fms, baseline %.0fms (>%.0f%% slower)", cur.DurationMS, base.DurationMS, opts.pct()),
+		})
+	}
+	return regs
+}

@@ -30,19 +30,18 @@ type Options struct {
 	// (3,1,1,1) row of Table II and doubles the Paxos ballots.
 	Paper bool
 	// Workers > 0 runs the stateful cells (SPOR, unreduced) with the
-	// frontier-parallel BFS engine and that many workers — sound on any
-	// model (the engine enforces the queue variant of the ignoring
+	// speculative parallel DFS engine and that many workers — sound on any
+	// model (the commit walk enforces the stack variant of the ignoring
 	// proviso, so reduction is safe on cyclic state graphs too) and
-	// reproducing the sequential BFS state counts exactly. DPOR cells are
-	// inherently sequential and ignore it.
+	// bit-identical to the sequential DFS cells: verdicts, state and event
+	// counts never change, only wall-clock. DPOR cells are inherently
+	// sequential and ignore it.
 	Workers int
-	// ChunkSize and BatchSize tune the parallel engine's work-stealing
-	// scheduler (nodes claimed per grab, successor keys per batched
-	// visited-set insert); 0 selects the adaptive defaults. They never
-	// change cell results, only throughput, and are ignored without
-	// Workers.
-	ChunkSize int
-	BatchSize int
+	// StealDepth bounds one stolen subtree's speculation in the parallel
+	// DFS cells (events below a stolen sibling before the worker steals
+	// afresh); 0 selects the engine default. It never changes cell
+	// results, only throughput, and is ignored without Workers.
+	StealDepth int
 	// StoreBudgetBytes > 0 runs the stateful cells over a two-tier
 	// explore.SpillStore: the visited set's in-memory hot tier is bounded
 	// by the budget and spills sorted fingerprint runs to disk. Cell
@@ -114,17 +113,16 @@ func run(column string, p *core.Protocol, opts Options, search func(*core.Protoc
 }
 
 // stateful selects the sequential DFS engine or, when opts.Workers is set,
-// the frontier-parallel BFS engine with a sharded concurrent store. With
-// StoreBudgetBytes it backs either engine with a fresh spill store (the
-// SpillStore is concurrency-safe, so the same store serves both); run()
-// closes it when the cell finishes.
+// the speculative parallel DFS engine (bit-identical results) with a
+// sharded concurrent store. With StoreBudgetBytes it backs either engine
+// with a fresh spill store (the SpillStore is concurrency-safe, so the
+// same store serves both); run() closes it when the cell finishes.
 func (o Options) stateful(xo explore.Options) (func(*core.Protocol, explore.Options) (*explore.Result, error), explore.Options, error) {
 	engine := explore.DFS
 	if o.Workers > 0 {
 		xo.Workers = o.Workers
-		xo.ChunkSize = o.ChunkSize
-		xo.BatchSize = o.BatchSize
-		engine = explore.ParallelBFS
+		xo.StealDepth = o.StealDepth
+		engine = explore.ParallelDFS
 	}
 	switch {
 	case o.StoreBudgetBytes > 0:
@@ -140,7 +138,7 @@ func (o Options) stateful(xo explore.Options) (func(*core.Protocol, explore.Opti
 }
 
 // RunSPOR is the standard stateful DFS + static POR cell used across both
-// tables (frontier-parallel BFS when Options.Workers is set).
+// tables (speculative parallel DFS when Options.Workers is set).
 func RunSPOR(column string, p *core.Protocol, opts Options) Cell {
 	exp, err := por.NewExpander(p)
 	if err != nil {

@@ -6,8 +6,8 @@ import (
 	"time"
 )
 
-// jsonCell is the machine-readable form of a Cell.
-type jsonCell struct {
+// CellJSON is the machine-readable form of a Cell.
+type CellJSON struct {
 	Column     string  `json:"column"`
 	Verdict    string  `json:"verdict"`
 	States     int     `json:"states"`
@@ -17,26 +17,27 @@ type jsonCell struct {
 	Error      string  `json:"error,omitempty"`
 }
 
-// jsonRow is the machine-readable form of a Row.
-type jsonRow struct {
+// RowJSON is the machine-readable form of a Row.
+type RowJSON struct {
 	Protocol string     `json:"protocol"`
 	Setting  string     `json:"setting"`
 	Property string     `json:"property"`
-	Cells    []jsonCell `json:"cells"`
+	Cells    []CellJSON `json:"cells"`
 }
 
-// WriteJSON renders rows as a JSON document (one object with a "rows"
-// array), for downstream tooling and plotting.
-func WriteJSON(w io.Writer, title string, rows []Row) error {
-	type doc struct {
-		Title string    `json:"title"`
-		Rows  []jsonRow `json:"rows"`
-	}
-	d := doc{Title: title}
+// TableJSON is the machine-readable form of one emitted table.
+type TableJSON struct {
+	Title string    `json:"title"`
+	Rows  []RowJSON `json:"rows"`
+}
+
+// TableToJSON converts one table run into its machine-readable form.
+func TableToJSON(title string, rows []Row) TableJSON {
+	t := TableJSON{Title: title}
 	for _, r := range rows {
-		jr := jsonRow{Protocol: r.Protocol, Setting: r.Setting, Property: r.Property}
+		jr := RowJSON{Protocol: r.Protocol, Setting: r.Setting, Property: r.Property}
 		for _, c := range r.Cells {
-			jc := jsonCell{
+			jc := CellJSON{
 				Column:     c.Column,
 				Verdict:    c.Verdict.String(),
 				States:     c.States,
@@ -49,9 +50,15 @@ func WriteJSON(w io.Writer, title string, rows []Row) error {
 			}
 			jr.Cells = append(jr.Cells, jc)
 		}
-		d.Rows = append(d.Rows, jr)
+		t.Rows = append(t.Rows, jr)
 	}
+	return t
+}
+
+// WriteJSON renders rows as a JSON document (one object with a "rows"
+// array), for downstream tooling and plotting.
+func WriteJSON(w io.Writer, title string, rows []Row) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(d)
+	return enc.Encode(TableToJSON(title, rows))
 }

@@ -1,20 +1,22 @@
 // Package explore provides the explicit-state search engines of the model
 // checker: stateful DFS and BFS over canonical state keys, a stateless DFS
-// (the search mode required by dynamic POR, §III-A), a frontier-parallel
-// BFS, invariant checking with counterexample traces, deadlock detection,
-// and a full state-graph builder used to validate transition refinement
-// (Theorem 2: refined and unrefined systems generate the same state graph).
+// (the search mode required by dynamic POR, §III-A), a deterministic
+// parallel engine for each stateful search order (frontier-parallel BFS
+// and speculative parallel DFS), invariant checking with counterexample
+// traces, deadlock detection, and a full state-graph builder used to
+// validate transition refinement (Theorem 2: refined and unrefined systems
+// generate the same state graph).
 //
 // Searches are parameterized by an Expander, the hook through which
 // partial-order reduction restricts the explored events of a state. Every
 // stateful engine enforces the ignoring proviso (ample condition C3) with
 // the discipline matching its search order, exposed through the Proviso
-// hook and reported as Stats.ProvisoExpansions: DFS fully expands a state
-// whenever a reduced expansion would close a cycle on the search stack
-// (the stack proviso), while BFS and ParallelBFS fully expand a state
-// whenever a reduced expansion yields only states already visited before
-// the state's level began (the queue proviso). Either way a reducing
-// expander is sound on cyclic state graphs.
+// hook and reported as Stats.ProvisoExpansions: the DFS engines fully
+// expand a state whenever a reduced expansion would close a cycle on the
+// search stack (the stack proviso), while BFS and ParallelBFS fully expand
+// a state whenever a reduced expansion yields only states already visited
+// before the state's level began (the queue proviso). Either way a
+// reducing expander is sound on cyclic state graphs.
 //
 // ParallelBFS scales the stateful BFS across a worker pool
 // (Options.Workers): each frontier is expanded concurrently against a
@@ -23,9 +25,17 @@
 // commits each level so verdicts, statistics and counterexample traces are
 // bit-identical to the sequential BFS for any worker count — the queue
 // proviso included, which is evaluated after the level barrier against the
-// level-start visited snapshot rather than the live concurrent store. Its
-// soundness conditions are those of the hooks it parallelizes: the
-// protocol's Enabled/Execute/CheckInvariant, the Canon function and the
-// Expander must be stateless or read-only (true of everything in this
-// repository).
+// level-start visited snapshot rather than the live concurrent store.
+//
+// ParallelDFS scales the stateful DFS the same way along the other search
+// order: workers steal unexplored sibling subtrees from the deep end of
+// the search stack and speculatively memoize their expansions, while a
+// single commit walk replays the exact sequential DFS order (stack proviso
+// included), so results are bit-identical to DFS for any worker count and
+// steal depth.
+//
+// Both parallel engines inherit their soundness conditions from the hooks
+// they parallelize: the protocol's Enabled/Execute/CheckInvariant, the
+// Canon function and the Expander must be stateless or read-only (true of
+// everything in this repository).
 package explore

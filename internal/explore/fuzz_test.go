@@ -3,11 +3,15 @@
 // size, cycle priority, fault/quorum knobs — or the ignoring trap), and
 // every stateful engine must agree on it, over in-memory and spill-to-disk
 // stores alike. Any divergence in verdict, state count, statistics or
-// replayed trace fails the input. The seed corpus covers IgnoringTrap and
-// the soundness-matrix configurations of por/proviso_test.go, so plain
-// `go test` exercises them deterministically; `go test -fuzz
-// FuzzEngineAgreement` explores the configuration space beyond the seeds
-// (the `make fuzz` / CI smoke entry point).
+// replayed trace fails the input. The BFS family (BFS, ParallelBFS under
+// both schedulers) is held bit-identical to sequential BFS; the parallel
+// DFS family (ParallelDFS at several worker counts and steal depths) is
+// held bit-identical to sequential DFS, unreduced and SPOR-reduced alike.
+// The seed corpus covers IgnoringTrap and the soundness-matrix
+// configurations of por/proviso_test.go, so plain `go test` exercises them
+// deterministically; `go test -fuzz FuzzEngineAgreement` explores the
+// configuration space beyond the seeds (the `make fuzz` / CI smoke entry
+// point).
 package explore_test
 
 import (
@@ -25,9 +29,10 @@ import (
 // order).
 const fuzzMaxStates = 5000
 
-// fuzzEngines is the engine matrix of the harness: sequential BFS and DFS
-// plus ParallelBFS at 1 and 4 workers under both schedulers. Sequential
-// BFS doubles as the reference when run over the in-memory store.
+// fuzzEngines is the BFS-side engine matrix of the harness: sequential BFS
+// and DFS plus ParallelBFS at 1 and 4 workers under both schedulers.
+// Sequential BFS doubles as the reference when run over the in-memory
+// store.
 func fuzzEngines() []diffEngine {
 	parallel := func(workers int, sched explore.Sched) func(*core.Protocol, explore.Options) (*explore.Result, error) {
 		return func(p *core.Protocol, xo explore.Options) (*explore.Result, error) {
@@ -45,10 +50,28 @@ func fuzzEngines() []diffEngine {
 	}
 }
 
+// fuzzDFSEngines is the DFS-side matrix: ParallelDFS at 1 and 4 workers
+// (plus a shallow steal depth, which stresses re-stealing), each held
+// bit-identical — stats and trace — to the sequential DFS reference.
+func fuzzDFSEngines() []diffEngine {
+	pdfs := func(workers, stealDepth int) func(*core.Protocol, explore.Options) (*explore.Result, error) {
+		return func(p *core.Protocol, xo explore.Options) (*explore.Result, error) {
+			xo.Workers = workers
+			xo.StealDepth = stealDepth
+			return explore.ParallelDFS(p, xo)
+		}
+	}
+	return []diffEngine{
+		{"ParallelDFS-1", pdfs(1, 0), true},
+		{"ParallelDFS-4", pdfs(4, 0), true},
+		{"ParallelDFS-4-steal-1", pdfs(4, 1), true},
+	}
+}
+
 // decodeFuzzProtocol maps raw fuzz arguments onto a bounded protocol:
 // either the ignoring trap (ring 2..6) or a generated protocol whose
 // knobs are clamped to the generator's meaningful ranges.
-func decodeFuzzProtocol(seed int64, procs, ring, prio, threshold uint8, quorums, anyQuorums, cycles, trap bool) (*core.Protocol, error) {
+func decodeFuzzProtocol(seed int64, procs, ring, prio, threshold, rounds uint8, quorums, anyQuorums, cycles, trap bool) (*core.Protocol, error) {
 	if trap {
 		return mptest.IgnoringTrap(2 + int(ring%5))
 	}
@@ -61,6 +84,7 @@ func decodeFuzzProtocol(seed int64, procs, ring, prio, threshold uint8, quorums,
 		RingSize:      int(ring % 6), // 0, 2..5 (1 behaves as the 2-bounce)
 		CyclePriority: int(prio % 6), // benign 0 through adversarial 5
 		Threshold:     int(threshold % 3),
+		MaxRounds:     2 + int(rounds%3), // 2 (the default) .. 4 (deep spines)
 	})
 }
 
@@ -68,24 +92,29 @@ func FuzzEngineAgreement(f *testing.F) {
 	// Seed corpus: an acyclic quorum protocol, the cyclic soundness-matrix
 	// configurations (two-process bounce and longer rings at benign and
 	// adversarial cycle priorities, with and without violations), a
-	// violating deep-cycle seed, and the ignoring trap at rings 2 and 4.
-	f.Add(int64(0), uint8(2), uint8(0), uint8(0), uint8(0), true, false, false, false)
-	f.Add(int64(0), uint8(2), uint8(0), uint8(0), uint8(1), true, false, true, false)
-	f.Add(int64(5), uint8(2), uint8(0), uint8(3), uint8(1), true, false, true, false)
-	f.Add(int64(3), uint8(2), uint8(3), uint8(3), uint8(1), true, false, true, false)
-	f.Add(int64(9), uint8(2), uint8(4), uint8(3), uint8(2), true, true, true, false)
-	f.Add(int64(1), uint8(2), uint8(3), uint8(3), uint8(2), true, false, true, false)
-	f.Add(int64(0), uint8(0), uint8(0), uint8(0), uint8(0), false, false, false, true)
-	f.Add(int64(0), uint8(0), uint8(2), uint8(0), uint8(0), false, false, false, true)
+	// violating deep-cycle seed, two deep-round seeds (long first-child
+	// spines, the ParallelDFS steal stress), and the ignoring trap at
+	// rings 2 and 4.
+	f.Add(int64(0), uint8(2), uint8(0), uint8(0), uint8(0), uint8(0), true, false, false, false)
+	f.Add(int64(0), uint8(2), uint8(0), uint8(0), uint8(1), uint8(0), true, false, true, false)
+	f.Add(int64(5), uint8(2), uint8(0), uint8(3), uint8(1), uint8(0), true, false, true, false)
+	f.Add(int64(3), uint8(2), uint8(3), uint8(3), uint8(1), uint8(0), true, false, true, false)
+	f.Add(int64(9), uint8(2), uint8(4), uint8(3), uint8(2), uint8(0), true, true, true, false)
+	f.Add(int64(1), uint8(2), uint8(3), uint8(3), uint8(2), uint8(0), true, false, true, false)
+	f.Add(int64(4), uint8(1), uint8(0), uint8(0), uint8(0), uint8(2), true, false, false, false)
+	f.Add(int64(7), uint8(2), uint8(3), uint8(3), uint8(1), uint8(2), true, false, true, false)
+	f.Add(int64(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), false, false, false, true)
+	f.Add(int64(0), uint8(0), uint8(2), uint8(0), uint8(0), uint8(0), false, false, false, true)
 
-	f.Fuzz(func(t *testing.T, seed int64, procs, ring, prio, threshold uint8, quorums, anyQuorums, cycles, trap bool) {
-		p, err := decodeFuzzProtocol(seed, procs, ring, prio, threshold, quorums, anyQuorums, cycles, trap)
+	f.Fuzz(func(t *testing.T, seed int64, procs, ring, prio, threshold, rounds uint8, quorums, anyQuorums, cycles, trap bool) {
+		p, err := decodeFuzzProtocol(seed, procs, ring, prio, threshold, rounds, quorums, anyQuorums, cycles, trap)
 		if err != nil {
 			t.Fatalf("generator rejected a clamped config: %v", err)
 		}
 		xo := explore.Options{TrackTrace: true, MaxStates: fuzzMaxStates}
 
-		// Reference: sequential unreduced BFS over the in-memory store.
+		// References: sequential unreduced BFS and DFS over the in-memory
+		// store, one per engine family.
 		memRef := xo
 		memRef.Store = explore.NewHashStore()
 		ref, err := explore.BFS(p, memRef)
@@ -94,6 +123,12 @@ func FuzzEngineAgreement(f *testing.F) {
 		}
 		if ref.Verdict == explore.VerdictLimit {
 			t.Skip("state space exceeds the fuzz budget")
+		}
+		dfsMemRef := xo
+		dfsMemRef.Store = explore.NewHashStore()
+		dfsRef, err := explore.DFS(p, dfsMemRef)
+		if err != nil {
+			t.Fatal(err)
 		}
 
 		check := func(label string, eng diffEngine, reduced *por.Expander, want *explore.Result) {
@@ -127,12 +162,15 @@ func FuzzEngineAgreement(f *testing.F) {
 				if want == nil {
 					continue // reduced DFS explores its own reduced graph
 				}
-				// Bit-identity against the family reference. DFS visits
-				// the identical unreduced state space but at first-path
-				// depths (and stops at a different first violation), so it
-				// is compared on verified runs with MaxDepth masked.
+				// Bit-identity against the family reference. Sequential
+				// DFS is non-strict vs the BFS reference: it visits the
+				// identical unreduced state space but at first-path depths
+				// (and stops at a different first violation), so it is
+				// compared on verified runs with MaxDepth masked. Strict
+				// engines (ParallelBFS vs BFS, ParallelDFS vs DFS) must
+				// match their reference's stats and trace exactly.
 				rs, ws := maskSpill(res.Stats), maskSpill(want.Stats)
-				if !eng.bfs {
+				if !eng.strict {
 					if res.Verdict != explore.VerdictVerified {
 						continue
 					}
@@ -141,7 +179,7 @@ func FuzzEngineAgreement(f *testing.F) {
 				if rs != ws {
 					t.Errorf("%s/%s/%s: stats %+v, want %+v", label, eng.name, spillStore.name, rs, ws)
 				}
-				if eng.bfs {
+				if eng.strict {
 					if len(res.Trace) != len(want.Trace) {
 						t.Errorf("%s/%s/%s: trace length %d, want %d", label, eng.name, spillStore.name, len(res.Trace), len(want.Trace))
 						continue
@@ -157,15 +195,21 @@ func FuzzEngineAgreement(f *testing.F) {
 			}
 		}
 
-		// Unreduced: every engine over both stores against the reference.
+		// Unreduced: every engine over both stores against its family
+		// reference.
 		for _, eng := range fuzzEngines() {
 			check("unreduced", eng, nil, ref)
 		}
+		for _, eng := range fuzzDFSEngines() {
+			check("unreduced", eng, nil, dfsRef)
+		}
 
 		// SPOR-reduced: the BFS family must be bit-identical to the
-		// reduced sequential reference; reduced DFS explores a different
-		// (stack-proviso) reduced graph, so it is held to verdict
-		// agreement and trace replay only.
+		// reduced sequential BFS reference and the parallel DFS family to
+		// the reduced sequential DFS reference (the two references explore
+		// different reduced graphs — queue vs stack proviso); sequential
+		// reduced DFS itself is held to verdict agreement and trace replay
+		// only.
 		exp, err := por.NewExpander(p)
 		if err != nil {
 			t.Fatal(err)
@@ -180,12 +224,25 @@ func FuzzEngineAgreement(f *testing.F) {
 		if red.Verdict != ref.Verdict {
 			t.Errorf("reduced BFS verdict %s, unreduced %s (POR unsound on this input)", red.Verdict, ref.Verdict)
 		}
+		dfsRedRef := xo
+		dfsRedRef.Store = explore.NewHashStore()
+		dfsRedRef.Expander = exp
+		dfsRed, err := explore.DFS(p, dfsRedRef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dfsRed.Verdict != ref.Verdict {
+			t.Errorf("reduced DFS verdict %s, unreduced %s (stack proviso unsound on this input)", dfsRed.Verdict, ref.Verdict)
+		}
 		for _, eng := range fuzzEngines() {
 			want := red
-			if !eng.bfs {
+			if !eng.strict {
 				want = nil
 			}
 			check("spor", eng, exp, want)
+		}
+		for _, eng := range fuzzDFSEngines() {
+			check("spor", eng, exp, dfsRed)
 		}
 	})
 }

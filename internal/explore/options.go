@@ -133,6 +133,15 @@ type Options struct {
 	// 1 degenerates to per-key inserts. Ignored by SchedSingleIndex and
 	// the sequential engines.
 	BatchSize int
+	// StealDepth bounds one stolen subtree's speculation in ParallelDFS: a
+	// worker that steals a pending sibling explores at most this many
+	// events below the stolen root before reporting back and stealing
+	// afresh. Deeper speculation risks staleness (the commit walk may
+	// already have visited the subtree's states via another path), shallower
+	// speculation re-steals more often; neither ever changes results, only
+	// throughput. 0 or negative means the default of 8. Ignored by every
+	// other engine.
+	StealDepth int
 }
 
 func (o *Options) store() Store {
@@ -179,6 +188,14 @@ func (o *Options) batchSize() int {
 		return o.BatchSize
 	}
 	return 64
+}
+
+// stealDepth resolves ParallelDFS's per-steal speculation depth budget.
+func (o *Options) stealDepth() int {
+	if o.StealDepth > 0 {
+		return o.StealDepth
+	}
+	return 8
 }
 
 func (o *Options) expander() Expander {

@@ -1,0 +1,231 @@
+// Differential tests of ParallelDFS against sequential DFS: the engine's
+// guarantee is bit-identical verdicts, statistics and counterexample traces
+// for any worker count and steal depth, over the in-memory and spill-backed
+// stores, unreduced and SPOR-reduced — including runs cut by MaxStates or
+// MaxDepth, whose outcome depends on the exact visit order.
+package explore_test
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"mpbasset/internal/explore"
+	"mpbasset/internal/mptest"
+	"mpbasset/internal/por"
+)
+
+// requireSameResult asserts got is bit-identical to want: verdict, stats
+// (Duration and spill activity masked), and the full trace.
+func requireSameResult(t *testing.T, label string, got, want *explore.Result) {
+	t.Helper()
+	if got.Verdict != want.Verdict {
+		t.Errorf("%s: verdict %s, sequential DFS %s", label, got.Verdict, want.Verdict)
+		return
+	}
+	if gs, ws := maskSpill(got.Stats), maskSpill(want.Stats); gs != ws {
+		t.Errorf("%s: stats %+v, sequential DFS %+v", label, gs, ws)
+	}
+	if len(got.Trace) != len(want.Trace) {
+		t.Errorf("%s: trace length %d, sequential DFS %d", label, len(got.Trace), len(want.Trace))
+		return
+	}
+	for i := range got.Trace {
+		if got.Trace[i].StateKey != want.Trace[i].StateKey ||
+			got.Trace[i].Event.Key() != want.Trace[i].Event.Key() {
+			t.Errorf("%s: trace step %d = %+v, sequential DFS %+v", label, i, got.Trace[i], want.Trace[i])
+			return
+		}
+	}
+}
+
+// TestParallelDFSDifferentialOnSuiteModels is the tentpole's acceptance
+// check: for every suite protocol, worker count in {1,2,4,8}, store
+// (in-memory fingerprint vs spill with a tiny budget) and reduction
+// (unreduced vs SPOR), ParallelDFS must be bit-identical to sequential DFS
+// over the in-memory store.
+func TestParallelDFSDifferentialOnSuiteModels(t *testing.T) {
+	for name, p := range suiteModels(t) {
+		// The trap stops a step or two in; a one-entry hot tier makes even
+		// it spill (mirroring the BFS-family spill differential).
+		budget := int64(512)
+		if name == "ignoring-trap-4" {
+			budget = 1
+		}
+		for _, reducedSearch := range []bool{false, true} {
+			xo := explore.Options{MaxStates: 4000, MaxDuration: time.Minute}
+			label := name + "/unreduced"
+			if reducedSearch {
+				exp, err := por.NewExpander(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				xo.Expander = exp
+				label = name + "/spor"
+			}
+			seq := xo
+			seq.Store = explore.NewHashStore()
+			want, err := explore.DFS(p, seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				for _, store := range []string{"mem", "spill"} {
+					t.Run(label+"/"+store+"/w"+strconv.Itoa(workers), func(t *testing.T) {
+						run := xo
+						run.Workers = workers
+						if store == "spill" {
+							run.Store = tinySpill(t, budget)
+						} else {
+							run.Store = explore.NewHashStore()
+						}
+						got, err := explore.ParallelDFS(p, run)
+						if err != nil {
+							t.Fatal(err)
+						}
+						requireSameResult(t, label, got, want)
+						if store == "spill" && got.Stats.SpillRuns == 0 {
+							t.Error("tiny budget never spilled — the run does not exercise the disk tier")
+						}
+						if got.Verdict == explore.VerdictViolated {
+							if _, err := explore.ReplayViolation(p, got.Trace, nil); err != nil {
+								t.Errorf("counterexample does not replay: %v", err)
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestParallelDFSLimitedRunsMatchSequential pins the hard case: a MaxStates
+// or MaxDepth bound cuts the search mid-walk, so the limited result is a
+// pure function of the visit order — which ParallelDFS must reproduce
+// exactly whatever the workers were doing.
+func TestParallelDFSLimitedRunsMatchSequential(t *testing.T) {
+	p, err := mptest.Random(mptest.GenConfig{Seed: 7, MaxProcs: 3, Quorums: true, Cycles: true, Threshold: 1, RingSize: 3, CyclePriority: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bound := range []explore.Options{
+		{MaxStates: 10},
+		{MaxStates: 57},
+		{MaxDepth: 3},
+		{MaxDepth: 7, MaxStates: 200},
+	} {
+		want, err := explore.DFS(p, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			run := bound
+			run.Workers = workers
+			got, err := explore.ParallelDFS(p, run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, "limited", got, want)
+		}
+	}
+}
+
+// TestParallelDFSStealDepthNeverChangesResults sweeps the steal-depth knob:
+// it tunes speculation only, so every value must commit the identical
+// result.
+func TestParallelDFSStealDepthNeverChangesResults(t *testing.T) {
+	p, err := mptest.IgnoringTrap(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := por.NewExpander(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xo := explore.Options{Expander: exp}
+	want, err := explore.DFS(p, xo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Verdict != explore.VerdictViolated || want.Stats.ProvisoExpansions != 1 {
+		t.Fatalf("trap reference: verdict %s, proviso %d — the model no longer traps", want.Verdict, want.Stats.ProvisoExpansions)
+	}
+	for _, depth := range []int{1, 2, 8, 64} {
+		run := xo
+		run.Workers = 4
+		run.StealDepth = depth
+		got, err := explore.ParallelDFS(p, run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, "steal-depth", got, want)
+	}
+}
+
+// TestParallelDFSDeterministicRepeats runs the same 8-worker search
+// repeatedly: every run must commit the bit-identical result, whatever the
+// speculation interleaving did.
+func TestParallelDFSDeterministicRepeats(t *testing.T) {
+	p, err := mptest.Random(mptest.GenConfig{Seed: 11, MaxProcs: 3, Quorums: true, AnyQuorums: true, Cycles: true, Threshold: 2, RingSize: 4, CyclePriority: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := por.NewExpander(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base *explore.Result
+	for i := 0; i < 10; i++ {
+		res, err := explore.ParallelDFS(p, explore.Options{Expander: exp, Workers: 8, MaxStates: 4000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		requireSameResult(t, "repeat", res, base)
+	}
+}
+
+// TestParallelDFSDefaultWorkers exercises the Workers<=0 default
+// (GOMAXPROCS) path against sequential DFS on a model with deadlocks and a
+// violation.
+func TestParallelDFSDefaultWorkers(t *testing.T) {
+	p, err := mptest.Random(mptest.GenConfig{Seed: 3, MaxProcs: 3, Quorums: true, Threshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := explore.DFS(p, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := explore.ParallelDFS(p, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "default-workers", got, want)
+}
+
+// TestParallelDFSSyncStoreFallback hands ParallelDFS a non-concurrent
+// caller store: the engine must serialize it behind a mutex (probing
+// included) and still commit the sequential result.
+func TestParallelDFSSyncStoreFallback(t *testing.T) {
+	p, err := mptest.IgnoringTrap(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := por.NewExpander(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := explore.DFS(p, explore.Options{Expander: exp, Store: explore.NewExactStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := explore.ParallelDFS(p, explore.Options{Expander: exp, Store: explore.NewExactStore(), Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "sync-store", got, want)
+}

@@ -44,10 +44,14 @@ func maskSpill(st explore.Stats) explore.Stats {
 }
 
 // diffEngine is one engine configuration of the differential matrix.
+// strict marks engines whose stats and traces are bit-identical to their
+// family's sequential reference (sequential BFS for the BFS engines,
+// sequential DFS for ParallelDFS); sequential DFS itself explores the same
+// states at engine-specific depths and is held to looser comparisons.
 type diffEngine struct {
-	name string
-	run  func(*core.Protocol, explore.Options) (*explore.Result, error)
-	bfs  bool // part of the BFS family (stats bit-identical to sequential BFS)
+	name   string
+	run    func(*core.Protocol, explore.Options) (*explore.Result, error)
+	strict bool
 }
 
 func diffEngines() []diffEngine {
@@ -59,6 +63,12 @@ func diffEngines() []diffEngine {
 			return explore.ParallelBFS(p, xo)
 		}
 	}
+	pdfs := func(workers int) func(*core.Protocol, explore.Options) (*explore.Result, error) {
+		return func(p *core.Protocol, xo explore.Options) (*explore.Result, error) {
+			xo.Workers = workers
+			return explore.ParallelDFS(p, xo)
+		}
+	}
 	return []diffEngine{
 		{"BFS", explore.BFS, true},
 		{"DFS", explore.DFS, false},
@@ -66,6 +76,9 @@ func diffEngines() []diffEngine {
 		{"ParallelBFS-2", parallel(2, explore.SchedWorkStealing, 0), true},
 		{"ParallelBFS-8", parallel(8, explore.SchedWorkStealing, 0), true},
 		{"ParallelBFS-8-single-index", parallel(8, explore.SchedSingleIndex, 0), true},
+		{"ParallelDFS-1", pdfs(1), true},
+		{"ParallelDFS-2", pdfs(2), true},
+		{"ParallelDFS-8", pdfs(8), true},
 	}
 }
 
@@ -98,13 +111,14 @@ func suiteModels(t *testing.T) map[string]*core.Protocol {
 	return models
 }
 
-// TestSpillStoreDifferentialOnSuiteModels is the tentpole's acceptance
+// TestSpillStoreDifferentialOnSuiteModels is the spill tier's acceptance
 // check on the bundled models: for every suite protocol and every engine
-// (BFS, DFS, ParallelBFS at 1/2/8 workers under both schedulers), a run
-// over a SpillStore with an artificially tiny budget (forcing multiple
-// spills and merges) must be bit-identical — verdict, statistics (spill
-// activity masked) and trace — to the same engine over the in-memory
-// fingerprint store, both unreduced and SPOR-reduced.
+// (BFS, DFS, ParallelBFS at 1/2/8 workers under both schedulers,
+// ParallelDFS at 1/2/8 workers), a run over a SpillStore with an
+// artificially tiny budget (forcing multiple spills and merges) must be
+// bit-identical — verdict, statistics (spill activity masked) and trace —
+// to the same engine over the in-memory fingerprint store, both unreduced
+// and SPOR-reduced.
 func TestSpillStoreDifferentialOnSuiteModels(t *testing.T) {
 	for name, p := range suiteModels(t) {
 		// Small models (the trap stops a step or two in) get a one-entry

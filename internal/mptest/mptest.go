@@ -76,6 +76,13 @@ type GenConfig struct {
 	// fewer than Threshold rounds"; protocols whose process 0 can reach
 	// it yield counterexamples. Zero installs no invariant.
 	Threshold int
+	// MaxRounds bounds each process's per-run round limit (each process
+	// draws a limit in 1..MaxRounds; default 2). Larger values deepen the
+	// state graph — long first-child spines with unexplored siblings
+	// pending at every level — the skewed shape that stresses
+	// ParallelDFS's deep-end sibling stealing, where shallow graphs mostly
+	// exercise its breadth.
+	MaxRounds int
 }
 
 // Random generates a protocol from the configuration. The result is
@@ -85,13 +92,17 @@ func Random(cfg GenConfig) (*core.Protocol, error) {
 	if maxProcs < 2 {
 		maxProcs = 4
 	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds < 2 {
+		maxRounds = 2
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := 2 + rng.Intn(maxProcs-1)
 	types := []string{"M0", "M1", "M2"}
 
 	var ts []*core.Transition
 	for proc := 0; proc < n; proc++ {
-		limit := 1 + rng.Intn(2)
+		limit := 1 + rng.Intn(maxRounds)
 		ts = append(ts, emitTransition(rng, core.ProcessID(proc), n, limit, types))
 		nConsume := 1 + rng.Intn(2)
 		for k := 0; k < nConsume; k++ {

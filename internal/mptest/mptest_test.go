@@ -170,3 +170,55 @@ func TestThresholdInstallsInvariant(t *testing.T) {
 		t.Error("threshold 1 should be violated on some seeds (process 0 always has an EMIT)")
 	}
 }
+
+// TestMaxRoundsDeepensTheGraph pins the MaxRounds knob: raising it must
+// deepen the generated state graphs on aggregate (each process draws a
+// larger round limit, though the perturbed RNG sequence means no per-seed
+// monotonicity), and leaving it at the default (or below) must not perturb
+// the RNG draw sequence — existing seeds keep generating the identical
+// protocols.
+func TestMaxRoundsDeepensTheGraph(t *testing.T) {
+	deepened, sumBase, sumDeep := 0, 0, 0
+	for seed := int64(0); seed < 10; seed++ {
+		base, err := Random(GenConfig{Seed: seed, Quorums: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		same, err := Random(GenConfig{Seed: seed, Quorums: true, MaxRounds: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gBase, err := explore.BuildGraph(base, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gSame, err := explore.BuildGraph(same, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := gBase.Diff(gSame); diff != "" {
+			t.Fatalf("seed %d: MaxRounds=2 changed the generated protocol: %s", seed, diff)
+		}
+		deep, err := Random(GenConfig{Seed: seed, Quorums: true, MaxRounds: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rBase, err := explore.DFS(base, explore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rDeep, err := explore.DFS(deep, explore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumBase += rBase.Stats.MaxDepth
+		sumDeep += rDeep.Stats.MaxDepth
+		if rDeep.Stats.MaxDepth > rBase.Stats.MaxDepth {
+			deepened++
+		}
+	}
+	if deepened == 0 || sumDeep <= sumBase {
+		t.Errorf("MaxRounds=5 did not deepen the graphs across 10 seeds (deepened %d, total depth %d vs %d) — the knob is inert",
+			deepened, sumDeep, sumBase)
+	}
+}

@@ -25,8 +25,9 @@
 // must contain no property-visible transition) here, and C3 (the ignoring
 // proviso) in cooperation with the engines of package explore. C3 demands
 // that deferred events cannot be ignored forever around a cycle, and each
-// engine discharges it with the discipline matching its search order: DFS
-// promotes a reduced expansion to a full one when some successor is on the
+// engine discharges it with the discipline matching its search order: the
+// DFS engines (DFS, and ParallelDFS through its sequential commit walk)
+// promote a reduced expansion to a full one when some successor is on the
 // search stack (the classic stack/cycle proviso), while BFS and
 // ParallelBFS promote when every successor of a reduced expansion was
 // already visited before the expanded node's level began (the queue

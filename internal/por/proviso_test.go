@@ -1,8 +1,10 @@
-// Tests of the ignoring proviso (C3) on cyclic state graphs: the DFS
-// stack proviso and the BFS/ParallelBFS queue proviso must agree with each
-// other and with unreduced search on every cyclic model, and the
-// IgnoringTrap must demonstrate that a reduced BFS *without* the proviso
-// is genuinely unsound (it provably misses the violation).
+// Tests of the ignoring proviso (C3) on cyclic state graphs: the
+// DFS/ParallelDFS stack proviso and the BFS/ParallelBFS queue proviso must
+// agree with each other and with unreduced search on every cyclic model —
+// each parallel engine additionally bit-identical to its sequential
+// reference — and the IgnoringTrap must demonstrate that a reduced BFS
+// *without* the proviso is genuinely unsound (it provably misses the
+// violation).
 package por
 
 import (
@@ -91,6 +93,25 @@ func provisoEngines() []provisoEngine {
 		{"ParallelBFS-8", parallel(8, explore.SchedWorkStealing, 0, 0)},
 		{"ParallelBFS-8-batch1", parallel(8, explore.SchedWorkStealing, 1, 1)},
 		{"ParallelBFS-8-single-index", parallel(8, explore.SchedSingleIndex, 0, 0)},
+	}
+}
+
+// provisoDFSEngines is the DFS row of the matrix: ParallelDFS at 1/2/8
+// workers plus a shallow steal depth, each held bit-identical to
+// sequential DFS (whose stack proviso the commit walk replays verbatim).
+func provisoDFSEngines() []provisoEngine {
+	pdfs := func(workers, stealDepth int) func(*core.Protocol, explore.Options) (*explore.Result, error) {
+		return func(p *core.Protocol, xo explore.Options) (*explore.Result, error) {
+			xo.Workers = workers
+			xo.StealDepth = stealDepth
+			return explore.ParallelDFS(p, xo)
+		}
+	}
+	return []provisoEngine{
+		{"ParallelDFS-1", pdfs(1, 0)},
+		{"ParallelDFS-2", pdfs(2, 0)},
+		{"ParallelDFS-8", pdfs(8, 0)},
+		{"ParallelDFS-8-steal-1", pdfs(8, 1)},
 	}
 }
 
@@ -188,6 +209,33 @@ func TestIgnoringTrapAllEnginesAgree(t *testing.T) {
 				t.Errorf("ring %d %s: counterexample does not replay: %v", ring, eng.name, err)
 			}
 		}
+		// The DFS row: ParallelDFS must reproduce the sequential DFS
+		// result bit-identically — stats, trace and the single promoted
+		// expansion included.
+		for _, eng := range provisoDFSEngines() {
+			res, err := eng.run(p, explore.Options{Expander: exp, TrackTrace: true})
+			if err != nil {
+				t.Fatalf("ring %d %s: %v", ring, eng.name, err)
+			}
+			rs, ds := res.Stats, dfs.Stats
+			rs.Duration, ds.Duration = 0, 0
+			if rs != ds || res.Verdict != dfs.Verdict {
+				t.Errorf("ring %d %s: %s %+v, sequential DFS %s %+v", ring, eng.name, res.Verdict, rs, dfs.Verdict, ds)
+			}
+			if len(res.Trace) != len(dfs.Trace) {
+				t.Errorf("ring %d %s: trace length %d, DFS %d", ring, eng.name, len(res.Trace), len(dfs.Trace))
+				continue
+			}
+			for i := range res.Trace {
+				if res.Trace[i].StateKey != dfs.Trace[i].StateKey || res.Trace[i].Event.Key() != dfs.Trace[i].Event.Key() {
+					t.Errorf("ring %d %s: trace step %d = %+v, DFS %+v", ring, eng.name, i, res.Trace[i], dfs.Trace[i])
+					break
+				}
+			}
+			if _, err := explore.ReplayViolation(p, res.Trace, nil); err != nil {
+				t.Errorf("ring %d %s: counterexample does not replay: %v", ring, eng.name, err)
+			}
+		}
 	}
 }
 
@@ -240,6 +288,31 @@ func TestQueueProvisoSoundnessMatrixOnCyclicProtocols(t *testing.T) {
 			}
 			if dfs.Verdict != seq.Verdict {
 				t.Errorf("config %d seed %d: SPOR DFS verdict %s, SPOR BFS %s", ci, seed, dfs.Verdict, seq.Verdict)
+			}
+			// The DFS row: every ParallelDFS configuration must reproduce
+			// the sequential DFS result bit-identically, ProvisoExpansions
+			// included (its stack-proviso reduced graph differs from the
+			// queue-proviso one, so the comparison target is dfs, not seq).
+			for _, eng := range provisoDFSEngines() {
+				res, err := eng.run(p, xo)
+				if err != nil {
+					t.Fatalf("config %d seed %d %s: %v", ci, seed, eng.name, err)
+				}
+				rs, ds := res.Stats, dfs.Stats
+				rs.Duration, ds.Duration = 0, 0
+				if rs != ds || res.Verdict != dfs.Verdict {
+					t.Errorf("config %d seed %d %s: %s %+v, sequential DFS %s %+v", ci, seed, eng.name, res.Verdict, rs, dfs.Verdict, ds)
+				}
+				if len(res.Trace) != len(dfs.Trace) {
+					t.Errorf("config %d seed %d %s: trace length %d, DFS %d", ci, seed, eng.name, len(res.Trace), len(dfs.Trace))
+					continue
+				}
+				for i := range res.Trace {
+					if res.Trace[i].StateKey != dfs.Trace[i].StateKey || res.Trace[i].Event.Key() != dfs.Trace[i].Event.Key() {
+						t.Errorf("config %d seed %d %s: trace step %d differs", ci, seed, eng.name, i)
+						break
+					}
+				}
 			}
 			for _, eng := range provisoEngines()[1:] { // sequential BFS is the reference
 				res, err := eng.run(p, xo)

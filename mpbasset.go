@@ -15,18 +15,22 @@
 //	res, err := mpbasset.Check(p, mpbasset.Options{Search: mpbasset.SearchSPOR})
 //	fmt.Println(res.Verdict, res.Stats.States)
 //
-// Setting Options.Workers switches exploration to the frontier-parallel
-// BFS engine backed by a sharded concurrent visited-state store: each BFS
-// level is expanded by a worker pool and committed by a deterministic
-// in-order merge, so verdicts, state counts and counterexamples are
-// reproducible and identical to the sequential search for any worker
-// count. Parallel search is sound for the reduced searches because the
-// expanders and canonicalizers are stateless/read-only, and — like every
-// engine here — it enforces the ignoring proviso, so partial-order
-// reduction stays sound on cyclic state graphs too: DFS re-expands states
-// whose reduced expansion would close a cycle on its stack, the BFS
-// engines re-expand states whose reduced expansion discovers nothing that
-// was unvisited when their level began (see Result.Stats.ProvisoExpansions).
+// Setting Options.Workers parallelizes the selected engine over a sharded
+// concurrent visited-state store: the DFS searches (SearchSPOR,
+// SearchUnreduced) run the speculative parallel DFS engine — workers steal
+// unexplored sibling subtrees from the deep end of the search stack and
+// expand them ahead of a commit walk that replays the exact sequential
+// order — while SearchBFS runs the frontier-parallel BFS engine with its
+// deterministic per-level merge. Either way, verdicts, state counts and
+// counterexamples are reproducible and identical to the corresponding
+// sequential search for any worker count. Parallel search is sound for the
+// reduced searches because the expanders and canonicalizers are
+// stateless/read-only, and — like every engine here — it enforces the
+// ignoring proviso, so partial-order reduction stays sound on cyclic state
+// graphs too: the DFS engines re-expand states whose reduced expansion
+// would close a cycle on the search stack, the BFS engines re-expand
+// states whose reduced expansion discovers nothing that was unvisited when
+// their level began (see Result.Stats.ProvisoExpansions).
 //
 // Setting Options.StoreBudgetBytes bounds the visited set's memory
 // footprint for beyond-RAM state spaces: the search runs over a two-tier
@@ -123,30 +127,38 @@ type Options struct {
 	// TrackTrace records parent links so BFS can reconstruct
 	// counterexamples (DFS variants always can).
 	TrackTrace bool
-	// Workers > 0 explores with the frontier-parallel BFS engine using
-	// that many workers (sharing a sharded concurrent visited-state
-	// store); results are deterministic and identical to sequential BFS
-	// for any worker count. Applies to SearchSPOR, SearchUnreduced and
-	// SearchBFS — sound on every model, cyclic ones included: the
-	// expanders and canon functions are stateless/read-only, and the
-	// engine enforces the queue variant of the ignoring proviso against
-	// the level-start visited snapshot. Stateless and DPOR searches do
-	// not support workers.
-	//
-	// Within each frontier, workers claim contiguous chunks and steal
-	// half-ranges from the most-loaded worker when idle, flushing
-	// visited-set inserts in batches; ChunkSize and BatchSize tune that
-	// scheduler and never change results, only throughput.
+	// Workers > 0 parallelizes the selected stateful search with that many
+	// workers over a sharded concurrent visited-state store. The DFS
+	// searches (SearchSPOR, SearchUnreduced) run the speculative parallel
+	// DFS engine: workers steal unexplored sibling subtrees from the deep
+	// end of the search stack and precompute their expansions, while a
+	// commit walk replays the exact sequential DFS order — results are
+	// bit-identical to the sequential search for any worker count.
+	// SearchBFS runs the frontier-parallel BFS engine (deterministic
+	// per-level merge, identical to sequential BFS). Both are sound on
+	// every model, cyclic ones included: the expanders and canon functions
+	// are stateless/read-only, and each engine enforces its variant of the
+	// ignoring proviso. Stateless and DPOR searches do not support
+	// workers.
 	Workers int
-	// ChunkSize fixes how many frontier nodes a parallel worker claims
+	// ChunkSize fixes how many frontier nodes a parallel BFS worker claims
 	// per grab; 0 means adaptive (frontier/(workers*8), clamped to
-	// [1, 1024]). Only meaningful with Workers > 0.
+	// [1, 1024]). Only meaningful with Workers > 0 and SearchBFS; the DFS
+	// searches ignore it.
 	ChunkSize int
-	// BatchSize is the number of successor keys a parallel worker buffers
-	// before a batched visited-set insert (one stripe lock per batch
-	// instead of per key); 0 means the default of 64. Only meaningful
-	// with Workers > 0.
+	// BatchSize is the number of successor keys a parallel BFS worker
+	// buffers before a batched visited-set insert (one stripe lock per
+	// batch instead of per key); 0 means the default of 64. Only
+	// meaningful with Workers > 0 and SearchBFS; the DFS searches ignore
+	// it.
 	BatchSize int
+	// StealDepth bounds one stolen subtree's speculation in the parallel
+	// DFS searches: a worker explores at most this many events below a
+	// stolen sibling before reporting back and stealing afresh; 0 means
+	// the default of 8. It tunes throughput only and never changes
+	// results. Only meaningful with Workers > 0 and the DFS searches
+	// (SearchSPOR, SearchUnreduced); SearchBFS ignores it.
+	StealDepth int
 	// ExactStates stores full state keys instead of 128-bit fingerprints
 	// (more memory, zero collision risk). Incompatible with
 	// StoreBudgetBytes: the spill tier stores fingerprints only.
@@ -192,6 +204,7 @@ func Check(p *Protocol, opts Options) (*Result, error) {
 		Workers:     opts.Workers,
 		ChunkSize:   opts.ChunkSize,
 		BatchSize:   opts.BatchSize,
+		StealDepth:  opts.StealDepth,
 	}
 	if opts.SpillDir != "" && opts.StoreBudgetBytes <= 0 {
 		return nil, fmt.Errorf("mpbasset: SpillDir requires StoreBudgetBytes (the spill directory is meaningless without a memory budget)")
@@ -253,9 +266,13 @@ func runSearch(p *Protocol, opts Options, xo explore.Options, parallel bool) (*R
 	if search == 0 {
 		search = SearchSPOR
 	}
-	stateful := func(sequential func(*core.Protocol, explore.Options) (*explore.Result, error)) (*Result, error) {
+	// Each stateful search has a sequential engine and a parallel engine
+	// that reproduces it bit-identically: the DFS searches pair with the
+	// speculative ParallelDFS, the BFS search with the frontier-parallel
+	// ParallelBFS.
+	stateful := func(sequential, parallelEngine func(*core.Protocol, explore.Options) (*explore.Result, error)) (*Result, error) {
 		if parallel {
-			return explore.ParallelBFS(p, xo)
+			return parallelEngine(p, xo)
 		}
 		return sequential(p, xo)
 	}
@@ -267,11 +284,11 @@ func runSearch(p *Protocol, opts Options, xo explore.Options, parallel bool) (*R
 		}
 		exp.BestSeed = opts.BestSeed
 		xo.Expander = exp
-		return stateful(explore.DFS)
+		return stateful(explore.DFS, explore.ParallelDFS)
 	case SearchUnreduced:
-		return stateful(explore.DFS)
+		return stateful(explore.DFS, explore.ParallelDFS)
 	case SearchBFS:
-		return stateful(explore.BFS)
+		return stateful(explore.BFS, explore.ParallelBFS)
 	case SearchStateless:
 		if parallel {
 			return nil, fmt.Errorf("mpbasset: Workers is not supported by stateless search")

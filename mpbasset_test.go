@@ -119,27 +119,22 @@ func TestCheckFindsBugsWithTraces(t *testing.T) {
 	}
 }
 
-// TestCheckWorkers drives the frontier-parallel engine through the
-// facade: the parallel searches must verify the model for several worker
-// counts (SearchBFS additionally matching the sequential BFS state count —
-// SPOR/Unreduced switch engine under Workers, so only their verdicts are
-// asserted here; state-count equality for those lives in the explore
-// differential suite), with and without symmetry/refinement, and the
-// stateless searches must reject workers.
+// TestCheckWorkers drives the parallel engines through the facade: every
+// stateful search under Workers must reproduce its own sequential run —
+// the DFS searches (SPOR, unreduced) via the speculative parallel DFS
+// engine, SearchBFS via the frontier-parallel BFS engine — for several
+// worker counts, with and without symmetry/refinement, and the stateless
+// searches must reject workers.
 func TestCheckWorkers(t *testing.T) {
 	cfg := paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1}
 	p, err := paxos.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bfsSeq, err := mpbasset.Check(p, mpbasset.Options{Search: mpbasset.SearchBFS, MaxDuration: 2 * time.Minute})
-	if err != nil {
-		t.Fatal(err)
-	}
 	for _, search := range []mpbasset.Search{mpbasset.SearchSPOR, mpbasset.SearchUnreduced, mpbasset.SearchBFS} {
-		seq := bfsSeq
-		if search != mpbasset.SearchBFS {
-			seq = nil
+		seq, err := mpbasset.Check(p, mpbasset.Options{Search: search, MaxDuration: 2 * time.Minute})
+		if err != nil {
+			t.Fatal(err)
 		}
 		for _, workers := range []int{1, 4} {
 			res, err := mpbasset.Check(p, mpbasset.Options{Search: search, Workers: workers, MaxDuration: 2 * time.Minute})
@@ -149,8 +144,9 @@ func TestCheckWorkers(t *testing.T) {
 			if res.Verdict != mpbasset.VerdictVerified {
 				t.Errorf("search %d workers %d: verdict %s", search, workers, res.Verdict)
 			}
-			if seq != nil && res.Stats.States != seq.Stats.States {
-				t.Errorf("search %d workers %d: states %d, sequential BFS %d", search, workers, res.Stats.States, seq.Stats.States)
+			if res.Stats.States != seq.Stats.States || res.Stats.Events != seq.Stats.Events {
+				t.Errorf("search %d workers %d: states=%d events=%d, sequential states=%d events=%d",
+					search, workers, res.Stats.States, res.Stats.Events, seq.Stats.States, seq.Stats.Events)
 			}
 		}
 	}
