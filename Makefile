@@ -3,8 +3,9 @@
 # packages with concurrent code (the parallel search engines, the
 # spill-to-disk store, and the core they drive) and the packages whose
 # tests exercise them (the POR ignoring-proviso matrix, the cyclic
-# protocol generators, and the eval cells that run spill-backed parallel
-# searches). `make fuzz` runs the native fuzz targets — the cross-engine
+# protocol generators, the eval cells that run spill-backed parallel
+# searches, and the liveness layer whose oracle pins the parallel nested
+# DFS). `make fuzz` runs the native fuzz targets — the cross-engine
 # differential harness and the fingerprint pin — for FUZZTIME each (CI
 # smokes them at 30s, with the corpus cached across runs so coverage
 # accumulates). `make bench-ci` is the perf trajectory: a fixed-work
@@ -35,7 +36,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/explore/ ./internal/core/ ./internal/por/ ./internal/mptest/ ./internal/eval/
+	$(GO) test -race ./internal/explore/ ./internal/core/ ./internal/por/ ./internal/mptest/ ./internal/eval/ ./internal/liveness/
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzEngineAgreement$$' -fuzztime $(FUZZTIME) ./internal/explore/

@@ -25,6 +25,7 @@ import (
 	"mpbasset/internal/core"
 	"mpbasset/internal/eval"
 	"mpbasset/internal/explore"
+	"mpbasset/internal/liveness"
 	"mpbasset/internal/por"
 	"mpbasset/internal/protocols/multicast"
 	"mpbasset/internal/protocols/paxos"
@@ -611,6 +612,58 @@ func BenchmarkAnalysisExample(b *testing.B) {
 		_, _, penalty := eval.SmallestPaxosExample()
 		if penalty.Int64() != 169 {
 			b.Fatalf("penalty = %s, want 169", penalty)
+		}
+	}
+}
+
+// BenchmarkNDFS measures the liveness cells: each bundled protocol's
+// eventuality property under nested DFS, unreduced and SPOR-reduced, plus
+// the weakly fair full-graph product (Choueka monitor copies). States/op is
+// the explored product size — constant per configuration, since the nested
+// engines are deterministic.
+func BenchmarkNDFS(b *testing.B) {
+	opts := eval.Options{Budget: benchBudget()}
+	targets := []struct {
+		name  string
+		build func() (*core.Protocol, *liveness.Property, error)
+	}{
+		{"Paxos_231_decides", func() (*core.Protocol, *liveness.Property, error) {
+			cfg := paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1}
+			p, err := paxos.New(cfg)
+			return p, paxos.Decides(cfg), err
+		}},
+		{"Multicast_2101_delivers", func() (*core.Protocol, *liveness.Property, error) {
+			cfg := multicast.Config{HonestReceivers: 2, HonestInitiators: 1, ByzantineReceivers: 0, ByzantineInitiators: 1}
+			p, err := multicast.New(cfg)
+			return p, multicast.Delivers(cfg), err
+		}},
+		{"Storage_31_reads_complete", func() (*core.Protocol, *liveness.Property, error) {
+			cfg := storage.Config{Objects: 3, Readers: 1}
+			p, err := storage.New(cfg)
+			return p, storage.ReadsComplete(cfg), err
+		}},
+	}
+	cols := []struct {
+		name    string
+		reduced bool
+		fair    bool
+	}{
+		{"unreduced", false, false},
+		{"SPOR", true, false},
+		{"weakly-fair", false, true},
+	}
+	for _, tg := range targets {
+		for _, col := range cols {
+			b.Run(tg.name+"/"+col.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p, prop, err := tg.build()
+					if err != nil {
+						b.Fatal(err)
+					}
+					prop.WeakFair = col.fair
+					reportCell(b, eval.RunNDFS(col.name, p, prop, col.reduced, opts))
+				}
+			})
 		}
 	}
 }

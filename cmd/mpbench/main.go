@@ -1,13 +1,16 @@
 // Command mpbench regenerates the paper's evaluation tables: Table I
 // (quorum semantics) and Table II (transition refinement), plus the
-// state-space analysis of §II-C. It doubles as the CI perf harness: -out
-// serializes every table of a run into a machine-readable report, and
-// -baseline gates the run against a committed report, failing on wall-clock
-// regressions past a threshold or on determinism drift.
+// state-space analysis of §II-C and a liveness table (the bundled
+// protocols' eventuality properties under nested DFS). It doubles as the
+// CI perf harness: -out serializes every table of a run into a
+// machine-readable report, and -baseline gates the run against a committed
+// report, failing on wall-clock regressions past a threshold or on
+// determinism drift.
 //
 //	mpbench -table 1
 //	mpbench -table 2 -budget 2m
 //	mpbench -table 2 -paper          # includes Echo Multicast (3,1,1,1)
+//	mpbench -table 3                 # liveness: NDFS unreduced/SPOR/weakly fair
 //	mpbench -analysis
 //	mpbench -max-states 20000 -budget 30s -out BENCH_ci.json -baseline BENCH_baseline.json
 package main
@@ -24,7 +27,7 @@ import (
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "table to regenerate: 1 or 2 (0 = both)")
+		table    = flag.Int("table", 0, "table to regenerate: 1, 2 or 3 (liveness); 0 = all")
 		budget   = flag.Duration("budget", time.Minute, "wall-clock limit per cell (the paper's 48h-timeout analogue)")
 		maxSt    = flag.Int("max-states", 0, "state limit per cell (0 = unlimited); fixes the explored work so -baseline compares like against like")
 		paper    = flag.Bool("paper", false, "run paper-scale workloads (adds Echo Multicast (3,1,1,1); doubles Paxos ballots)")
@@ -102,6 +105,21 @@ func main() {
 			fail(err)
 		}
 		emit("Table II — transition refinement (cf. paper Table II)", rows)
+		if *verify {
+			if err := eval.Verify(rows); err != nil {
+				fail(err)
+			}
+		}
+		if *table == 0 {
+			fmt.Println()
+		}
+	}
+	if *table == 0 || *table == 3 {
+		rows, err := eval.LivenessTable(opts)
+		if err != nil {
+			fail(err)
+		}
+		emit("Liveness — nested DFS over the Büchi product", rows)
 		if *verify {
 			if err := eval.Verify(rows); err != nil {
 				fail(err)

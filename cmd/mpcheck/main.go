@@ -22,6 +22,7 @@ import (
 	"mpbasset/internal/core"
 	"mpbasset/internal/dpor"
 	"mpbasset/internal/explore"
+	"mpbasset/internal/liveness"
 	"mpbasset/internal/por"
 	"mpbasset/internal/refine"
 	"mpbasset/internal/symmetry"
@@ -51,6 +52,8 @@ func run(args []string) error {
 		chunk    = fs.Int("chunk", 0, "frontier nodes a parallel BFS worker claims per grab (0 = adaptive; needs -workers with -search bfs)")
 		batch    = fs.Int("batch", 0, "successor keys a parallel BFS worker buffers per batched visited-set insert (0 = default 64; needs -workers with -search bfs)")
 		stealD   = fs.Int("steal-depth", 0, "events a parallel DFS worker speculates below a stolen sibling before stealing afresh (0 = default 8; needs -workers with a DFS search)")
+		property = fs.String("property", "", "check this liveness property instead of the safety invariant: decided (paxos, faulty-paxos) | delivered (multicast) | reads-complete (storage); runs nested DFS, so it needs a DFS search (spor, unreduced, dfs)")
+		fair     = fs.Bool("fair", false, "restrict liveness counterexamples to weakly fair schedules (needs -property; forces full expansion — the fairness monitor observes every transition)")
 		memB     = fs.String("mem-budget", "", "visited-set memory budget, e.g. 512M or 2G: past it, fingerprints spill to sorted runs on disk (empty = in-memory only; spor, unreduced and bfs searches)")
 		spillDir = fs.String("spill-dir", "", "directory for spill run files (default: a temporary directory; needs -mem-budget)")
 		dotOut   = fs.String("dot", "", "write the full state graph (small models!) as Graphviz DOT to this file")
@@ -69,6 +72,9 @@ func run(args []string) error {
 	if err := cli.ValidateSpillFlags(*search, memBudget, *spillDir); err != nil {
 		return err
 	}
+	if err := cli.ValidateLivenessFlags(*search, *property, *fair); err != nil {
+		return err
+	}
 
 	p, roles, err := cli.BuildProtocol(*protocol, *setting, *model, *wrong)
 	if err != nil {
@@ -80,6 +86,17 @@ func run(args []string) error {
 	}
 	if strat != refine.None {
 		if p, err = refine.Split(p, strat); err != nil {
+			return err
+		}
+	}
+	var prop *liveness.Property
+	if *property != "" {
+		if prop, err = cli.BuildProperty(*protocol, *setting, *model, *property, *fair); err != nil {
+			return err
+		}
+		// Instrument before the expander is built, so the property-visible
+		// marks constrain the reduction (ample-set condition C2).
+		if p, err = liveness.Instrument(p, prop); err != nil {
 			return err
 		}
 	}
@@ -126,6 +143,20 @@ func run(args []string) error {
 	// ValidateParallelFlags already rejected -workers on other searches.
 	var engine func(*core.Protocol, explore.Options) (*explore.Result, error)
 	parallelEngine := "speculative parallel DFS"
+	opts.Property = prop
+	dfsEngine := func() {
+		engine = explore.DFS
+		if prop != nil {
+			engine = explore.NDFS
+			parallelEngine = "speculative parallel NDFS"
+		}
+		if *workers > 0 {
+			engine = explore.ParallelDFS
+			if prop != nil {
+				engine = explore.ParallelNDFS
+			}
+		}
+	}
 	switch *search {
 	case "spor":
 		exp, err := por.NewExpander(p)
@@ -133,15 +164,9 @@ func run(args []string) error {
 			return err
 		}
 		opts.Expander = exp
-		engine = explore.DFS
-		if *workers > 0 {
-			engine = explore.ParallelDFS
-		}
+		dfsEngine()
 	case "unreduced", "dfs":
-		engine = explore.DFS
-		if *workers > 0 {
-			engine = explore.ParallelDFS
-		}
+		dfsEngine()
 	case "bfs":
 		engine = explore.BFS
 		if *workers > 0 {
@@ -157,6 +182,13 @@ func run(args []string) error {
 	}
 
 	fmt.Printf("checking %s [%s, %s]\n", p.Name, *search, strat)
+	if prop != nil {
+		kind := "liveness property"
+		if prop.WeakFair {
+			kind = "liveness property under weak fairness"
+		}
+		fmt.Printf("property:  %q (%s)\n", prop.Name, kind)
+	}
 	if *workers > 0 {
 		fmt.Printf("workers:   %d (%s)\n", *workers, parallelEngine)
 	}
@@ -182,7 +214,13 @@ func run(args []string) error {
 	}
 	report(res)
 	if *trace && len(res.Trace) > 0 {
-		fmt.Println("counterexample:")
+		if res.CycleLen > 0 {
+			fmt.Printf("counterexample (lasso; the final %d steps form the accepting cycle):\n", res.CycleLen)
+		} else if res.Stutter {
+			fmt.Println("counterexample (lasso; the final state deadlocks while accepting):")
+		} else {
+			fmt.Println("counterexample:")
+		}
 		if err := explore.RenderTrace(os.Stdout, p, res.Trace); err != nil {
 			return err
 		}
@@ -204,8 +242,16 @@ func report(res *explore.Result) {
 	if res.Violation != nil {
 		fmt.Printf("violation: %v\n", res.Violation)
 	}
+	if res.Stutter {
+		fmt.Printf("lasso:     %d-step stem to a deadlocked accepting state (stutter cycle)\n", len(res.Trace))
+	} else if res.CycleLen > 0 {
+		fmt.Printf("lasso:     %d-step stem + %d-step accepting cycle\n", len(res.Trace)-res.CycleLen, res.CycleLen)
+	}
 	fmt.Printf("states:    %d (%d revisits)\n", st.States, st.Revisits)
 	fmt.Printf("events:    %d\n", st.Events)
+	if st.RedStates > 0 {
+		fmt.Printf("red:       %d product states visited by the nested searches\n", st.RedStates)
+	}
 	fmt.Printf("deadlocks: %d\n", st.Deadlocks)
 	fmt.Printf("depth:     %d\n", st.MaxDepth)
 	fmt.Printf("time:      %s\n", st.Duration.Round(time.Millisecond))

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"mpbasset/internal/core"
+	"mpbasset/internal/liveness"
 	"mpbasset/internal/protocols/multicast"
 	"mpbasset/internal/protocols/paxos"
 	"mpbasset/internal/protocols/storage"
@@ -195,6 +196,96 @@ func ValidateSpillFlags(search string, budgetBytes int64, spillDir string) error
 		return fmt.Errorf("-spill-dir requires -mem-budget (the spill directory is meaningless without a memory budget)")
 	}
 	return nil
+}
+
+// ValidateLivenessFlags checks the liveness flag combinations the CLIs
+// accept: -property selects the nested-DFS liveness engines, which exist
+// only for the DFS searches (spor, unreduced and its dfs alias) — bfs,
+// stateless and dpor have no Büchi cycle detection and are rejected
+// instead of silently checking the wrong thing — and -fair is a property
+// modifier, meaningless without -property. Mirrors ValidateParallelFlags.
+func ValidateLivenessFlags(search, property string, fair bool) error {
+	if property == "" {
+		if fair {
+			return fmt.Errorf("-fair requires -property (it restricts that property's counterexamples to weakly fair schedules)")
+		}
+		return nil
+	}
+	if !dfsSearch(search) {
+		return fmt.Errorf("-property requires a nested-DFS search (spor, unreduced or dfs), not %q: liveness checking needs the stack-based cycle detection those searches run on", search)
+	}
+	return nil
+}
+
+// BuildProperty instantiates a bundled liveness property for a bundled
+// protocol from CLI-style arguments. protocol, setting and model must be
+// the same values BuildProtocol was called with, so the property's process
+// IDs match the checked instance. Supported property names: "decided"
+// (paxos, faulty-paxos), "delivered" (multicast), "reads-complete"
+// (storage). fair restricts counterexamples to weakly fair schedules.
+func BuildProperty(protocol, setting, model, property string, fair bool) (*liveness.Property, error) {
+	single := model == "single"
+	var (
+		prop *liveness.Property
+		want string
+	)
+	switch protocol {
+	case "paxos", "faulty-paxos":
+		want = "decided"
+		if property == want {
+			if setting == "" {
+				setting = "2,3,1"
+			}
+			v, err := ParseInts(setting, 3, "proposers,acceptors,learners")
+			if err != nil {
+				return nil, err
+			}
+			cfg := paxos.Config{Proposers: v[0], Acceptors: v[1], Learners: v[2], Faulty: protocol == "faulty-paxos"}
+			if single {
+				cfg.Model = paxos.ModelSingle
+			}
+			prop = paxos.Decides(cfg)
+		}
+	case "multicast":
+		want = "delivered"
+		if property == want {
+			if setting == "" {
+				setting = "3,0,1,1"
+			}
+			v, err := ParseInts(setting, 4, "honest receivers,honest initiators,byzantine receivers,byzantine initiators")
+			if err != nil {
+				return nil, err
+			}
+			cfg := multicast.Config{HonestReceivers: v[0], HonestInitiators: v[1], ByzantineReceivers: v[2], ByzantineInitiators: v[3]}
+			if single {
+				cfg.Model = multicast.ModelSingle
+			}
+			prop = multicast.Delivers(cfg)
+		}
+	case "storage":
+		want = "reads-complete"
+		if property == want {
+			if setting == "" {
+				setting = "3,1"
+			}
+			v, err := ParseInts(setting, 2, "objects,readers")
+			if err != nil {
+				return nil, err
+			}
+			cfg := storage.Config{Objects: v[0], Readers: v[1]}
+			if single {
+				cfg.Model = storage.ModelSingle
+			}
+			prop = storage.ReadsComplete(cfg)
+		}
+	default:
+		return nil, fmt.Errorf("unknown protocol %q (want paxos, faulty-paxos, multicast or storage)", protocol)
+	}
+	if prop == nil {
+		return nil, fmt.Errorf("unknown property %q for protocol %s (want %q)", property, protocol, want)
+	}
+	prop.WeakFair = fair
+	return prop, nil
 }
 
 // ParseSplit maps a CLI split name to a refinement strategy.

@@ -219,3 +219,119 @@ func TestParseSplit(t *testing.T) {
 		t.Error("bogus split accepted")
 	}
 }
+
+func TestValidateLivenessFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		search   string
+		property string
+		fair     bool
+		wantErr  string // substring; empty means accepted
+	}{
+		{"no liveness flags", "spor", "", false, ""},
+		{"property with spor", "spor", "decided", false, ""},
+		{"property with unreduced", "unreduced", "decided", false, ""},
+		{"property with dfs alias", "dfs", "decided", false, ""},
+		{"property and fair", "spor", "decided", true, ""},
+		{"property with bfs", "bfs", "decided", false, "-property requires a nested-DFS search"},
+		{"property with stateless", "stateless", "decided", false, "-property requires a nested-DFS search"},
+		{"property with dpor", "dpor", "decided", false, "-property requires a nested-DFS search"},
+		{"fair without property", "spor", "", true, "-fair requires -property"},
+		{"fair with bfs property", "bfs", "decided", true, "-property requires a nested-DFS search"},
+	}
+	for _, tc := range cases {
+		err := ValidateLivenessFlags(tc.search, tc.property, tc.fair)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestBuildProperty(t *testing.T) {
+	cases := []struct {
+		name     string
+		protocol string
+		setting  string
+		model    string
+		property string
+		fair     bool
+		wantName string
+		wantErr  string
+	}{
+		{"paxos decided", "paxos", "", "", "decided", false, "some learner decides", ""},
+		{"faulty-paxos decided", "faulty-paxos", "2,3,1", "", "decided", false, "some learner decides", ""},
+		{"paxos decided single", "paxos", "2,3,1", "single", "decided", false, "some learner decides", ""},
+		{"paxos decided fair", "paxos", "", "", "decided", true, "some learner decides", ""},
+		{"multicast delivered", "multicast", "3,0,1,1", "", "delivered", false, "honest receivers deliver", ""},
+		{"multicast default setting", "multicast", "", "", "delivered", false, "honest receivers deliver", ""},
+		{"storage reads-complete", "storage", "3,1", "", "reads-complete", false, "every read completes", ""},
+		{"paxos wrong name", "paxos", "", "", "delivered", false, "", `unknown property "delivered"`},
+		{"storage wrong name", "storage", "", "", "decided", false, "", `unknown property "decided"`},
+		{"unknown protocol", "raft", "", "", "decided", false, "", "unknown protocol"},
+		{"bad setting", "paxos", "2,3", "", "decided", false, "", "want 3 comma-separated numbers"},
+	}
+	for _, tc := range cases {
+		prop, err := BuildProperty(tc.protocol, tc.setting, tc.model, tc.property, tc.fair)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+			continue
+		}
+		if prop.Name != tc.wantName {
+			t.Errorf("%s: property name %q, want %q", tc.name, prop.Name, tc.wantName)
+		}
+		if prop.WeakFair != tc.fair {
+			t.Errorf("%s: WeakFair %v, want %v", tc.name, prop.WeakFair, tc.fair)
+		}
+		if prop.Accept == nil || len(prop.Reads) == 0 {
+			t.Errorf("%s: property missing Accept or Reads", tc.name)
+		}
+	}
+}
+
+// TestBuildPropertyMatchesProtocol checks that the built property's Reads
+// processes exist in the protocol built from the same arguments and that
+// its Accept predicate evaluates on that protocol's states.
+func TestBuildPropertyMatchesProtocol(t *testing.T) {
+	for _, tc := range []struct {
+		protocol, setting, property string
+	}{
+		{"paxos", "2,3,1", "decided"},
+		{"faulty-paxos", "2,3,1", "decided"},
+		// An honest initiator, so the delivery goal is not vacuously met.
+		{"multicast", "2,1,1,1", "delivered"},
+		{"storage", "3,1", "reads-complete"},
+	} {
+		p, _, err := BuildProtocol(tc.protocol, tc.setting, "", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prop, err := BuildProperty(tc.protocol, tc.setting, "", tc.property, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range prop.Reads {
+			if int(q) < 0 || int(q) >= p.N {
+				t.Errorf("%s: property reads process %d, protocol has %d", tc.protocol, q, p.N)
+			}
+		}
+		s, err := p.InitialState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prop.Accept(s) != true {
+			t.Errorf("%s: initial state should be accepting (goal unmet at start)", tc.protocol)
+		}
+	}
+}

@@ -5,7 +5,10 @@ import (
 	"testing"
 	"time"
 
+	"mpbasset/internal/core"
 	"mpbasset/internal/explore"
+	"mpbasset/internal/liveness"
+	"mpbasset/internal/protocols/multicast"
 	"mpbasset/internal/protocols/paxos"
 )
 
@@ -152,6 +155,85 @@ func TestFormatRows(t *testing.T) {
 	for _, want := range []string{"Demo", "states=42", "timeout", "Verified"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("formatted table misses %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLivenessTableVerdictsAndShape pins the liveness table: every bundled
+// instance satisfies its eventuality property (so Verify's default
+// expectation holds on all nine cells), the SPOR cell never explores more
+// than the unreduced product, and the weakly fair cell pays the Choueka
+// monitor copies — at least the unrestricted product, explored on the full
+// graph.
+func TestLivenessTableVerdictsAndShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table generation is slow")
+	}
+	rows, err := LivenessTable(Options{Budget: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("liveness rows = %d, want 3", len(rows))
+	}
+	if err := Verify(rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if len(r.Cells) != 3 {
+			t.Fatalf("%s %s: %d cells, want 3 columns", r.Protocol, r.Setting, len(r.Cells))
+		}
+		unreduced, spor, fair := r.Cells[0], r.Cells[1], r.Cells[2]
+		if spor.States > unreduced.States {
+			t.Errorf("%s %s: SPOR states %d above unreduced %d",
+				r.Protocol, r.Setting, spor.States, unreduced.States)
+		}
+		if fair.States < unreduced.States {
+			t.Errorf("%s %s: weakly fair states %d below unreduced %d (monitor copies should not shrink the product)",
+				r.Protocol, r.Setting, fair.States, unreduced.States)
+		}
+	}
+}
+
+// TestLivenessCellsParallelAndSpilled pins RunNDFS's engine plumbing on
+// one small model: the parallel and spill-backed cells reproduce the
+// sequential in-memory cell's verdict and counts bit-identically, for both
+// reduction modes.
+func TestLivenessCellsParallelAndSpilled(t *testing.T) {
+	cfg := multicast.Config{HonestReceivers: 2, HonestInitiators: 1, ByzantineReceivers: 0, ByzantineInitiators: 1}
+	build := func() (*core.Protocol, *liveness.Property, error) {
+		p, err := multicast.New(cfg)
+		return p, multicast.Delivers(cfg), err
+	}
+	base := Options{Budget: time.Minute}
+	for _, reduced := range []bool{false, true} {
+		p, prop, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := RunNDFS("ref", p, prop, reduced, base)
+		if ref.Err != nil {
+			t.Fatalf("reduced=%v: %v", reduced, ref.Err)
+		}
+		for _, alt := range []struct {
+			name string
+			opts Options
+		}{
+			{"workers-4", Options{Budget: time.Minute, Workers: 4}},
+			{"spill-1KiB", Options{Budget: time.Minute, StoreBudgetBytes: 1 << 10, SpillDir: t.TempDir()}},
+		} {
+			p, prop, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := RunNDFS(alt.name, p, prop, reduced, alt.opts)
+			if c.Err != nil {
+				t.Fatalf("reduced=%v %s: %v", reduced, alt.name, c.Err)
+			}
+			if c.Verdict != ref.Verdict || c.States != ref.States || c.Events != ref.Events {
+				t.Errorf("reduced=%v %s: %s states=%d events=%d, sequential in-memory %s states=%d events=%d",
+					reduced, alt.name, c.Verdict, c.States, c.Events, ref.Verdict, ref.States, ref.Events)
+			}
 		}
 	}
 }

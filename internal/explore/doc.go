@@ -2,10 +2,11 @@
 // checker: stateful DFS and BFS over canonical state keys, a stateless DFS
 // (the search mode required by dynamic POR, §III-A), a deterministic
 // parallel engine for each stateful search order (frontier-parallel BFS
-// and speculative parallel DFS), invariant checking with counterexample
-// traces, deadlock detection, and a full state-graph builder used to
-// validate transition refinement (Theorem 2: refined and unrefined systems
-// generate the same state graph).
+// and speculative parallel DFS), nested DFS for Büchi liveness properties
+// (NDFS, with its deterministic parallel twin ParallelNDFS), invariant
+// checking with counterexample traces, deadlock detection, and a full
+// state-graph builder used to validate transition refinement (Theorem 2:
+// refined and unrefined systems generate the same state graph).
 //
 // Searches are parameterized by an Expander, the hook through which
 // partial-order reduction restricts the explored events of a state. Every
@@ -33,6 +34,22 @@
 // single commit walk replays the exact sequential DFS order (stack proviso
 // included), so results are bit-identical to DFS for any worker count and
 // steal depth.
+//
+// NDFS lifts the stateful DFS to liveness checking (Options.Property): a
+// blue search explores the product of the state graph and the property
+// monitor, and at each post-order retreat from an accepting product state
+// a red search hunts for a cycle through it; a hit is reported as a
+// replayable lasso counterexample (stem + accepting cycle, or a stutter
+// lasso into a deadlocked accepting state). The stack ignoring proviso
+// doubles as the cycle-awareness the nested search needs, so a reducing
+// expander remains sound; weak fairness (Property.WeakFair) forces full
+// expansion, since the fairness monitor observes every transition.
+// ParallelNDFS parallelizes the blue search with the ParallelDFS
+// speculation machinery and keeps the red searches on the commit walk, so
+// verdicts, statistics and lasso traces are bit-identical to NDFS for any
+// worker count and steal depth; both engines are differentially tested
+// against the explicit Büchi-product + Tarjan-SCC oracle in package
+// liveness.
 //
 // Both parallel engines inherit their soundness conditions from the hooks
 // they parallelize: the protocol's Enabled/Execute/CheckInvariant, the

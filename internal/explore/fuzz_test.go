@@ -12,6 +12,18 @@
 // deterministically; `go test -fuzz FuzzEngineAgreement` explores the
 // configuration space beyond the seeds (the `make fuzz` / CI smoke entry
 // point).
+//
+// The harness additionally has a liveness mode (the livenessMode
+// parameter): the input decodes into a protocol plus a Büchi property (a
+// rounds-threshold eventually-goal, or the liveness trap's own property),
+// the explicit Tarjan oracle of package liveness fixes the ground-truth
+// verdict, and the NDFS family — sequential and ParallelNDFS at several
+// worker counts, over in-memory and spill stores, unreduced and
+// SPOR-reduced — must reach that verdict with every configuration
+// bit-identical (stats, lasso trace, cycle shape) to the sequential NDFS
+// reference of its reduction mode, and every reported lasso must replay.
+// The fair parameter turns on weak fairness, exercising the copies
+// monitor.
 package explore_test
 
 import (
@@ -19,6 +31,7 @@ import (
 
 	"mpbasset/internal/core"
 	"mpbasset/internal/explore"
+	"mpbasset/internal/liveness"
 	"mpbasset/internal/mptest"
 	"mpbasset/internal/por"
 )
@@ -88,6 +101,143 @@ func decodeFuzzProtocol(seed int64, procs, ring, prio, threshold, rounds uint8, 
 	})
 }
 
+// decodeFuzzLiveness maps raw fuzz arguments onto a (protocol, property)
+// pair for the liveness mode: the liveness trap with its own property, or
+// a generated protocol with a rounds-threshold eventually-goal on process
+// 0 (already instrumented for the property). fair turns on weak fairness.
+func decodeFuzzLiveness(seed int64, procs, ring, prio, threshold, rounds uint8, quorums, anyQuorums, cycles, trap, fair bool) (*core.Protocol, *liveness.Property, error) {
+	var (
+		p    *core.Protocol
+		prop *liveness.Property
+		err  error
+	)
+	if trap {
+		p, prop, err = mptest.LivenessTrap(2 + int(ring%5))
+	} else {
+		p, err = decodeFuzzProtocol(seed, procs, ring, prio, threshold, rounds, quorums, anyQuorums, cycles, false)
+		if err == nil {
+			goal := 1 + int(threshold%2)
+			prop = liveness.Eventually("rounds reach goal", []core.ProcessID{0}, func(s *core.State) bool {
+				return s.Local(0).(*mptest.Local).Rounds >= goal
+			})
+		}
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	prop.WeakFair = fair
+	p, err = liveness.Instrument(p, prop)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, prop, nil
+}
+
+// fuzzNDFSEngines is the liveness-mode matrix: ParallelNDFS at 1 and 4
+// workers plus a shallow steal depth, each held bit-identical to the
+// sequential NDFS reference of its reduction mode.
+func fuzzNDFSEngines() []diffEngine {
+	pndfs := func(workers, stealDepth int) func(*core.Protocol, explore.Options) (*explore.Result, error) {
+		return func(p *core.Protocol, xo explore.Options) (*explore.Result, error) {
+			xo.Workers = workers
+			xo.StealDepth = stealDepth
+			return explore.ParallelNDFS(p, xo)
+		}
+	}
+	return []diffEngine{
+		{"NDFS", explore.NDFS, true},
+		{"ParallelNDFS-1", pndfs(1, 0), true},
+		{"ParallelNDFS-4", pndfs(4, 0), true},
+		{"ParallelNDFS-4-steal-1", pndfs(4, 1), true},
+	}
+}
+
+// fuzzLivenessCheck is the liveness-mode body of the harness: oracle
+// ground truth, then the NDFS matrix over stores and reductions held to
+// the oracle's verdict and to per-mode bit-identity, with every lasso
+// replayed.
+func fuzzLivenessCheck(t *testing.T, p *core.Protocol, prop *liveness.Property) {
+	ores, err := liveness.Oracle(p, prop, fuzzMaxStates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ores.Limited {
+		t.Skip("product exceeds the fuzz budget")
+	}
+	want := explore.VerdictVerified
+	if ores.Violated {
+		want = explore.VerdictViolated
+	}
+	exp, err := por.NewExpander(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := []struct {
+		name string
+		exp  explore.Expander
+	}{{"unreduced", nil}}
+	if !prop.WeakFair {
+		// Under weak fairness the NDFS engines force full expansion, so the
+		// reduced mode would duplicate the unreduced one.
+		modes = append(modes, struct {
+			name string
+			exp  explore.Expander
+		}{"spor", exp})
+	}
+	for _, mode := range modes {
+		refOpts := explore.Options{Property: prop, Expander: mode.exp, Store: explore.NewHashStore()}
+		ref, err := explore.NDFS(p, refOpts)
+		if err != nil {
+			t.Fatalf("%s: %v", mode.name, err)
+		}
+		if ref.Verdict != want {
+			t.Errorf("%s: sequential NDFS verdict %s, oracle %s (%d product states, %d accepting)",
+				mode.name, ref.Verdict, want, ores.States, ores.AcceptingStates)
+			continue
+		}
+		if ref.Verdict == explore.VerdictViolated {
+			if _, err := explore.ReplayLasso(p, prop, ref.Trace, ref.CycleLen, ref.Stutter, nil); err != nil {
+				t.Errorf("%s: lasso does not replay: %v", mode.name, err)
+			}
+		}
+		for _, eng := range fuzzNDFSEngines() {
+			for _, store := range []struct {
+				name  string
+				store func() explore.Store
+			}{
+				{"mem", func() explore.Store { return explore.NewHashStore() }},
+				{"spill", func() explore.Store { return tinySpill(t, 512) }},
+			} {
+				run := explore.Options{Property: prop, Expander: mode.exp, Store: store.store()}
+				res, err := eng.run(p, run)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", mode.name, eng.name, store.name, err)
+				}
+				label := mode.name + "/" + eng.name + "/" + store.name
+				if res.Verdict != ref.Verdict || res.CycleLen != ref.CycleLen || res.Stutter != ref.Stutter {
+					t.Errorf("%s: verdict/cycle (%s, %d, %v), reference (%s, %d, %v)",
+						label, res.Verdict, res.CycleLen, res.Stutter, ref.Verdict, ref.CycleLen, ref.Stutter)
+					continue
+				}
+				if rs, ws := maskSpill(res.Stats), maskSpill(ref.Stats); rs != ws {
+					t.Errorf("%s: stats %+v, reference %+v", label, rs, ws)
+				}
+				if len(res.Trace) != len(ref.Trace) {
+					t.Errorf("%s: trace length %d, reference %d", label, len(res.Trace), len(ref.Trace))
+					continue
+				}
+				for i := range res.Trace {
+					if res.Trace[i].StateKey != ref.Trace[i].StateKey ||
+						res.Trace[i].Event.Key() != ref.Trace[i].Event.Key() {
+						t.Errorf("%s: trace step %d diverges", label, i)
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
 func FuzzEngineAgreement(f *testing.F) {
 	// Seed corpus: an acyclic quorum protocol, the cyclic soundness-matrix
 	// configurations (two-process bounce and longer rings at benign and
@@ -95,18 +245,41 @@ func FuzzEngineAgreement(f *testing.F) {
 	// violating deep-cycle seed, two deep-round seeds (long first-child
 	// spines, the ParallelDFS steal stress), and the ignoring trap at
 	// rings 2 and 4.
-	f.Add(int64(0), uint8(2), uint8(0), uint8(0), uint8(0), uint8(0), true, false, false, false)
-	f.Add(int64(0), uint8(2), uint8(0), uint8(0), uint8(1), uint8(0), true, false, true, false)
-	f.Add(int64(5), uint8(2), uint8(0), uint8(3), uint8(1), uint8(0), true, false, true, false)
-	f.Add(int64(3), uint8(2), uint8(3), uint8(3), uint8(1), uint8(0), true, false, true, false)
-	f.Add(int64(9), uint8(2), uint8(4), uint8(3), uint8(2), uint8(0), true, true, true, false)
-	f.Add(int64(1), uint8(2), uint8(3), uint8(3), uint8(2), uint8(0), true, false, true, false)
-	f.Add(int64(4), uint8(1), uint8(0), uint8(0), uint8(0), uint8(2), true, false, false, false)
-	f.Add(int64(7), uint8(2), uint8(3), uint8(3), uint8(1), uint8(2), true, false, true, false)
-	f.Add(int64(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), false, false, false, true)
-	f.Add(int64(0), uint8(0), uint8(2), uint8(0), uint8(0), uint8(0), false, false, false, true)
+	f.Add(int64(0), uint8(2), uint8(0), uint8(0), uint8(0), uint8(0), true, false, false, false, false, false)
+	f.Add(int64(0), uint8(2), uint8(0), uint8(0), uint8(1), uint8(0), true, false, true, false, false, false)
+	f.Add(int64(5), uint8(2), uint8(0), uint8(3), uint8(1), uint8(0), true, false, true, false, false, false)
+	f.Add(int64(3), uint8(2), uint8(3), uint8(3), uint8(1), uint8(0), true, false, true, false, false, false)
+	f.Add(int64(9), uint8(2), uint8(4), uint8(3), uint8(2), uint8(0), true, true, true, false, false, false)
+	f.Add(int64(1), uint8(2), uint8(3), uint8(3), uint8(2), uint8(0), true, false, true, false, false, false)
+	f.Add(int64(4), uint8(1), uint8(0), uint8(0), uint8(0), uint8(2), true, false, false, false, false, false)
+	f.Add(int64(7), uint8(2), uint8(3), uint8(3), uint8(1), uint8(2), true, false, true, false, false, false)
+	f.Add(int64(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), false, false, false, true, false, false)
+	f.Add(int64(0), uint8(0), uint8(2), uint8(0), uint8(0), uint8(0), false, false, false, true, false, false)
 
-	f.Fuzz(func(t *testing.T, seed int64, procs, ring, prio, threshold, rounds uint8, quorums, anyQuorums, cycles, trap bool) {
+	// Liveness-mode seeds: the liveness trap at rings 2 and 4 (the proviso
+	// regression, where proviso-free reduction hides the accepting cycle),
+	// cyclic generated models at the adversarial cycle priority with a
+	// real-cycle counterexample, an acyclic quorum model whose runs halt
+	// short of the goal (stutter lassos), a verified-side model, and two
+	// weakly fair variants (the copies monitor over both polarities).
+	f.Add(int64(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), false, false, false, true, true, false)
+	f.Add(int64(0), uint8(0), uint8(2), uint8(0), uint8(0), uint8(0), false, false, false, true, true, false)
+	f.Add(int64(1), uint8(2), uint8(3), uint8(3), uint8(1), uint8(0), true, false, true, false, true, false)
+	f.Add(int64(3), uint8(2), uint8(3), uint8(3), uint8(0), uint8(0), true, false, true, false, true, false)
+	f.Add(int64(0), uint8(2), uint8(0), uint8(0), uint8(1), uint8(0), true, false, false, false, true, false)
+	f.Add(int64(4), uint8(1), uint8(0), uint8(0), uint8(0), uint8(2), true, false, false, false, true, false)
+	f.Add(int64(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), false, false, false, true, true, true)
+	f.Add(int64(1), uint8(2), uint8(3), uint8(3), uint8(1), uint8(0), true, false, true, false, true, true)
+
+	f.Fuzz(func(t *testing.T, seed int64, procs, ring, prio, threshold, rounds uint8, quorums, anyQuorums, cycles, trap, livenessMode, fair bool) {
+		if livenessMode {
+			p, prop, err := decodeFuzzLiveness(seed, procs, ring, prio, threshold, rounds, quorums, anyQuorums, cycles, trap, fair)
+			if err != nil {
+				t.Fatalf("generator rejected a clamped config: %v", err)
+			}
+			fuzzLivenessCheck(t, p, prop)
+			return
+		}
 		p, err := decodeFuzzProtocol(seed, procs, ring, prio, threshold, rounds, quorums, anyQuorums, cycles, trap)
 		if err != nil {
 			t.Fatalf("generator rejected a clamped config: %v", err)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mpbasset/internal/core"
+	"mpbasset/internal/liveness"
 )
 
 // Proviso is the ignoring-proviso (C3) hook of a search engine: the
@@ -87,6 +88,15 @@ const (
 type Options struct {
 	// Expander restricts expansion (POR); nil means full expansion.
 	Expander Expander
+	// Property is the Büchi liveness property the NDFS engines (NDFS,
+	// ParallelNDFS) check; they require it and every other engine ignores
+	// it. The safety invariant is NOT checked by the liveness engines —
+	// run a safety search separately. When Property.WeakFair is set the
+	// NDFS engines ignore Expander and explore the full graph: the
+	// fairness monitor observes every transition, so no transition is
+	// invisible in the product and the ample-set condition C2 admits no
+	// reduction.
+	Property *liveness.Property
 	// Store is the visited set; nil means a fresh ExactStore. Ignored by
 	// stateless search.
 	Store Store

@@ -7,22 +7,6 @@ import (
 	"mpbasset/internal/core"
 )
 
-// Tuning constants of the speculative DFS scheduler. They bound memory, not
-// correctness: results are bit-identical to sequential DFS whatever their
-// values.
-const (
-	// pdMemoCap bounds the number of not-yet-consumed speculative expansion
-	// records; speculators back off when the table is full.
-	pdMemoCap = 1 << 13
-	// pdQueueCap bounds the steal queue; when it overflows, the shallowest
-	// (oldest) targets are dropped — they are the furthest from being
-	// committed, so dropping them loses the least useful speculation.
-	pdQueueCap = 4096
-	// pdStealBudget is the number of states one stolen subtree may expand
-	// before the thief reports back and steals afresh.
-	pdStealBudget = 128
-)
-
 // pdSucc is one successor of a speculatively expanded state: the executed
 // event, the reached state and its canonical key, plus — when a speculator
 // already ran the invariant on it — the memoized check result.
@@ -116,149 +100,13 @@ func pdSuccKeys(buf []string, succs []pdSucc) []string {
 	return buf
 }
 
-// pdPut is the outcome of a memo insert.
-type pdPut int
-
-const (
-	pdStored pdPut = iota
-	pdDup          // another speculator already recorded the key
-	pdFull         // the table is at capacity; the thief backs off
-)
-
-// pdMemo is the striped table of speculative expansion records, keyed by
-// canonical state key. Speculators insert, the commit walk consumes;
-// entries live until the walk first discovers their state (or the search
-// ends). The capacity bound keeps runaway speculation from holding
-// unbounded state.
-type pdMemo struct {
-	stripes [64]struct {
-		mu sync.Mutex
-		m  map[string]*pdRecord
-	}
-	count atomic.Int64
-}
-
-func (m *pdMemo) stripe(key string) *struct {
-	mu sync.Mutex
-	m  map[string]*pdRecord
-} {
-	return &m.stripes[fingerprint(key)[15]&63]
-}
-
-// full reports whether the table is at capacity. Thieves check it before
-// paying for an expansion; put re-checks, so the answer being stale only
-// costs (or saves) one speculative build.
-func (m *pdMemo) full() bool { return m.count.Load() >= pdMemoCap }
-
-func (m *pdMemo) put(key string, rec *pdRecord) pdPut {
-	if m.full() {
-		return pdFull
-	}
-	st := m.stripe(key)
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.m == nil {
-		st.m = make(map[string]*pdRecord)
-	}
-	if _, ok := st.m[key]; ok {
-		return pdDup
-	}
-	st.m[key] = rec
-	m.count.Add(1)
-	return pdStored
-}
-
-func (m *pdMemo) has(key string) bool {
-	st := m.stripe(key)
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	_, ok := st.m[key]
-	return ok
-}
-
-// take removes and returns the record for key, or nil.
-func (m *pdMemo) take(key string) *pdRecord {
-	st := m.stripe(key)
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	rec, ok := st.m[key]
-	if !ok {
-		return nil
-	}
-	delete(st.m, key)
-	m.count.Add(-1)
-	return rec
-}
-
 // pdTarget is one steal target: an unexplored sibling still pending on the
 // commit stack, i.e. the root of a subtree sequential DFS has not entered
-// yet.
+// yet. The memo table and steal queue themselves are the generic
+// specMemo/specQueue (see spec.go), shared with ParallelNDFS.
 type pdTarget struct {
 	st  *core.State
 	key string
-}
-
-// pdQueue is the steal queue: the commit walk publishes each new frame's
-// pending siblings, idle speculators pop from the deep end (the most
-// recently pushed — deepest — frame's siblings first, in sibling order).
-// Those are the subtrees the walk will enter soonest, so their records are
-// the least likely to go stale.
-type pdQueue struct {
-	mu     sync.Mutex
-	cond   sync.Cond
-	items  []pdTarget
-	closed bool
-}
-
-func newPDQueue() *pdQueue {
-	q := &pdQueue{}
-	q.cond.L = &q.mu
-	return q
-}
-
-// publish appends targets (callers pass a frame's pending siblings in
-// reverse sibling order, so the earliest sibling is popped first). Overflow
-// drops the shallowest targets.
-func (q *pdQueue) publish(ts []pdTarget) {
-	if len(ts) == 0 {
-		return
-	}
-	q.mu.Lock()
-	if q.closed {
-		q.mu.Unlock()
-		return
-	}
-	q.items = append(q.items, ts...)
-	if over := len(q.items) - pdQueueCap; over > 0 {
-		q.items = append(q.items[:0], q.items[over:]...)
-	}
-	q.mu.Unlock()
-	q.cond.Broadcast()
-}
-
-// pop blocks for the next target from the deep end; false means the queue
-// was closed and drained.
-func (q *pdQueue) pop() (pdTarget, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
-		q.cond.Wait()
-	}
-	if len(q.items) == 0 {
-		return pdTarget{}, false
-	}
-	t := q.items[len(q.items)-1]
-	q.items[len(q.items)-1] = pdTarget{}
-	q.items = q.items[:len(q.items)-1]
-	return t, true
-}
-
-func (q *pdQueue) close() {
-	q.mu.Lock()
-	q.closed = true
-	q.items = nil
-	q.mu.Unlock()
-	q.cond.Broadcast()
 }
 
 // pdFrame is one frame of the commit stack (the ParallelDFS analogue of
@@ -354,8 +202,8 @@ func ParallelDFS(p *core.Protocol, opts Options) (result *Result, err error) {
 	// non-mutating store probe (nil when the store cannot answer — the
 	// speculators then dedupe through the memo table alone).
 	var (
-		memo  pdMemo
-		queue = newPDQueue()
+		memo  specMemo[pdRecord]
+		queue = newSpecQueue[pdTarget]()
 		stop  atomic.Bool
 		wg    sync.WaitGroup
 		probe func(string) bool

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mpbasset/internal/core"
+	"mpbasset/internal/liveness"
 )
 
 // Replay re-executes a counterexample trace from the protocol's initial
@@ -24,14 +25,21 @@ func Replay(p *core.Protocol, trace []Step, canon func(*core.State) string) (*co
 	if err != nil {
 		return nil, err
 	}
-	for i, step := range trace {
+	return replayFrom(p, s, trace, canon, 0)
+}
+
+// replayFrom re-executes steps from s, cross-checking each replayed state
+// key; offset numbers the steps in error messages (for lasso replays the
+// cycle's steps keep their position in the full trace).
+func replayFrom(p *core.Protocol, s *core.State, steps []Step, canon func(*core.State) string, offset int) (*core.State, error) {
+	for i, step := range steps {
 		ns, err := p.Execute(s, step.Event)
 		if err != nil {
-			return nil, fmt.Errorf("replay step %d (%s): %w", i+1, step.Event, err)
+			return nil, fmt.Errorf("replay step %d (%s): %w", offset+i+1, step.Event, err)
 		}
 		if key := canon(ns); key != step.StateKey {
 			return nil, fmt.Errorf("replay step %d (%s): state key mismatch: replayed %q, recorded %q",
-				i+1, step.Event, key, step.StateKey)
+				offset+i+1, step.Event, key, step.StateKey)
 		}
 		s = ns
 	}
@@ -49,4 +57,98 @@ func ReplayViolation(p *core.Protocol, trace []Step, canon func(*core.State) str
 		return nil, fmt.Errorf("replayed trace ends in a state that satisfies the invariant")
 	}
 	return s, nil
+}
+
+// ReplayLasso replays and validates a liveness counterexample as reported
+// by the NDFS engines: trace is stem + cycle, with the final cycleLen
+// steps forming the cycle (stutter means the cycle is the implicit
+// self-loop of a deadlocked state and cycleLen is 0). Every step is
+// re-executed with the same key cross-checks as Replay, and the lasso
+// certificate is verified end to end:
+//
+//   - the cycle closes: the state after the full trace equals the state
+//     after the stem (by canonical key);
+//   - the cycle is accepting: some cycle state satisfies prop.Accept (for
+//     a stutter lasso, the stem's final state does);
+//   - a stutter lasso's final state is actually deadlocked;
+//   - with prop.WeakFair, the cycle is weakly fair: every process either
+//     executes some cycle event or is disabled in some cycle state.
+//
+// It returns the loop state (the state the cycle starts and ends in), so
+// a corrupted stem, cycle, loop point or acceptance claim is rejected
+// rather than silently accepted — the lasso analogue of ReplayViolation.
+func ReplayLasso(p *core.Protocol, prop *liveness.Property, trace []Step, cycleLen int, stutter bool, canon func(*core.State) string) (*core.State, error) {
+	if prop == nil || prop.Accept == nil {
+		return nil, fmt.Errorf("replay lasso: nil property")
+	}
+	if canon == nil {
+		canon = func(s *core.State) string { return s.Key() }
+	}
+	if stutter && cycleLen != 0 {
+		return nil, fmt.Errorf("replay lasso: stutter lasso with cycle length %d (want 0)", cycleLen)
+	}
+	if !stutter && cycleLen < 1 {
+		return nil, fmt.Errorf("replay lasso: cycle length %d, but a non-stutter lasso needs a cycle", cycleLen)
+	}
+	if cycleLen > len(trace) {
+		return nil, fmt.Errorf("replay lasso: cycle length %d exceeds trace length %d", cycleLen, len(trace))
+	}
+	stem := trace[:len(trace)-cycleLen]
+	cycle := trace[len(trace)-cycleLen:]
+	loop, err := Replay(p, stem, canon)
+	if err != nil {
+		return nil, err
+	}
+	if stutter {
+		if enabled := p.Enabled(loop); len(enabled) != 0 {
+			return nil, fmt.Errorf("replay lasso: stutter lasso ends in a state with %d enabled events (want deadlock)", len(enabled))
+		}
+		if !prop.Accept(loop) {
+			return nil, fmt.Errorf("replay lasso: stutter lasso ends in a non-accepting state")
+		}
+		return loop, nil
+	}
+	var (
+		s         = loop
+		accepting = false
+		moved     = make([]bool, p.N)
+		disabled  = make([]bool, p.N)
+	)
+	// The cycle's states are the states reached by its steps; since the
+	// cycle closes back on loop, that set includes loop itself (as the
+	// final state). Fairness reads enabledness from each state on the
+	// cycle and the events executed along it.
+	for i, step := range cycle {
+		if prop.WeakFair {
+			mask := liveness.EnabledProcs(p.N, p.Enabled(s))
+			for q := range mask {
+				if !mask[q] {
+					disabled[q] = true
+				}
+			}
+		}
+		ns, rerr := replayFrom(p, s, cycle[i:i+1], canon, len(stem)+i)
+		if rerr != nil {
+			return nil, rerr
+		}
+		moved[step.Event.T.Proc] = true
+		if prop.Accept(ns) {
+			accepting = true
+		}
+		s = ns
+	}
+	if key := canon(s); key != canon(loop) {
+		return nil, fmt.Errorf("replay lasso: cycle does not close: loop state %q, state after cycle %q", canon(loop), key)
+	}
+	if !accepting {
+		return nil, fmt.Errorf("replay lasso: no accepting state on the cycle")
+	}
+	if prop.WeakFair {
+		for q := 0; q < p.N; q++ {
+			if !moved[q] && !disabled[q] {
+				return nil, fmt.Errorf("replay lasso: cycle is not weakly fair: process %d is enabled throughout but never executes", q)
+			}
+		}
+	}
+	return loop, nil
 }

@@ -1,0 +1,173 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"mpbasset/internal/core"
+	"mpbasset/internal/liveness"
+	"mpbasset/internal/mptest"
+	"mpbasset/internal/protocols/storage"
+)
+
+// realLasso produces a genuine accepting-cycle lasso: the liveness trap's
+// ring cycle at rounds >= 1.
+func realLasso(t *testing.T) (*core.Protocol, *liveness.Property, *Result) {
+	t.Helper()
+	p, prop, err := mptest.LivenessTrap(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NDFS(p, Options{Property: prop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictViolated || res.Stutter || res.CycleLen < 1 {
+		t.Fatalf("want a real-cycle CE, got %s (cycle %d, stutter %v)", res.Verdict, res.CycleLen, res.Stutter)
+	}
+	return p, prop, res
+}
+
+// stutterLasso produces a genuine stutter lasso: single-reader storage
+// with an unreachable goal, so the run that completes all reads deadlocks
+// in an accepting state.
+func stutterLasso(t *testing.T) (*core.Protocol, *liveness.Property, *Result) {
+	t.Helper()
+	p, err := storage.New(storage.Config{Objects: 1, Readers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := liveness.Eventually("unreachable goal", nil, func(*core.State) bool { return false })
+	res, err := NDFS(p, Options{Property: prop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictViolated || !res.Stutter || res.CycleLen != 0 {
+		t.Fatalf("want a stutter CE, got %s (cycle %d, stutter %v)", res.Verdict, res.CycleLen, res.Stutter)
+	}
+	return p, prop, res
+}
+
+// TestReplayLassoAcceptsGenuineCertificates checks the positive direction
+// for both lasso shapes, including that the returned loop state is the
+// stem's final state.
+func TestReplayLassoAcceptsGenuineCertificates(t *testing.T) {
+	p, prop, res := realLasso(t)
+	loop, err := ReplayLasso(p, prop, res.Trace, res.CycleLen, res.Stutter, nil)
+	if err != nil {
+		t.Fatalf("genuine real-cycle lasso rejected: %v", err)
+	}
+	stem := res.Trace[:len(res.Trace)-res.CycleLen]
+	if len(stem) > 0 && loop.Key() != stem[len(stem)-1].StateKey {
+		t.Errorf("loop state %q, want the stem's final state %q", loop.Key(), stem[len(stem)-1].StateKey)
+	}
+
+	sp, sprop, sres := stutterLasso(t)
+	sloop, err := ReplayLasso(sp, sprop, sres.Trace, 0, true, nil)
+	if err != nil {
+		t.Fatalf("genuine stutter lasso rejected: %v", err)
+	}
+	if len(sp.Enabled(sloop)) != 0 {
+		t.Error("stutter loop state is not deadlocked")
+	}
+}
+
+// TestReplayLassoRejectsCorruptedCertificates mangles every part of a
+// genuine certificate — stem states, cycle states, the loop point, the
+// cycle length, the stutter flag, the acceptance claim — and checks each
+// corruption is rejected with a diagnostic, never silently accepted.
+func TestReplayLassoRejectsCorruptedCertificates(t *testing.T) {
+	p, prop, res := realLasso(t)
+	stemLen := len(res.Trace) - res.CycleLen
+	corrupt := func(i int) []Step {
+		mangled := append([]Step(nil), res.Trace...)
+		mangled[i].StateKey = "bogus|" + mangled[i].StateKey
+		return mangled
+	}
+
+	// A corrupted stem state (canonicalization-bug stand-in).
+	if _, err := ReplayLasso(p, prop, corrupt(0), res.CycleLen, false, nil); err == nil || !strings.Contains(err.Error(), "state key mismatch") {
+		t.Errorf("corrupted stem: %v, want a state key mismatch", err)
+	}
+	// A corrupted cycle state.
+	if _, err := ReplayLasso(p, prop, corrupt(len(res.Trace)-1), res.CycleLen, false, nil); err == nil || !strings.Contains(err.Error(), "state key mismatch") {
+		t.Errorf("corrupted cycle: %v, want a state key mismatch", err)
+	}
+	// A shifted loop point: the same steps with the wrong stem/cycle split
+	// must fail the closure check in both directions.
+	for _, delta := range []int{-1, 1} {
+		cl := res.CycleLen + delta
+		if cl < 1 || cl > len(res.Trace) {
+			continue
+		}
+		if _, err := ReplayLasso(p, prop, res.Trace, cl, false, nil); err == nil || !strings.Contains(err.Error(), "does not close") {
+			t.Errorf("cycle length %+d: %v, want a closure failure", delta, err)
+		}
+	}
+	// Degenerate cycle lengths.
+	if _, err := ReplayLasso(p, prop, res.Trace, 0, false, nil); err == nil {
+		t.Error("cycleLen 0 without stutter accepted")
+	}
+	if _, err := ReplayLasso(p, prop, res.Trace, len(res.Trace)+1, false, nil); err == nil {
+		t.Error("cycleLen beyond the trace accepted")
+	}
+	// A real cycle passed off as a stutter lasso: the claimed loop state is
+	// not deadlocked.
+	if _, err := ReplayLasso(p, prop, res.Trace[:stemLen], 0, true, nil); err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("live state as stutter lasso: %v, want a deadlock check failure", err)
+	}
+	// A stutter flag with a nonzero cycle length is malformed.
+	if _, err := ReplayLasso(p, prop, res.Trace, res.CycleLen, true, nil); err == nil {
+		t.Error("stutter with nonzero cycleLen accepted")
+	}
+	// Nil property.
+	if _, err := ReplayLasso(p, nil, res.Trace, res.CycleLen, false, nil); err == nil {
+		t.Error("nil property accepted")
+	}
+	// A forged acceptance claim: under the inverted predicate the cycle
+	// contains no accepting state.
+	inverted := &liveness.Property{Name: "inverted", Accept: func(s *core.State) bool { return !prop.Accept(s) }}
+	if _, err := ReplayLasso(p, inverted, res.Trace, res.CycleLen, false, nil); err == nil || !strings.Contains(err.Error(), "no accepting state") {
+		t.Errorf("non-accepting cycle: %v, want an acceptance failure", err)
+	}
+}
+
+// TestReplayLassoRejectsUnfairCycle checks the weak-fairness validation:
+// the trap's rounds-0 ring cycle keeps process 0's PROGRESS transition
+// enabled in every state without ever executing it, so it is a valid
+// unfair counterexample but must be rejected as a fair one.
+func TestReplayLassoRejectsUnfairCycle(t *testing.T) {
+	p, _, err := mptest.LivenessTrap(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progress := liveness.Eventually("process 0 progresses", []core.ProcessID{0}, func(s *core.State) bool {
+		return s.Local(0).(*mptest.Local).Rounds >= 1
+	})
+	res, err := NDFS(p, Options{Property: progress})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictViolated || res.Stutter {
+		t.Fatalf("want the unfair ring cycle as CE, got %s (stutter %v)", res.Verdict, res.Stutter)
+	}
+	if _, err := ReplayLasso(p, progress, res.Trace, res.CycleLen, false, nil); err != nil {
+		t.Fatalf("unfair cycle rejected without fairness: %v", err)
+	}
+	fair := *progress
+	fair.WeakFair = true
+	if _, err := ReplayLasso(p, &fair, res.Trace, res.CycleLen, false, nil); err == nil || !strings.Contains(err.Error(), "not weakly fair") {
+		t.Errorf("unfair cycle as fair CE: %v, want a fairness failure", err)
+	}
+}
+
+// TestReplayLassoStutterRejectsNonAccepting pins the stutter acceptance
+// check: the deadlocked run claimed against a property whose goal that
+// run reaches must be rejected.
+func TestReplayLassoStutterRejectsNonAccepting(t *testing.T) {
+	sp, _, sres := stutterLasso(t)
+	done := storage.ReadsComplete(storage.Config{Objects: 1, Readers: 1})
+	if _, err := ReplayLasso(sp, done, sres.Trace, 0, true, nil); err == nil || !strings.Contains(err.Error(), "non-accepting") {
+		t.Errorf("completed run as reads-complete CE: %v, want an acceptance failure", err)
+	}
+}

@@ -57,6 +57,12 @@ type Step struct {
 // state the run visited, under each engine's own visit order (BFS engines
 // visit states at shortest-path depth; DFS at first-search-path depth).
 //
+// RedStates counts the distinct product states the nested (red) searches
+// of the NDFS liveness engines visited; it is always zero for the safety
+// engines. Like every counter except Duration and the spill counters it is
+// covered by the determinism guarantee: sequential NDFS and ParallelNDFS
+// report identical values for any worker count.
+//
 // ProvisoExpansions counts the expansions the ignoring proviso (C3)
 // promoted from reduced to full: DFS promotes when a reduced expansion
 // would close a cycle onto the search stack, the BFS engines when a
@@ -79,6 +85,7 @@ type Stats struct {
 	Events            int
 	Deadlocks         int
 	MaxDepth          int
+	RedStates         int
 	FullExpansions    int
 	ReducedExpansions int
 	ProvisoExpansions int
@@ -91,14 +98,26 @@ type Stats struct {
 // Result is the outcome of a search run.
 type Result struct {
 	Verdict Verdict
-	// Violation describes the invariant violation when Verdict is
-	// VerdictViolated.
+	// Violation describes the property violation when Verdict is
+	// VerdictViolated: the invariant violation for the safety engines, the
+	// accepting-cycle summary for the liveness (NDFS) engines.
 	Violation error
 	// Trace is the counterexample path from the initial state to the
 	// violating state (empty when the initial state itself violates, or
-	// when trace tracking was disabled).
+	// when trace tracking was disabled). For liveness violations the trace
+	// is a lasso: a stem of len(Trace)-CycleLen steps followed by a cycle
+	// of CycleLen steps that returns to the state the stem ends in.
 	Trace []Step
-	Stats Stats
+	// CycleLen is the length of the lasso's cycle for liveness violations
+	// (the final CycleLen steps of Trace); zero for safety violations and
+	// for stutter lassos (see Stutter).
+	CycleLen int
+	// Stutter reports that the liveness counterexample's cycle is the
+	// implicit stutter self-loop of a deadlocked accepting state: the stem
+	// (all of Trace) ends in a state with no enabled events where the
+	// property's acceptance predicate holds forever.
+	Stutter bool
+	Stats   Stats
 }
 
 // TraceString renders the counterexample, one step per line.

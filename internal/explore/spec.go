@@ -1,0 +1,160 @@
+package explore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Tuning constants of the speculative DFS scheduler, shared by ParallelDFS
+// and ParallelNDFS. They bound memory, not correctness: results are
+// bit-identical to the sequential engines whatever their values.
+const (
+	// pdMemoCap bounds the number of not-yet-consumed speculative expansion
+	// records; speculators back off when the table is full.
+	pdMemoCap = 1 << 13
+	// pdQueueCap bounds the steal queue; when it overflows, the shallowest
+	// (oldest) targets are dropped — they are the furthest from being
+	// committed, so dropping them loses the least useful speculation.
+	pdQueueCap = 4096
+	// pdStealBudget is the number of states one stolen subtree may expand
+	// before the thief reports back and steals afresh.
+	pdStealBudget = 128
+)
+
+// pdPut is the outcome of a memo insert.
+type pdPut int
+
+const (
+	pdStored pdPut = iota
+	pdDup          // another speculator already recorded the key
+	pdFull         // the table is at capacity; the thief backs off
+)
+
+// specStripe is one lock-striped shard of a specMemo.
+type specStripe[R any] struct {
+	mu sync.Mutex
+	m  map[string]*R
+}
+
+// specMemo is the striped table of speculative expansion records, keyed by
+// canonical state key (ParallelDFS) or product key (ParallelNDFS).
+// Speculators insert, the commit walk consumes; entries live until the
+// walk first discovers their state (or the search ends). The capacity
+// bound keeps runaway speculation from holding unbounded state.
+type specMemo[R any] struct {
+	stripes [64]specStripe[R]
+	count   atomic.Int64
+}
+
+func (m *specMemo[R]) stripe(key string) *specStripe[R] {
+	return &m.stripes[fingerprint(key)[15]&63]
+}
+
+// full reports whether the table is at capacity. Thieves check it before
+// paying for an expansion; put re-checks, so the answer being stale only
+// costs (or saves) one speculative build.
+func (m *specMemo[R]) full() bool { return m.count.Load() >= pdMemoCap }
+
+func (m *specMemo[R]) put(key string, rec *R) pdPut {
+	if m.full() {
+		return pdFull
+	}
+	st := m.stripe(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.m == nil {
+		st.m = make(map[string]*R)
+	}
+	if _, ok := st.m[key]; ok {
+		return pdDup
+	}
+	st.m[key] = rec
+	m.count.Add(1)
+	return pdStored
+}
+
+func (m *specMemo[R]) has(key string) bool {
+	st := m.stripe(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.m[key]
+	return ok
+}
+
+// take removes and returns the record for key, or nil.
+func (m *specMemo[R]) take(key string) *R {
+	st := m.stripe(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rec, ok := st.m[key]
+	if !ok {
+		return nil
+	}
+	delete(st.m, key)
+	m.count.Add(-1)
+	return rec
+}
+
+// specQueue is the steal queue: the commit walk publishes each new frame's
+// pending siblings, idle speculators pop from the deep end (the most
+// recently pushed — deepest — frame's siblings first, in sibling order).
+// Those are the subtrees the walk will enter soonest, so their records are
+// the least likely to go stale.
+type specQueue[T any] struct {
+	mu     sync.Mutex
+	cond   sync.Cond
+	items  []T
+	closed bool
+}
+
+func newSpecQueue[T any]() *specQueue[T] {
+	q := &specQueue[T]{}
+	q.cond.L = &q.mu
+	return q
+}
+
+// publish appends targets (callers pass a frame's pending siblings in
+// reverse sibling order, so the earliest sibling is popped first). Overflow
+// drops the shallowest targets.
+func (q *specQueue[T]) publish(ts []T) {
+	if len(ts) == 0 {
+		return
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.items = append(q.items, ts...)
+	if over := len(q.items) - pdQueueCap; over > 0 {
+		q.items = append(q.items[:0], q.items[over:]...)
+	}
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// pop blocks for the next target from the deep end; false means the queue
+// was closed and drained.
+func (q *specQueue[T]) pop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	t := q.items[len(q.items)-1]
+	q.items[len(q.items)-1] = zero
+	q.items = q.items[:len(q.items)-1]
+	return t, true
+}
+
+func (q *specQueue[T]) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.items = nil
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

@@ -1,0 +1,164 @@
+// Package liveness defines Büchi-style liveness properties over protocol
+// states and the machinery the checkers share: the weak-fairness monitor
+// (a deterministic "copies" automaton in the style of Choueka's flag
+// construction, as used by Spin's weak-fairness mode), the product-state
+// key encoding, and a slow-but-obviously-correct reference oracle
+// (explicit Büchi-product BFS plus Tarjan SCC cycle detection) that the
+// nested-DFS engines of package explore are differentially tested against.
+//
+// A property is an acceptance predicate over states: a counterexample is a
+// reachable lasso — a finite stem followed by a cycle — whose cycle passes
+// through an accepting state (and, when WeakFair is set, is weakly fair:
+// every process continuously enabled along the cycle executes on it).
+// Deadlocked states are given an implicit stutter self-loop, so finite
+// maximal runs count as lassos too: a run that halts in an accepting state
+// violates the property, which is how "some value is eventually decided"
+// catches executions that get stuck undecided.
+//
+// The paper's target properties for fault-tolerant protocols ("some value
+// is eventually decided", "every request is eventually answered") are of
+// the form eventually-goal; Eventually builds them by negation: the
+// accepting predicate marks states where the goal has not been reached
+// yet, so an accepting cycle is exactly an execution that defers the goal
+// forever.
+package liveness
+
+import (
+	"fmt"
+	"strconv"
+
+	"mpbasset/internal/core"
+)
+
+// Property is a Büchi acceptance condition over protocol states. The
+// property HOLDS iff no reachable (fair, when WeakFair is set) cycle —
+// including the implicit stutter self-loop of deadlocked states — passes
+// through a state where Accept is true.
+type Property struct {
+	// Name labels the property in results and CLI output.
+	Name string
+	// Accept marks the "bad" states: a reachable (fair) cycle through an
+	// accepting state is a counterexample. Must be a pure function of the
+	// state, safe for concurrent use.
+	Accept func(*core.State) bool
+	// WeakFair restricts counterexamples to weakly fair cycles: a cycle on
+	// which some process is enabled in every state yet never executes is
+	// not a counterexample. Checking a fair property disables partial-order
+	// reduction (see Instrument and explore.NDFS): the fairness monitor
+	// observes every transition, so no transition is invisible in the
+	// product and the ample-set condition C2 admits no reduction.
+	WeakFair bool
+	// Reads lists the processes whose local state Accept reads. Instrument
+	// marks their state-changing transitions property-visible so the
+	// ample-set condition C2 keeps static POR sound for this property.
+	Reads []core.ProcessID
+}
+
+// Eventually builds the property "the goal predicate eventually becomes
+// true (and for cyclic goals: is true infinitely often)": the accepting
+// states are exactly the states where goal is false, so a counterexample
+// is an execution that avoids the goal forever. For stable (monotone)
+// goals such as "some learner has decided" this is exactly the paper's
+// eventually-property. reads must list the processes goal inspects.
+func Eventually(name string, reads []core.ProcessID, goal func(*core.State) bool) *Property {
+	return &Property{
+		Name:   name,
+		Accept: func(s *core.State) bool { return !goal(s) },
+		Reads:  reads,
+	}
+}
+
+// Instrument returns a copy of the protocol whose transitions are marked
+// visible wherever they may change the property's valuation: every
+// non-ReadOnly transition of a process in prop.Reads. The ample-set
+// condition C2 (a reduced expansion must contain no property-visible
+// transition) then keeps static POR sound for liveness checking. The
+// returned protocol is finalized; the input is never mutated. When the
+// property reads no process state the protocol is returned unchanged.
+func Instrument(p *core.Protocol, prop *Property) (*core.Protocol, error) {
+	if prop == nil || len(prop.Reads) == 0 {
+		return p, nil
+	}
+	reads := make(map[core.ProcessID]bool, len(prop.Reads))
+	for _, q := range prop.Reads {
+		reads[q] = true
+	}
+	np := p.Clone()
+	for _, t := range np.Transitions {
+		if reads[t.Proc] && !t.ReadOnly {
+			t.Visible = true
+		}
+	}
+	if err := np.Finalize(); err != nil {
+		return nil, fmt.Errorf("liveness: instrumenting %s for property %q: %w", p.Name, prop.Name, err)
+	}
+	return np, nil
+}
+
+// Copies returns the number of fairness-monitor copies the property's
+// product automaton uses for a protocol with n processes: 1 (just the
+// protocol graph) without fairness, n+1 with weak fairness (copy 0 plus
+// one monitor copy per process).
+func (prop *Property) Copies(n int) int {
+	if prop == nil || !prop.WeakFair {
+		return 1
+	}
+	return n + 1
+}
+
+// Next is the transition function of the weak-fairness monitor, the
+// deterministic copies construction Spin uses for its weak-fairness mode:
+// product states carry a copy index in [0, n]; an accepting cycle of the
+// product must visit copy 0 through an accepting protocol state, and to
+// return to copy 0 it must pass copies 1..n in order, where copy i only
+// advances past process i when the executed event belongs to process i-1
+// or process i-1 is disabled in the source state. A cycle of the product
+// through an accepting copy-0 state is therefore exactly a weakly fair
+// accepting cycle of the protocol.
+//
+// copy is the source product state's copy index, accepting reports whether
+// the source protocol state is accepting, evProc is the executing process
+// (-1 for the stutter step of a deadlocked state, where every process is
+// disabled), and enabled reports whether a given process has some enabled
+// event in the source state. Without fairness Next is identically 0.
+func (prop *Property) Next(copy int, n int, accepting bool, evProc int, enabled func(int) bool) int {
+	if prop == nil || !prop.WeakFair {
+		return 0
+	}
+	if copy == 0 {
+		if !accepting {
+			return 0
+		}
+		copy = 1
+	}
+	// Advance past every process that just executed or is disabled; the
+	// chain may clear several processes on one step.
+	for copy <= n && (evProc == copy-1 || !enabled(copy-1)) {
+		copy++
+	}
+	if copy > n {
+		return 0
+	}
+	return copy
+}
+
+// EnabledProcs builds the per-process enabledness mask of a state from its
+// enabled-event set (as computed by core.(*Protocol).Enabled).
+func EnabledProcs(n int, enabled []core.Event) []bool {
+	mask := make([]bool, n)
+	for _, ev := range enabled {
+		mask[ev.T.Proc] = true
+	}
+	return mask
+}
+
+// ProductKey encodes a Büchi-product state (protocol state × monitor copy)
+// as a store key. Copy 0 keeps the bare state key, so without fairness the
+// product keys equal the protocol keys; monitor copies append a NUL-framed
+// suffix no protocol state key can contain.
+func ProductKey(stateKey string, copy int) string {
+	if copy == 0 {
+		return stateKey
+	}
+	return stateKey + "\x00c" + strconv.Itoa(copy)
+}

@@ -1,0 +1,253 @@
+package liveness_test
+
+import (
+	"testing"
+
+	"mpbasset/internal/core"
+	"mpbasset/internal/liveness"
+	"mpbasset/internal/mptest"
+)
+
+// TestNextMonitor pins the weak-fairness copies automaton transition by
+// transition: copy 0 waits for an accepting state, monitor copies advance
+// past a process exactly when it executed or is disabled, and clearing the
+// last copy wraps to 0.
+func TestNextMonitor(t *testing.T) {
+	fair := &liveness.Property{WeakFair: true}
+	allEnabled := func(int) bool { return true }
+	noneEnabled := func(int) bool { return false }
+	only := func(q int) func(int) bool { return func(i int) bool { return i == q } }
+	cases := []struct {
+		name      string
+		prop      *liveness.Property
+		copy, n   int
+		accepting bool
+		evProc    int
+		enabled   func(int) bool
+		want      int
+	}{
+		{"nil-property", nil, 2, 3, true, 0, allEnabled, 0},
+		{"unfair-property", &liveness.Property{}, 2, 3, true, 0, allEnabled, 0},
+		{"copy0-not-accepting", fair, 0, 3, false, 1, allEnabled, 0},
+		{"copy0-accepting-enters-monitor", fair, 0, 3, true, 2, allEnabled, 1},
+		{"copy0-accepting-clears-proc0", fair, 0, 3, true, 0, allEnabled, 2},
+		{"copy1-waits-for-proc0", fair, 1, 3, false, 2, allEnabled, 1},
+		{"copy1-proc0-executes", fair, 1, 3, false, 0, allEnabled, 2},
+		{"copy1-proc0-disabled", fair, 1, 3, false, 2, func(i int) bool { return i != 0 }, 2},
+		{"copy2-chain-clears-to-wrap", fair, 2, 3, false, 1, only(1), 0},
+		{"last-copy-clears-wraps", fair, 3, 3, false, 2, allEnabled, 0},
+		{"stutter-clears-everything", fair, 1, 3, false, -1, noneEnabled, 0},
+		{"stutter-from-accepting-copy0", fair, 0, 3, true, -1, noneEnabled, 0},
+	}
+	for _, tc := range cases {
+		if got := tc.prop.Next(tc.copy, tc.n, tc.accepting, tc.evProc, tc.enabled); got != tc.want {
+			t.Errorf("%s: Next(%d) = %d, want %d", tc.name, tc.copy, got, tc.want)
+		}
+	}
+}
+
+func TestCopies(t *testing.T) {
+	var nilProp *liveness.Property
+	if got := nilProp.Copies(5); got != 1 {
+		t.Errorf("nil property: Copies = %d, want 1", got)
+	}
+	if got := (&liveness.Property{}).Copies(5); got != 1 {
+		t.Errorf("unfair property: Copies = %d, want 1", got)
+	}
+	if got := (&liveness.Property{WeakFair: true}).Copies(5); got != 6 {
+		t.Errorf("fair property: Copies = %d, want 6", got)
+	}
+}
+
+// TestProductKey checks the copy-0 identity (so safety stores and liveness
+// stores share an address space) and that distinct copies of the same
+// state never collide.
+func TestProductKey(t *testing.T) {
+	if got := liveness.ProductKey("abc", 0); got != "abc" {
+		t.Errorf("copy 0: %q, want bare key", got)
+	}
+	seen := map[string]int{}
+	for copy := 0; copy <= 4; copy++ {
+		k := liveness.ProductKey("abc", copy)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("copies %d and %d collide on %q", prev, copy, k)
+		}
+		seen[k] = copy
+	}
+	if a, b := liveness.ProductKey("abc", 12), liveness.ProductKey("abc1", 2); a == b {
+		t.Errorf("key/copy framing ambiguous: %q", a)
+	}
+}
+
+func TestEnabledProcs(t *testing.T) {
+	p, _, err := mptest.LivenessTrap(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.InitialState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := liveness.EnabledProcs(p.N, p.Enabled(s))
+	if len(mask) != p.N {
+		t.Fatalf("mask length %d, want %d", len(mask), p.N)
+	}
+	var any bool
+	for q, on := range mask {
+		enabledForQ := false
+		for _, ev := range p.Enabled(s) {
+			if int(ev.T.Proc) == q {
+				enabledForQ = true
+			}
+		}
+		if on != enabledForQ {
+			t.Errorf("process %d: mask %v, enabled events say %v", q, on, enabledForQ)
+		}
+		any = any || on
+	}
+	if !any {
+		t.Error("initial state of the trap has no enabled process")
+	}
+}
+
+// TestEventuallyNegates checks that Eventually accepts exactly the states
+// where the goal has not been reached.
+func TestEventuallyNegates(t *testing.T) {
+	p, _, err := mptest.LivenessTrap(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.InitialState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := liveness.Eventually("rounds reach 1", []core.ProcessID{0}, func(s *core.State) bool {
+		return s.Local(0).(*mptest.Local).Rounds >= 1
+	})
+	if prop.Name != "rounds reach 1" {
+		t.Errorf("name %q", prop.Name)
+	}
+	if !prop.Accept(s) {
+		t.Error("initial state (goal unmet) should be accepting")
+	}
+	if len(prop.Reads) != 1 || prop.Reads[0] != 0 {
+		t.Errorf("reads %v, want [0]", prop.Reads)
+	}
+}
+
+// TestInstrument checks the visibility marking: every non-ReadOnly
+// transition of a read process becomes visible in the instrumented copy,
+// other transitions keep their marks, and the input protocol is not
+// mutated.
+func TestInstrument(t *testing.T) {
+	p, prop, err := mptest.LivenessTrap(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]bool, len(p.Transitions))
+	for i, tr := range p.Transitions {
+		before[i] = tr.Visible
+	}
+	ip, err := liveness.Instrument(p, prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip == p {
+		t.Fatal("Instrument returned the input protocol for a property with reads")
+	}
+	for i, tr := range p.Transitions {
+		if tr.Visible != before[i] {
+			t.Fatalf("Instrument mutated the input protocol (transition %d)", i)
+		}
+	}
+	reads := map[core.ProcessID]bool{}
+	for _, q := range prop.Reads {
+		reads[q] = true
+	}
+	for i, tr := range ip.Transitions {
+		want := p.Transitions[i].Visible || (reads[tr.Proc] && !tr.ReadOnly)
+		if tr.Visible != want {
+			t.Errorf("transition %d (proc %d, readonly %v): visible %v, want %v",
+				i, tr.Proc, tr.ReadOnly, tr.Visible, want)
+		}
+	}
+	// A property that reads nothing leaves the protocol untouched.
+	same, err := liveness.Instrument(p, &liveness.Property{Accept: func(*core.State) bool { return false }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != p {
+		t.Error("Instrument cloned the protocol for a read-free property")
+	}
+	same, err = liveness.Instrument(p, nil)
+	if err != nil || same != p {
+		t.Errorf("Instrument(nil property) = %v, %v; want input protocol", same, err)
+	}
+}
+
+// TestOracle pins the reference checker on models whose ground truth is
+// known by construction: the liveness trap's accepting ring cycle, the
+// fairness flip on the inverted property, and the state-bound limit.
+func TestOracle(t *testing.T) {
+	p, prop, err := mptest.LivenessTrap(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := liveness.Oracle(p, prop, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violated || res.Limited {
+		t.Errorf("trap: violated=%v limited=%v, want a violation", res.Violated, res.Limited)
+	}
+	if res.AcceptingStates == 0 || res.AcceptingStates > res.States {
+		t.Errorf("trap: %d accepting of %d states", res.AcceptingStates, res.States)
+	}
+
+	progress := func(fair bool) *liveness.Property {
+		pr := liveness.Eventually("progresses", []core.ProcessID{0}, func(s *core.State) bool {
+			return s.Local(0).(*mptest.Local).Rounds >= 1
+		})
+		pr.WeakFair = fair
+		return pr
+	}
+	unfair, err := liveness.Oracle(p, progress(false), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !unfair.Violated {
+		t.Error("inverted property without fairness: want the unfair rounds-0 loop as a violation")
+	}
+	fair, err := liveness.Oracle(p, progress(true), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fair.Violated {
+		t.Error("inverted property under weak fairness: the rounds-0 loop is unfair, want verified")
+	}
+	if fair.States <= unfair.States {
+		t.Errorf("fair product has %d states, unfair %d: copies should enlarge the product", fair.States, unfair.States)
+	}
+
+	lim, err := liveness.Oracle(p, prop, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lim.Limited {
+		t.Errorf("maxStates=2: limited=%v states=%d, want limited", lim.Limited, lim.States)
+	}
+}
+
+// TestOracleRejectsNilProperty pins the error path.
+func TestOracleRejectsNilProperty(t *testing.T) {
+	p, _, err := mptest.LivenessTrap(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := liveness.Oracle(p, nil, 0); err == nil {
+		t.Error("Oracle with nil property: want error")
+	}
+	if _, err := liveness.Oracle(p, &liveness.Property{}, 0); err == nil {
+		t.Error("Oracle with nil Accept: want error")
+	}
+}

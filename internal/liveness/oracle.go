@@ -1,0 +1,203 @@
+package liveness
+
+import (
+	"fmt"
+
+	"mpbasset/internal/core"
+)
+
+// OracleResult is the outcome of the reference check.
+type OracleResult struct {
+	// Violated reports that a reachable (fair) accepting cycle exists.
+	Violated bool
+	// Limited reports that the product exceeded maxStates before the
+	// verdict was established; Violated is then meaningless.
+	Limited bool
+	// States is the number of distinct product states built.
+	States int
+	// AcceptingStates is the number of accepting product states.
+	AcceptingStates int
+}
+
+// oNode is one explicit product state of the oracle's graph.
+type oNode struct {
+	succs     []int32
+	accepting bool
+}
+
+// Oracle is the slow reference liveness checker the nested-DFS engines are
+// differentially tested against: it builds the full (unreduced) Büchi
+// product — protocol states times fairness-monitor copies, with stutter
+// self-loops on deadlocked states — as an explicit graph via BFS, then
+// runs Tarjan's SCC algorithm and reports a violation iff some accepting
+// product state lies on a cycle, i.e. belongs to a nontrivial SCC (two or
+// more states, or a single state with a self-loop). It shares nothing with
+// package explore beyond core, so its verdicts are an independent check on
+// the NDFS engines, their stores, and their reductions.
+//
+// maxStates bounds the number of product states built; 0 means unlimited.
+// A bounded-out run reports Limited and no verdict.
+func Oracle(p *core.Protocol, prop *Property, maxStates int) (*OracleResult, error) {
+	if prop == nil || prop.Accept == nil {
+		return nil, fmt.Errorf("liveness: Oracle requires a property with an Accept predicate")
+	}
+	init, err := p.InitialState()
+	if err != nil {
+		return nil, err
+	}
+	var (
+		res    OracleResult
+		n      = p.N
+		ids    = make(map[string]int32)
+		nodes  []oNode
+		states []*core.State
+		copies []int
+		queue  []int32
+	)
+	intern := func(s *core.State, copy int) int32 {
+		key := ProductKey(s.Key(), copy)
+		if id, ok := ids[key]; ok {
+			return id
+		}
+		id := int32(len(nodes))
+		ids[key] = id
+		nodes = append(nodes, oNode{accepting: copy == 0 && prop.Accept(s)})
+		states = append(states, s)
+		copies = append(copies, copy)
+		queue = append(queue, id)
+		return id
+	}
+	intern(init, 0)
+	for len(queue) > 0 {
+		if maxStates > 0 && len(nodes) > maxStates {
+			res.Limited = true
+			res.States = len(nodes)
+			return &res, nil
+		}
+		id := queue[0]
+		queue = queue[1:]
+		s, copy := states[id], copies[id]
+		accepting := nodes[id].accepting
+		enabled := p.Enabled(s)
+		if len(enabled) == 0 {
+			// Stutter extension: a deadlocked state loops on itself so a
+			// finite maximal run counts as a lasso.
+			ncopy := prop.Next(copy, n, accepting, -1, func(int) bool { return false })
+			nodes[id].succs = append(nodes[id].succs, intern(s, ncopy))
+			continue
+		}
+		var mask []bool
+		if prop.WeakFair {
+			mask = EnabledProcs(n, enabled)
+		}
+		enabledProc := func(q int) bool { return mask[q] }
+		for _, ev := range enabled {
+			ns, err := p.Execute(s, ev)
+			if err != nil {
+				return nil, err
+			}
+			ncopy := prop.Next(copy, n, accepting, int(ev.T.Proc), enabledProc)
+			nodes[id].succs = append(nodes[id].succs, intern(ns, ncopy))
+		}
+	}
+	res.States = len(nodes)
+	for i := range nodes {
+		if nodes[i].accepting {
+			res.AcceptingStates++
+		}
+	}
+	res.Violated = hasAcceptingCycle(nodes)
+	return &res, nil
+}
+
+// hasAcceptingCycle runs an iterative Tarjan SCC decomposition and reports
+// whether some accepting node lies on a cycle: its SCC has two or more
+// members, or it carries a self-loop.
+func hasAcceptingCycle(nodes []oNode) bool {
+	const unvisited = -1
+	var (
+		index   = int32(0)
+		indices = make([]int32, len(nodes))
+		lowlink = make([]int32, len(nodes))
+		onStack = make([]bool, len(nodes))
+		stack   []int32
+	)
+	for i := range indices {
+		indices[i] = unvisited
+	}
+	type frame struct {
+		v    int32
+		next int
+	}
+	var call []frame
+	for root := range nodes {
+		if indices[root] != unvisited {
+			continue
+		}
+		call = append(call[:0], frame{v: int32(root)})
+		indices[root] = index
+		lowlink[root] = index
+		index++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.next < len(nodes[f.v].succs) {
+				w := nodes[f.v].succs[f.next]
+				f.next++
+				if indices[w] == unvisited {
+					indices[w] = index
+					lowlink[w] = index
+					index++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+				} else if onStack[w] && indices[w] < lowlink[f.v] {
+					lowlink[f.v] = indices[w]
+				}
+				continue
+			}
+			v := f.v
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := call[len(call)-1].v
+				if lowlink[v] < lowlink[parent] {
+					lowlink[parent] = lowlink[v]
+				}
+			}
+			if lowlink[v] != indices[v] {
+				continue
+			}
+			// v roots an SCC: pop it and test for an accepting cycle.
+			var members []int32
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			nontrivial := len(members) > 1
+			accepting := false
+			for _, w := range members {
+				if nodes[w].accepting {
+					accepting = true
+				}
+				if !nontrivial {
+					for _, u := range nodes[w].succs {
+						if u == w {
+							nontrivial = true
+							break
+						}
+					}
+				}
+			}
+			if nontrivial && accepting {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -20,6 +20,7 @@ import (
 	"strconv"
 
 	"mpbasset/internal/core"
+	"mpbasset/internal/liveness"
 )
 
 // Local is the local state of every generated process: a bounded round
@@ -395,4 +396,71 @@ func IgnoringTrap(ring int) (*core.Protocol, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// LivenessTrap returns the minimal deterministic cyclic protocol plus
+// liveness property on which a reduced nested DFS WITHOUT the ignoring
+// proviso is unsound — the liveness twin of IgnoringTrap, with the
+// polarity flipped: for safety the proviso matters because reduction can
+// postpone a bad STATE forever, for liveness because reduction can omit
+// the accepting CYCLE entirely.
+//
+// The model is IgnoringTrap's: ring (>= 2) processes carry an invisible,
+// high-priority CYC token loop, and process 0 owns a single visible
+// PROGRESS transition that bumps its round counter from 0 to 1 (there is
+// no invariant — the property under check is the liveness property). The
+// property accepts states where process 0 has progressed, so a
+// counterexample is a (reachable) cycle on which process 0 keeps its
+// round forever — the full graph has one: fire PROGRESS, then loop the
+// ring token at rounds 1, and NDFS reports it. A proviso-less reduced
+// search never sees it: the expander always picks the lone CYC event
+// (priority 5 beats PROGRESS's 0), so the reduced graph is just the bare
+// rounds-0 token loop, which contains no accepting state at all — the
+// reduction has ignored PROGRESS forever and wrongly reports the property
+// live. The stack proviso promotes the expansion that closes the ring,
+// restoring the accepting region.
+func LivenessTrap(ring int) (*core.Protocol, *liveness.Property, error) {
+	if ring < 2 {
+		return nil, nil, fmt.Errorf("mptest: LivenessTrap needs a ring of at least 2, got %d", ring)
+	}
+	ts := []*core.Transition{{
+		Name:     "PROGRESS",
+		Proc:     0,
+		Priority: 0,
+		Visible:  true,
+		LocalGuard: func(ls core.LocalState) bool {
+			return ls.(*Local).Rounds < 1
+		},
+		Apply: func(c *core.Ctx) {
+			c.Local.(*Local).Rounds++
+		},
+	}}
+	ts = append(ts, ringTransitions(1, ring, 5)...)
+	p := &core.Protocol{
+		Name: fmt.Sprintf("liveness-trap-%d", ring),
+		N:    1 + ring,
+		InitialMessages: []core.Message{{
+			From: core.ProcessID(ring), To: 1, Type: "CYC", Payload: payload{V: 0},
+		}},
+		Init: func() []core.LocalState {
+			locals := make([]core.LocalState, 1+ring)
+			for i := range locals {
+				locals[i] = &Local{}
+			}
+			return locals
+		},
+		Transitions:   ts,
+		ValidateSends: true,
+	}
+	if err := p.Finalize(); err != nil {
+		return nil, nil, err
+	}
+	prop := &liveness.Property{
+		Name:  "never-progresses",
+		Reads: []core.ProcessID{0},
+		Accept: func(s *core.State) bool {
+			return s.Local(0).(*Local).Rounds >= 1
+		},
+	}
+	return p, prop, nil
 }

@@ -34,4 +34,11 @@
 // proviso — if nothing new is enqueued, the deferred events would never be
 // retried). Both disciplines make the reduction sound on cyclic state
 // graphs; promoted expansions are reported in Stats.ProvisoExpansions.
+//
+// The same two conditions carry the reduction from safety to liveness
+// checking: liveness.Instrument marks every transition the property reads
+// as Visible (so C2 keeps it out of reduced ample sets), and the stack
+// proviso is exactly the cycle condition the nested-DFS engines need —
+// a reduced expansion never hides an accepting cycle from explore.NDFS,
+// as the differential tests against the Büchi-product oracle pin down.
 package por

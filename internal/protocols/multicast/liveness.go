@@ -1,0 +1,36 @@
+package multicast
+
+import (
+	"mpbasset/internal/core"
+	"mpbasset/internal/liveness"
+)
+
+// Delivers returns the echo-multicast liveness property "every honest
+// initiator's value is eventually delivered by every honest receiver": a
+// counterexample is an execution on which some honest receiver never
+// delivers some honest initiator's multicast (Byzantine initiators are
+// exempt — they may never initiate at all). A run that halts short of full
+// delivery is reported as a stutter lasso. The Config must be the one the
+// checked protocol was built from.
+func Delivers(c Config) *liveness.Property {
+	cc := c.withDefaults()
+	receivers := make([]core.ProcessID, cc.HonestReceivers)
+	for i := range receivers {
+		receivers[i] = cc.HonestReceiverID(i)
+	}
+	initiators := make([]core.ProcessID, cc.HonestInitiators)
+	for i := range initiators {
+		initiators[i] = cc.HonestInitiatorID(i)
+	}
+	return liveness.Eventually("honest receivers deliver", receivers, func(s *core.State) bool {
+		for _, r := range receivers {
+			rs := s.Local(r).(*receiverState)
+			for _, ini := range initiators {
+				if _, ok := rs.Delivered[ini]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}

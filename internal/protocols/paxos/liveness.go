@@ -1,0 +1,26 @@
+package paxos
+
+import (
+	"mpbasset/internal/core"
+	"mpbasset/internal/liveness"
+)
+
+// Decides returns the Paxos liveness property "some value is eventually
+// decided": a counterexample is an execution on which no learner ever
+// decides — in the bounded model either an infinite ballot interleaving or
+// (the classic FLP-style outcome) a run that halts with every learner
+// still undecided, reported as a stutter lasso. With Property.WeakFair the
+// counterexamples are restricted to weakly fair schedules. The Config must
+// be the one the checked protocol was built from.
+func Decides(c Config) *liveness.Property {
+	cc := c.withDefaults()
+	learners := cc.LearnerIDs()
+	return liveness.Eventually("some learner decides", learners, func(s *core.State) bool {
+		for _, id := range learners {
+			if s.Local(id).(*learnerState).Decided != 0 {
+				return true
+			}
+		}
+		return false
+	})
+}

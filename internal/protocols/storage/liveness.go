@@ -1,0 +1,24 @@
+package storage
+
+import (
+	"mpbasset/internal/core"
+	"mpbasset/internal/liveness"
+)
+
+// ReadsComplete returns the regular-storage liveness property "every read
+// eventually completes": a counterexample is an execution on which some
+// reader never finishes its ReadsPerReader reads — in the bounded model a
+// run that halts with a read still outstanding, reported as a stutter
+// lasso. The Config must be the one the checked protocol was built from.
+func ReadsComplete(c Config) *liveness.Property {
+	cc := c.withDefaults()
+	readers := cc.ReaderIDs()
+	return liveness.Eventually("every read completes", readers, func(s *core.State) bool {
+		for _, id := range readers {
+			if s.Local(id).(*readerState).Done < cc.ReadsPerReader {
+				return false
+			}
+		}
+		return true
+	})
+}

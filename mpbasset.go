@@ -39,6 +39,21 @@
 // verdicts, statistics and traces bit-identical to the in-memory stores;
 // Result.Stats reports the spill activity.
 //
+// Setting Options.Property switches from safety to liveness checking: the
+// DFS searches run nested depth-first search (blue/red, CVWY) over the
+// Büchi product of the protocol and the property, reporting a
+// counterexample lasso — a finite stem plus an accepting cycle, with runs
+// that halt in an accepting deadlock counted via stutter extension — that
+// Result.Trace records and explore.ReplayLasso revalidates. Properties are
+// acceptance predicates over states (Eventually builds the common
+// "goal is eventually reached" form); Property.WeakFair restricts
+// counterexamples to weakly fair schedules. Reduction stays sound:
+// properties declare which processes they read, transitions of those
+// processes are marked visible (ample-set condition C2), and the same
+// stack proviso that protects safety search protects the cycle detection.
+// Liveness results are deterministic and bit-identical across worker
+// counts and stores, exactly like safety results.
+//
 // See the examples/ directory for complete programs and cmd/mpcheck for
 // the command-line interface.
 package mpbasset
@@ -50,6 +65,7 @@ import (
 	"mpbasset/internal/core"
 	"mpbasset/internal/dpor"
 	"mpbasset/internal/explore"
+	"mpbasset/internal/liveness"
 	"mpbasset/internal/por"
 	"mpbasset/internal/refine"
 	"mpbasset/internal/symmetry"
@@ -72,7 +88,18 @@ type (
 	Verdict = explore.Verdict
 	// SplitStrategy selects a transition-refinement strategy.
 	SplitStrategy = refine.Strategy
+	// Property is a Büchi liveness property: an acceptance predicate over
+	// states, optionally under weak fairness (see internal/liveness).
+	Property = liveness.Property
+	// State is a global protocol state, as passed to property predicates.
+	State = core.State
 )
+
+// Eventually builds the liveness property "the goal predicate is
+// eventually reached": a counterexample is an execution that defers the
+// goal forever. reads must list the processes the goal predicate inspects,
+// so partial-order reduction stays sound for the property.
+var Eventually = liveness.Eventually
 
 // Search outcomes.
 const (
@@ -181,6 +208,19 @@ type Options struct {
 	MaxStates int
 	// MaxDuration bounds the wall-clock time; 0 = unlimited.
 	MaxDuration time.Duration
+	// Property, when non-nil, checks this Büchi liveness property instead
+	// of the protocol's safety invariant. Only the DFS searches (SearchSPOR,
+	// SearchUnreduced) support it — they run nested depth-first search,
+	// parallelized deterministically when Workers > 0 — and the protocol is
+	// automatically instrumented for the property (its transitions marked
+	// visible) before any reduction is built. A counterexample is a lasso:
+	// Result.Trace holds stem + cycle, with Result.CycleLen and
+	// Result.Stutter describing the cycle. When Property.WeakFair is set the
+	// search ignores reduction and explores the full state graph: the
+	// fairness monitor observes every transition, so no transition is
+	// invisible in the product and the ample-set condition C2 admits no
+	// reduction.
+	Property *Property
 }
 
 // Check verifies the protocol's invariant over its full (possibly reduced)
@@ -197,6 +237,19 @@ func Check(p *Protocol, opts Options) (*Result, error) {
 		}
 		p = sp
 	}
+	if opts.Property != nil {
+		switch opts.Search {
+		case SearchBFS, SearchStateless, SearchDPOR:
+			return nil, fmt.Errorf("mpbasset: Property requires a DFS search (SearchSPOR or SearchUnreduced): liveness checking runs nested depth-first search")
+		}
+		// Instrument before the expander is built in runSearch, so the
+		// property-visible marks constrain the reduction (C2).
+		ip, err := liveness.Instrument(p, opts.Property)
+		if err != nil {
+			return nil, err
+		}
+		p = ip
+	}
 	xo := explore.Options{
 		MaxStates:   opts.MaxStates,
 		MaxDuration: opts.MaxDuration,
@@ -205,6 +258,7 @@ func Check(p *Protocol, opts Options) (*Result, error) {
 		ChunkSize:   opts.ChunkSize,
 		BatchSize:   opts.BatchSize,
 		StealDepth:  opts.StealDepth,
+		Property:    opts.Property,
 	}
 	if opts.SpillDir != "" && opts.StoreBudgetBytes <= 0 {
 		return nil, fmt.Errorf("mpbasset: SpillDir requires StoreBudgetBytes (the spill directory is meaningless without a memory budget)")
@@ -269,12 +323,19 @@ func runSearch(p *Protocol, opts Options, xo explore.Options, parallel bool) (*R
 	// Each stateful search has a sequential engine and a parallel engine
 	// that reproduces it bit-identically: the DFS searches pair with the
 	// speculative ParallelDFS, the BFS search with the frontier-parallel
-	// ParallelBFS.
+	// ParallelBFS. With a liveness property the DFS searches run the nested
+	// (NDFS) variants instead, same determinism guarantee.
 	stateful := func(sequential, parallelEngine func(*core.Protocol, explore.Options) (*explore.Result, error)) (*Result, error) {
 		if parallel {
 			return parallelEngine(p, xo)
 		}
 		return sequential(p, xo)
+	}
+	dfs := func() (*Result, error) {
+		if xo.Property != nil {
+			return stateful(explore.NDFS, explore.ParallelNDFS)
+		}
+		return stateful(explore.DFS, explore.ParallelDFS)
 	}
 	switch search {
 	case SearchSPOR:
@@ -284,9 +345,9 @@ func runSearch(p *Protocol, opts Options, xo explore.Options, parallel bool) (*R
 		}
 		exp.BestSeed = opts.BestSeed
 		xo.Expander = exp
-		return stateful(explore.DFS, explore.ParallelDFS)
+		return dfs()
 	case SearchUnreduced:
-		return stateful(explore.DFS, explore.ParallelDFS)
+		return dfs()
 	case SearchBFS:
 		return stateful(explore.BFS, explore.ParallelBFS)
 	case SearchStateless:

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"mpbasset"
+	"mpbasset/internal/explore"
+	"mpbasset/internal/mptest"
 	"mpbasset/internal/protocols/multicast"
 	"mpbasset/internal/protocols/paxos"
 	"mpbasset/internal/protocols/storage"
@@ -295,5 +297,80 @@ func TestCheckExactStates(t *testing.T) {
 	}
 	if hashed.Stats.States != exact.Stats.States {
 		t.Fatalf("stores disagree: %d vs %d", hashed.Stats.States, exact.Stats.States)
+	}
+}
+
+// TestCheckLiveness drives the liveness path through the facade: verified
+// and violated properties, sequential and parallel, in-memory and spill
+// stores, with the lasso fields populated on violations and the
+// unsupported-search combinations rejected.
+func TestCheckLiveness(t *testing.T) {
+	st, err := storage.New(storage.Config{Objects: 3, Readers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := storage.ReadsComplete(storage.Config{Objects: 3, Readers: 1})
+	var ref *mpbasset.Result
+	for _, tc := range []struct {
+		name string
+		opts mpbasset.Options
+	}{
+		{"spor", mpbasset.Options{Property: prop}},
+		{"unreduced", mpbasset.Options{Search: mpbasset.SearchUnreduced, Property: prop}},
+		{"spor-workers", mpbasset.Options{Property: prop, Workers: 4}},
+		{"spor-spill", mpbasset.Options{Property: prop, StoreBudgetBytes: 1 << 10}},
+	} {
+		res, err := mpbasset.Check(st, tc.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Verdict != mpbasset.VerdictVerified {
+			t.Errorf("%s: verdict %s, want Verified", tc.name, res.Verdict)
+		}
+		// The SPOR configurations must agree bit-for-bit with each other
+		// (unreduced explores a different graph and is checked by verdict).
+		if tc.name == "spor" {
+			ref = res
+		} else if tc.name != "unreduced" {
+			rs, ws := res.Stats, ref.Stats
+			rs.Duration, ws.Duration = 0, 0
+			rs.SpillRuns, rs.SpillBytes, rs.DiskProbes = 0, 0, 0
+			ws.SpillRuns, ws.SpillBytes, ws.DiskProbes = 0, 0, 0
+			if rs != ws {
+				t.Errorf("%s: stats %+v, want %+v", tc.name, rs, ws)
+			}
+		}
+	}
+
+	// A violated property yields a lasso counterexample through the facade.
+	trap, trapProp, err := mptest.LivenessTrap(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mpbasset.Check(trap, mpbasset.Options{Property: trapProp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != mpbasset.VerdictViolated || res.Violation == nil {
+		t.Fatalf("trap: verdict %s (violation %v), want a violation", res.Verdict, res.Violation)
+	}
+	if len(res.Trace) == 0 || res.CycleLen < 1 || res.Stutter {
+		t.Errorf("trap: lasso (trace %d, cycle %d, stutter %v), want a real cycle", len(res.Trace), res.CycleLen, res.Stutter)
+	}
+	if _, err := explore.ReplayLasso(trap, trapProp, res.Trace, res.CycleLen, res.Stutter, nil); err != nil {
+		t.Errorf("trap: lasso does not replay: %v", err)
+	}
+
+	// The Eventually re-export builds usable properties.
+	own := mpbasset.Eventually("never", nil, func(*mpbasset.State) bool { return false })
+	if own == nil || own.Accept == nil {
+		t.Fatal("Eventually re-export broken")
+	}
+
+	// Non-DFS searches reject properties.
+	for _, search := range []mpbasset.Search{mpbasset.SearchBFS, mpbasset.SearchStateless, mpbasset.SearchDPOR} {
+		if _, err := mpbasset.Check(st, mpbasset.Options{Search: search, Property: prop}); err == nil {
+			t.Errorf("search %d accepted a liveness property", search)
+		}
 	}
 }
