@@ -12,8 +12,13 @@
 # mpbench run whose report (BENCH_ci.json) is gated against the committed
 # BENCH_baseline.json and uploaded as a CI artifact; regenerate the
 # baseline with `make bench-baseline` after an intentional perf or
-# state-count change. `make lint` needs staticcheck on PATH (CI installs
-# it; it is not part of `make ci` so offline builds stay dependency-free).
+# state-count change. `make lint` runs the in-repo mplint suite
+# (internal/lint: the determinism/soundness contract analyzers) and then
+# staticcheck when it is on PATH (CI installs it; mplint itself is
+# dependency-free and always runs). `make vet` runs plain `go vet` plus
+# `go vet -vettool` with mplint, so every CI cell enforces the contracts
+# with full build caching; `make lint-fix` prints mplint findings as
+# absolute file:line:col paths for editor jump.
 
 GO ?= go
 FUZZTIME ?= 30s
@@ -22,12 +27,20 @@ FUZZTIME ?= 30s
 BENCH_MAX_STATES ?= 20000
 BENCH_BUDGET ?= 30s
 
-.PHONY: all vet build test race fuzz bench bench-smoke bench-ci bench-baseline lint ci
+.PHONY: all vet build test race fuzz bench bench-smoke bench-ci bench-baseline lint lint-fix mplint ci
 
 all: ci
 
-vet:
+# The mplint binary go vet loads as its -vettool. Built into bin/ (not
+# `go run`) because vet needs a stable executable to fingerprint via
+# -V=full for its result cache.
+MPLINT := bin/mplint
+mplint:
+	$(GO) build -o $(MPLINT) ./cmd/mplint
+
+vet: mplint
 	$(GO) vet ./...
+	$(GO) vet -vettool=$(MPLINT) ./...
 
 build:
 	$(GO) build ./...
@@ -66,6 +79,11 @@ bench-baseline:
 	$(GO) run ./cmd/mpbench -budget $(BENCH_BUDGET) -max-states $(BENCH_MAX_STATES) -out BENCH_baseline.json
 
 lint:
-	staticcheck ./...
+	$(GO) run ./cmd/mplint ./...
+	@command -v staticcheck >/dev/null && staticcheck ./... || echo "staticcheck not installed; skipped"
+
+# Editor-jump helper: mplint findings with absolute file:line:col paths.
+lint-fix:
+	$(GO) run ./cmd/mplint -abs ./...
 
 ci: vet build test race

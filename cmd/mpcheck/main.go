@@ -123,6 +123,7 @@ func run(args []string) error {
 		// The deferred close covers the error returns below; the explicit
 		// close before the exit paths at the bottom covers os.Exit(2).
 		// Close is idempotent, so both may run.
+		//lint:closeerr-ok idempotent backstop: the explicit Close on the main path below routes the error into err
 		defer spill.Close()
 		opts.Store = spill
 	case *workers > 0:

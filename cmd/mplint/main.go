@@ -1,0 +1,117 @@
+// mplint is the project's static-analysis suite: five analyzers that
+// enforce the determinism and soundness contracts the differential and
+// fuzz suites otherwise only catch at runtime (see internal/lint).
+//
+// It runs two ways:
+//
+//	mplint ./...                 # standalone over package patterns
+//	go vet -vettool=$(mplint)    # as a vet tool, one build unit at a time
+//
+// Standalone mode loads and typechecks from source (offline, no
+// dependencies); vettool mode speaks the vet unit protocol (-V=full,
+// -flags, a JSON .cfg per package) against the compiler's export data,
+// which is how CI runs it with full build caching.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mpbasset/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("mplint", flag.ContinueOnError)
+	versionFlag := fs.String("V", "", "print version and exit (the go command probes -V=full for its build cache)")
+	abs := fs.Bool("abs", false, "print absolute file paths (editor-jump friendly from any directory)")
+	flagsQuery := fs.Bool("flags", false, "print the tool's flag schema as JSON (vet driver protocol)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	switch {
+	case *versionFlag != "":
+		return printVersion()
+	case *flagsQuery:
+		// No analyzer flags are exposed to the vet driver.
+		fmt.Println("[]")
+		return 0
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return lint.RunUnitchecker(os.Stderr, rest[0], lint.All())
+	}
+	return standalone(os.Stdout, rest, *abs)
+}
+
+// standalone loads patterns (default ./...) from the current directory,
+// runs every analyzer, and prints findings as file:line:col lines. Exit
+// codes follow the unitchecker convention: 0 clean, 1 load failure, 2
+// findings.
+func standalone(w io.Writer, patterns []string, abs bool) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mplint: %v\n", err)
+		return 1
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzers(lint.All(), pkg.Fset, pkg.Files, pkg.Pkg, pkg.TypesInfo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mplint: %s: %v\n", pkg.Pkg.Path(), err)
+			return 1
+		}
+		for _, d := range diags {
+			name := d.Pos.Filename
+			if abs {
+				if a, err := filepath.Abs(name); err == nil {
+					name = a
+				}
+			} else if rel, err := filepath.Rel(".", name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+// printVersion implements the `-V=full` probe: the go command fingerprints
+// vet tools by this line, so it must change whenever the binary does —
+// hashing the executable ties the fingerprint to the build, which is what
+// keeps `go vet -vettool` results correctly cached and correctly
+// invalidated when an analyzer changes.
+func printVersion() int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mplint: %v\n", err)
+		return 1
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mplint: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(os.Stderr, "mplint: %v\n", err)
+		return 1
+	}
+	fmt.Printf("mplint version devel buildID=%x\n", h.Sum(nil))
+	return 0
+}

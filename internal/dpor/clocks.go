@@ -137,6 +137,7 @@ func (e *engine) raceAt(ev core.Event, avail []int, d int) raceOutcome {
 	// Flanagan–Godefroid's "add all enabled processes" fallback. (A
 	// restriction to ev-dependent events looks tempting but loses
 	// interleavings — the generated-protocol validation suite catches it.)
+	//lint:nondet-ok order-free set union: every key is inserted and insertion commutes
 	for k := range g.keys {
 		g.backtrack[k] = true
 	}

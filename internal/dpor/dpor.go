@@ -191,6 +191,7 @@ func (e *engine) raceCheckPending() {
 			continue
 		}
 		_, bySender := ns.Msgs.MatchingBySender(t.Proc, t.MsgType, t.Peers)
+		//lint:nondet-ok race updates commute: each event's backtrack insertions depend only on (event, parent), not on the order senders are visited
 		for _, msgs := range bySender {
 			for _, m := range msgs {
 				u := core.Event{T: t, Msgs: []core.Message{m}}
@@ -256,6 +257,7 @@ func (e *engine) push(s *core.State) {
 	if e.cfg.SleepSets && len(e.stack) > 0 {
 		parent := &e.stack[len(e.stack)-1]
 		if parent.clock != nil {
+			//lint:nondet-ok filtered map-to-map copy: per-key decisions are independent, so the resulting sleep set is order-free
 			for k, u := range parent.sleep {
 				if !e.a.Dependent(u.T.Index(), parent.executed.T.Index()) {
 					f.sleep[k] = u

@@ -11,6 +11,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"reflect"
+
+	"mpbasset/internal/explore"
 )
 
 // Report is the machine-readable outcome of one mpbench invocation: every
@@ -55,8 +58,69 @@ func ReadReportFile(path string) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
+	//lint:closeerr-ok read-only descriptor: a close failure cannot lose data, and decode errors already surface through ReadReport
 	defer f.Close()
 	return ReadReport(f)
+}
+
+// DeterministicStatsFields lists the explore.Stats fields covered by the
+// engines' determinism guarantee: for a fixed protocol, options and
+// reduction, every engine, worker count, scheduler and store tier must
+// report bit-identical values. The differential suites compare these
+// fields directly; CompareReports gates the States/Events subset that
+// mpbench serializes.
+//
+// Together with VolatileStatsFields this list must classify every field of
+// explore.Stats exactly once — the statsmask analyzer (internal/lint)
+// fails the build when a new Stats field is added without deciding which
+// side of the contract it falls on.
+var DeterministicStatsFields = []string{
+	"States",
+	"Revisits",
+	"Events",
+	"Deadlocks",
+	"MaxDepth",
+	"RedStates",
+	"FullExpansions",
+	"ReducedExpansions",
+	"ProvisoExpansions",
+}
+
+// VolatileStatsFields lists the explore.Stats fields explicitly excluded
+// from the determinism guarantee — wall-clock time and the spill tier's
+// storage-effort counters, whose values depend on insert timing — and
+// therefore masked before any cross-run or cross-engine comparison.
+var VolatileStatsFields = []string{
+	"Duration",
+	"SpillRuns",
+	"SpillBytes",
+	"DiskProbes",
+}
+
+// MaskVolatileStats zeroes the fields of st that VolatileStatsFields
+// excludes from the determinism guarantee, leaving exactly the comparable
+// counters. The differential and fuzz suites call it on both sides before
+// comparing whole Stats values, so a newly added volatile field has a
+// single place to be masked. It panics when a listed field does not exist
+// on explore.Stats — the lists above are the source of truth and must
+// track the struct (the statsmask analyzer enforces this statically too).
+func MaskVolatileStats(st *explore.Stats) {
+	v := reflect.ValueOf(st).Elem()
+	for _, name := range VolatileStatsFields {
+		f := v.FieldByName(name)
+		if !f.IsValid() {
+			panic(fmt.Sprintf("eval: VolatileStatsFields names unknown explore.Stats field %q", name))
+		}
+		f.SetZero()
+	}
+}
+
+// StatsEqualModuloVolatile reports whether a and b agree on every field
+// covered by the determinism guarantee, ignoring the volatile ones.
+func StatsEqualModuloVolatile(a, b explore.Stats) bool {
+	MaskVolatileStats(&a)
+	MaskVolatileStats(&b)
+	return a == b
 }
 
 // Regression is one gate violation found by CompareReports.

@@ -61,6 +61,7 @@ func (b *bfsProviso) Ignoring(succKeys []string) bool {
 		if b.has == nil {
 			continue
 		}
+		//lint:has-ok documented proviso site: the level-snapshot test only needs membership of states visited before this level, and newBFSProviso leaves has nil (conservative full promotion) for stores that cannot answer exactly
 		if !b.has.Has(k) {
 			return false
 		}

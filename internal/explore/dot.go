@@ -84,6 +84,7 @@ func abbreviate(s string, n int) string {
 // diffing outcomes across models.
 func (g *Graph) TerminalStates() []string {
 	var out []string
+	//lint:nondet-ok filtered key collection; out is sorted before return
 	for k := range g.Nodes {
 		if len(g.Edges[k]) == 0 {
 			out = append(out, k)

@@ -21,6 +21,7 @@ type Graph struct {
 // NumEdges returns the number of distinct (s, s') pairs.
 func (g *Graph) NumEdges() int {
 	n := 0
+	//lint:nondet-ok commutative sum: the total is independent of visit order
 	for _, to := range g.Edges {
 		n += len(to)
 	}
@@ -40,7 +41,14 @@ func (g *Graph) Diff(h *Graph) string {
 	if len(g.Nodes) != len(h.Nodes) {
 		return fmt.Sprintf("node counts differ: %d vs %d", len(g.Nodes), len(h.Nodes))
 	}
+	// Witnesses are reported smallest-first so a failing comparison prints
+	// the same message run after run.
+	nodes := make([]string, 0, len(g.Nodes))
 	for n := range g.Nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
 		if _, ok := h.Nodes[n]; !ok {
 			return fmt.Sprintf("node only in first graph: %q", n)
 		}
@@ -55,7 +63,12 @@ func (g *Graph) Diff(h *Graph) string {
 	sort.Strings(froms)
 	for _, from := range froms {
 		hTo := h.Edges[from]
+		tos := make([]string, 0, len(g.Edges[from]))
 		for to := range g.Edges[from] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
 			if _, ok := hTo[to]; !ok {
 				return fmt.Sprintf("edge only in first graph: %q -> %q", from, to)
 			}

@@ -13,6 +13,7 @@ import (
 
 	"mpbasset/internal/cli"
 	"mpbasset/internal/core"
+	"mpbasset/internal/eval"
 	"mpbasset/internal/explore"
 	"mpbasset/internal/por"
 	"mpbasset/internal/refine"
@@ -96,10 +97,10 @@ func reductions() []reduction {
 	}
 }
 
-// statsEqual compares everything but the wall-clock Duration.
+// statsEqual compares every field covered by the determinism guarantee
+// (eval.VolatileStatsFields — wall-clock and spill activity — masked).
 func statsEqual(a, b explore.Stats) bool {
-	a.Duration, b.Duration = 0, 0
-	return a == b
+	return eval.StatsEqualModuloVolatile(a, b)
 }
 
 // stepEqual compares trace steps by event identity and reached state key

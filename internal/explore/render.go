@@ -63,6 +63,7 @@ func bagDiff(before, after *core.Bag) (added, removed []string) {
 		counts[m.Key()] += n
 		keyOf[m.Key()] = m
 	})
+	//lint:nondet-ok diff accumulation commutes; added and removed are sorted below
 	for k, d := range counts {
 		for i := 0; i < d; i++ {
 			added = append(added, k)

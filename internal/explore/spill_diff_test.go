@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mpbasset/internal/core"
+	"mpbasset/internal/eval"
 	"mpbasset/internal/explore"
 	"mpbasset/internal/mptest"
 	"mpbasset/internal/por"
@@ -35,11 +36,11 @@ func tinySpill(t testing.TB, budget int64) *explore.SpillStore {
 }
 
 // maskSpill zeroes the Stats fields excluded from the bit-identical
-// guarantee: Duration always, plus the spill-activity counters (the
-// compared runs differ exactly in whether a disk tier exists).
+// guarantee — eval.VolatileStatsFields is the canonical list (Duration
+// plus the spill-activity counters; the compared runs differ exactly in
+// whether a disk tier exists).
 func maskSpill(st explore.Stats) explore.Stats {
-	st.Duration = 0
-	st.SpillRuns, st.SpillBytes, st.DiskProbes = 0, 0, 0
+	eval.MaskVolatileStats(&st)
 	return st
 }
 

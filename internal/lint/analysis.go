@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check: a name, a short contract statement, and a
+// Run function over a typechecked package. The shape deliberately mirrors
+// golang.org/x/tools/go/analysis.Analyzer so the suite can migrate to the
+// upstream framework wholesale if the dependency ever becomes available;
+// this module is kept dependency-free, so the driver layer (Load,
+// RunUnitchecker, cmd/mplint) is implemented here on the standard library
+// alone.
+type Analyzer struct {
+	Name string
+	// Doc states the contract the analyzer guards and the escape hatch it
+	// honors, in the style of go/analysis docs.
+	Doc string
+	Run func(*Pass) error
+}
+
+// Pass carries one typechecked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report      func(Diagnostic)
+	annotations map[string]map[int][]annotation // file -> line -> markers
+}
+
+// Diagnostic is one finding, positioned for editor jump.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// annotation is one parsed //lint:<marker> <reason> comment.
+type annotation struct {
+	marker string
+	reason string
+	pos    token.Pos
+}
+
+// annotationPrefix introduces every suppression comment the suite honors:
+//
+//	//lint:nondet-ok reordering is folded into a commutative sum
+//
+// The marker names the analyzer-specific contract being waived and the
+// free-text reason is mandatory — an annotation without one is itself
+// reported, so every suppression in the tree is explained at the site.
+const annotationPrefix = "//lint:"
+
+// scanAnnotations indexes every //lint: comment of every file by line.
+func (p *Pass) scanAnnotations() {
+	p.annotations = make(map[string]map[int][]annotation)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, annotationPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, annotationPrefix)
+				marker, reason, _ := strings.Cut(rest, " ")
+				posn := p.Fset.Position(c.Pos())
+				byLine := p.annotations[posn.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]annotation)
+					p.annotations[posn.Filename] = byLine
+				}
+				byLine[posn.Line] = append(byLine[posn.Line], annotation{
+					marker: marker,
+					reason: strings.TrimSpace(reason),
+					pos:    c.Pos(),
+				})
+			}
+		}
+	}
+}
+
+// annotated reports whether the line of pos — or the line immediately
+// above it, where a standalone suppression comment sits — carries
+// //lint:<marker>. A matching annotation with an empty reason suppresses
+// nothing and is reported instead: the escape hatch requires an
+// explanation.
+func (p *Pass) annotated(pos token.Pos, marker string) bool {
+	posn := p.Fset.Position(pos)
+	byLine := p.annotations[posn.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{posn.Line, posn.Line - 1} {
+		for _, a := range byLine[line] {
+			if a.marker != marker {
+				continue
+			}
+			if a.reason == "" {
+				p.Reportf(a.pos, "//lint:%s needs a reason: state why this site is exempt from the %s contract", marker, p.Analyzer.Name)
+				return true // suppress the site's own diagnostic; the empty-reason one stands
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether the file holding pos is a _test.go file; the
+// determinism contracts bind production code, not the test harnesses that
+// probe it.
+func (p *Pass) isTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// RunAnalyzers applies every analyzer to one typechecked package and
+// returns the findings sorted by position.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		pass.scanAnnotations()
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,47 @@
+package lint
+
+import "strings"
+
+// deterministicPkgSuffixes lists the import-path suffixes of the packages
+// bound by the determinism contract: every run over the same protocol and
+// options must produce bit-identical verdicts, stats and traces across
+// engines, worker counts, schedulers and store tiers. The maporder,
+// wallclock and storecontract analyzers fire only inside these packages.
+//
+// Suffix matching (rather than exact paths) lets the analysistest fixtures
+// under testdata/ reproduce the package layout without the module prefix.
+var deterministicPkgSuffixes = []string{
+	"internal/explore",
+	"internal/eval",
+	"internal/liveness",
+	"internal/por",
+	"internal/dpor",
+}
+
+// DeterministicPkg reports whether the import path names a package under
+// the determinism contract.
+func DeterministicPkg(path string) bool {
+	for _, suf := range deterministicPkgSuffixes {
+		if path == suf || strings.HasSuffix(path, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// evalPkg reports whether path names the eval package, the home of the
+// canonical stats mask the statsmask analyzer cross-checks.
+func evalPkg(path string) bool {
+	return path == "internal/eval" || strings.HasSuffix(path, "/internal/eval")
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MapOrder,
+		WallClock,
+		StatsMask,
+		StoreContract,
+		DeferredErr,
+	}
+}

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeferredErr enforces the deferred-close convention the spill tier
+// established: a function that can fail and also defers a Close whose
+// error it drops (`defer f.Close()`) silently swallows the failure mode
+// that matters most for the disk-backed stores — a close that flushes or
+// releases run files. Such functions must route the close error through a
+// named error return:
+//
+//	func run() (err error) {
+//		...
+//		defer func() {
+//			if cerr := f.Close(); err == nil {
+//				err = cerr
+//			}
+//		}()
+//
+// The analyzer reports a plain `defer x.Close()` when Close returns an
+// error and the enclosing function has an error result to route it into.
+// Deliberate drops — an idempotent backstop close whose error another
+// path already routes, a read-only file — are annotated
+// `//lint:closeerr-ok <reason>`. Functions without an error result are
+// not reported: they have nowhere to route the error, and wrapping them
+// is a design change the analyzer cannot make for you.
+var DeferredErr = &Analyzer{
+	Name: "deferrederr",
+	Doc:  "flag `defer x.Close()` that drops the close error in functions that return error; route it through a named return or annotate //lint:closeerr-ok",
+	Run:  runDeferredErr,
+}
+
+func runDeferredErr(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, body := enclosingFunc(n)
+			if body == nil {
+				return true
+			}
+			if !returnsError(pass, fn) {
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				if _, isLit := m.(*ast.FuncLit); isLit {
+					return false // a nested literal is its own scope, visited by the outer walk
+				}
+				def, ok := m.(*ast.DeferStmt)
+				if !ok {
+					return true
+				}
+				sel, ok := def.Call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Close" || !closeReturnsError(pass, sel) {
+					return true
+				}
+				if pass.annotated(def.Pos(), "closeerr-ok") {
+					return true
+				}
+				pass.Reportf(def.Pos(), "deferred Close drops its error in a function that returns error; route it through a named return (defer func() { if cerr := x.Close(); err == nil { err = cerr } }()) or annotate //lint:closeerr-ok <reason>")
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingFunc returns the node's function signature-ish info when n is
+// a function declaration or literal, else nils.
+func enclosingFunc(n ast.Node) (ast.Node, *ast.BlockStmt) {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		return n, n.Body
+	case *ast.FuncLit:
+		return n, n.Body
+	}
+	return nil, nil
+}
+
+// returnsError reports whether the function node has at least one result
+// of type error.
+func returnsError(pass *Pass, fn ast.Node) bool {
+	var ft *ast.FuncType
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		ft = fn.Type
+	case *ast.FuncLit:
+		ft = fn.Type
+	}
+	if ft == nil || ft.Results == nil {
+		return false
+	}
+	for _, field := range ft.Results.List {
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && types.Identical(tv.Type, errorType) {
+			return true
+		}
+	}
+	return false
+}
+
+// closeReturnsError reports whether sel resolves to a Close method (or
+// function value) whose sole result is an error.
+func closeReturnsError(pass *Pass, sel *ast.SelectorExpr) bool {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	return sig.Results().Len() == 1 && types.Identical(sig.Results().At(0).Type(), errorType)
+}
+
+var errorType = types.Universe.Lookup("error").Type()

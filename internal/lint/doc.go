@@ -1,0 +1,54 @@
+// Package lint is the project's static-analysis suite (mplint): five
+// analyzers that enforce, at review time, the contracts the differential
+// and fuzz suites (FuzzEngineAgreement, the spill/parallel matrices, the
+// bench determinism gate) otherwise catch only after a nondeterminism or
+// soundness bug has already shipped. Each analyzer guards one contract:
+//
+//   - maporder — the determinism contract. Verdicts, stats and traces
+//     must be bit-identical across engines, workers, schedulers and store
+//     tiers; a `range` over a map whose iteration order reaches any
+//     output breaks that silently. Flagged in the deterministic packages
+//     (internal/explore, eval, liveness, por, dpor) unless the loop is an
+//     order-free shape (key collection for sorting, keyless counting) or
+//     carries `//lint:nondet-ok <reason>`.
+//
+//   - wallclock — the same contract against the clock: time.Now/Since &
+//     friends and math/rand are banned on engine paths, except inside the
+//     limiter/limits budget trackers whose output is already masked
+//     (Stats.Duration, the Limit verdict's timing-dependent cut point) or
+//     under `//lint:wallclock-ok <reason>`.
+//
+//   - statsmask — the comparison-mask contract. Every explore.Stats
+//     field must be classified in internal/eval/compare.go as either
+//     compared (DeterministicStatsFields) or masked
+//     (VolatileStatsFields); a field in neither list silently escapes
+//     both the determinism guarantee and the mask — the exact bug shape
+//     the SpillRuns/DiskProbes counters once papered over with
+//     hand-maintained zeroing in four test files. No annotation escape:
+//     the fix is to classify the field.
+//
+//   - storecontract — the visited-store probe contract. Store.Has is a
+//     hint: wrappers may degrade it and concurrent inserts may race it,
+//     so branching on it authoritatively is only sound where the
+//     algorithm tolerates stale answers (the BFS queue proviso's level
+//     snapshot, speculation memos). Everything else needs
+//     `//lint:has-ok <reason>`.
+//
+//   - deferrederr — the deferred-close convention of the spill tier: a
+//     function that returns error must not drop a deferred Close error
+//     (`defer f.Close()`); route it through a named return via a closure,
+//     or annotate `//lint:closeerr-ok <reason>`.
+//
+// Every suppression marker requires a reason; a bare annotation is itself
+// reported, so `make lint` passing means every exception in the tree is
+// explained at its site.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// diagnostics) but is implemented on the standard library alone, keeping
+// the module dependency-free and buildable offline; if the x/tools
+// dependency ever lands, the analyzers port over mechanically. Drivers:
+// Load (standalone, `go list` + source importer), RunUnitchecker (the
+// `go vet -vettool` unit protocol against compiler export data), and
+// cmd/mplint, which fronts both. Package linttest runs the
+// analysistest-style fixture suites under testdata/.
+package lint

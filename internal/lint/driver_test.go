@@ -1,0 +1,120 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpbasset/internal/lint"
+)
+
+// violatingSource needs no imports, so it typechecks in both drivers
+// without export data or a fake stdlib: a deferred Close dropping its
+// error in a function that returns error.
+const violatingSource = `package explore
+
+type res struct{}
+
+func (r *res) Close() error { return nil }
+
+func acquire() (*res, error) { return &res{}, nil }
+
+func Run() error {
+	r, err := acquire()
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	return nil
+}
+`
+
+// writeTempModule lays out a one-package module and returns its root.
+func writeTempModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module example.com/tmp\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgDir := filepath.Join(dir, "internal", "explore")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pkgDir, "explore.go"), []byte(violatingSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestLoadStandalone drives the `go list` + source-importer loader the
+// standalone mplint binary uses.
+func TestLoadStandalone(t *testing.T) {
+	dir := writeTempModule(t)
+	pkgs, err := lint.Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	diags, err := lint.RunAnalyzers(lint.All(), pkgs[0].Fset, pkgs[0].Files, pkgs[0].Pkg, pkgs[0].TypesInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "deferrederr" {
+		t.Fatalf("diagnostics = %v, want one deferrederr finding", diags)
+	}
+}
+
+// TestRunUnitchecker drives the vet-tool protocol directly: a config file
+// describing one import-free unit must produce the same diagnostic, the
+// facts file, and unitchecker's exit codes.
+func TestRunUnitchecker(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "explore.go")
+	if err := os.WriteFile(src, []byte(violatingSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "out.vetx")
+	cfg := map[string]any{
+		"ID":         "example.com/tmp/internal/explore",
+		"Compiler":   "gc",
+		"ImportPath": "example.com/tmp/internal/explore",
+		"GoVersion":  "go1.24",
+		"GoFiles":    []string{src},
+		"VetxOutput": vetx,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if exit := lint.RunUnitchecker(&out, cfgPath, lint.All()); exit != 2 {
+		t.Fatalf("exit = %d, want 2 (diagnostics); output:\n%s", exit, out.String())
+	}
+	if !strings.Contains(out.String(), "deferred Close drops its error") {
+		t.Errorf("missing deferrederr diagnostic in output:\n%s", out.String())
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("facts file not written: %v", err)
+	}
+
+	// VetxOnly units are fact-gathering passes: no analysis, exit 0.
+	cfg["VetxOnly"] = true
+	data, _ = json.Marshal(cfg)
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if exit := lint.RunUnitchecker(&out, cfgPath, lint.All()); exit != 0 || out.Len() != 0 {
+		t.Fatalf("VetxOnly: exit = %d, output %q; want 0 and empty", exit, out.String())
+	}
+}

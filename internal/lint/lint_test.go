@@ -1,0 +1,53 @@
+// The analysistest-style suites: each analyzer runs over a fixture tree
+// under testdata/ that reproduces the package layout it scopes to, with
+// at least one true positive and one allowlisted/annotated negative.
+package lint_test
+
+import (
+	"testing"
+
+	"mpbasset/internal/lint"
+	"mpbasset/internal/lint/linttest"
+)
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, lint.MapOrder, "testdata/maporder")
+}
+
+func TestWallClock(t *testing.T) {
+	linttest.Run(t, lint.WallClock, "testdata/wallclock")
+}
+
+func TestStatsMask(t *testing.T) {
+	linttest.Run(t, lint.StatsMask, "testdata/statsmask")
+}
+
+func TestStatsMaskClean(t *testing.T) {
+	linttest.Run(t, lint.StatsMask, "testdata/statsmask_ok")
+}
+
+func TestStoreContract(t *testing.T) {
+	linttest.Run(t, lint.StoreContract, "testdata/storecontract")
+}
+
+func TestDeferredErr(t *testing.T) {
+	linttest.Run(t, lint.DeferredErr, "testdata/deferrederr")
+}
+
+// TestAll pins the suite roster: drivers (standalone, vettool, Makefile)
+// all run All(), so a new analyzer only ships when it is registered.
+func TestAll(t *testing.T) {
+	want := []string{"maporder", "wallclock", "statsmask", "storecontract", "deferrederr"}
+	got := lint.All()
+	if len(got) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing Doc or Run", a.Name)
+		}
+	}
+}

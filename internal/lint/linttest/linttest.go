@@ -1,0 +1,209 @@
+// Package linttest runs an analyzer over a self-contained fixture tree
+// and checks its diagnostics against `// want` expectations, in the
+// spirit of golang.org/x/tools/go/analysis/analysistest (reimplemented on
+// the standard library; see internal/lint for why the module carries its
+// own framework).
+//
+// A fixture root is a directory tree whose sub-directories are packages:
+// the import path of each package is its path relative to the root, so a
+// fixture at testdata/maporder/internal/explore typechecks as package
+// path "internal/explore" and trips the suite's deterministic-package
+// scoping exactly like the real tree. Imports resolve inside the fixture
+// tree only — a fixture that needs `time` declares its own minimal fake
+// at <root>/time, keeping the tests hermetic and fast.
+//
+// Expectations are comments of the form
+//
+//	for k := range m { // want `range over map`
+//
+// where the backquoted text is a regexp that must match a diagnostic
+// reported on that line. Block comments work too (`/* want `re` */`),
+// which is how a line that already carries a //lint: annotation states
+// its expectation. Every diagnostic must be expected and every
+// expectation must fire; mismatches fail the test with positions.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"mpbasset/internal/lint"
+)
+
+// Run applies analyzer a to every package under root and matches the
+// diagnostics against the fixtures' want comments.
+func Run(t *testing.T, a *lint.Analyzer, root string) {
+	t.Helper()
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := &fixtureImporter{
+		root: absRoot,
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*loadedPkg),
+	}
+
+	var paths []string
+	err = filepath.WalkDir(absRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				rel, err := filepath.Rel(absRoot, path)
+				if err != nil {
+					return err
+				}
+				paths = append(paths, filepath.ToSlash(rel))
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		t.Fatalf("no fixture packages under %s", root)
+	}
+
+	for _, path := range paths {
+		pkg, err := imp.load(path)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", path, err)
+		}
+		diags, err := lint.RunAnalyzers([]*lint.Analyzer{a}, imp.fset, pkg.files, pkg.pkg, pkg.info)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", path, err)
+		}
+		checkExpectations(t, imp.fset, pkg.files, diags)
+	}
+}
+
+var wantRe = regexp.MustCompile("want `([^`]*)`")
+
+// checkExpectations matches diagnostics against the files' want comments
+// line by line.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []lint.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", fset.Position(c.Pos()), m[1], err)
+					}
+					posn := fset.Position(c.Pos())
+					k := key{posn.Filename, posn.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Pos, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}
+
+// loadedPkg is one typechecked fixture package.
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// fixtureImporter typechecks fixture packages on demand, resolving every
+// import inside the fixture root.
+type fixtureImporter struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*loadedPkg
+}
+
+func (imp *fixtureImporter) Import(path string) (*types.Package, error) {
+	p, err := imp.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.pkg, nil
+}
+
+func (imp *fixtureImporter) load(path string) (*loadedPkg, error) {
+	if p, ok := imp.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(imp.root, filepath.FromSlash(path))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture import %q: %w", path, err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(imp.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, imp.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck fixture %q: %w", path, err)
+	}
+	p := &loadedPkg{pkg: pkg, files: files, info: info}
+	imp.pkgs[path] = p
+	return p, nil
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder guards the determinism contract against Go's randomized map
+// iteration order: inside the deterministic packages, any observable
+// effect that depends on the order a `range` visits a map is a
+// nondeterminism leak (verdicts, traces and stats must be bit-identical
+// run to run). A range over a map is reported unless it is one of the
+// recognized order-free shapes:
+//
+//   - `for range m` / `for k := range m` used only to collect the keys
+//     into a slice (`keys = append(keys, k)` as the entire body) — the
+//     canonical sort-the-keys prelude;
+//   - a keyless `for range m { ... }` (pure counting; no element is
+//     observed);
+//
+// or the site carries `//lint:nondet-ok <reason>` explaining why the
+// iteration order cannot reach an observable output.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag range over maps in deterministic packages unless keys are sorted first or the site is annotated //lint:nondet-ok",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !DeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if pass.isTestFile(rng.Pos()) {
+				return false
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if rng.Key == nil && rng.Value == nil {
+				return true // pure counting: no element observed
+			}
+			if keyCollectionLoop(rng) {
+				return true
+			}
+			if pass.annotated(rng.Pos(), "nondet-ok") {
+				return true
+			}
+			pass.Reportf(rng.Pos(), "range over map %s has nondeterministic iteration order in a deterministic package; collect and sort the keys first, or annotate //lint:nondet-ok <reason>", typeLabel(tv.Type))
+			return true
+		})
+	}
+	return nil
+}
+
+// keyCollectionLoop recognizes the sort-the-keys prelude: the loop binds
+// only the key and its whole body is `keys = append(keys, k)`.
+func keyCollectionLoop(rng *ast.RangeStmt) bool {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rng.Value != nil {
+		return false
+	}
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}
+
+// typeLabel renders t compactly for a diagnostic.
+func typeLabel(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

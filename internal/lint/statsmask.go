@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	gotoken "go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// StatsMask keeps the determinism-comparison mask in internal/eval in
+// lockstep with explore.Stats. The eval package declares two lists —
+// DeterministicStatsFields (compared bit-for-bit by the differential and
+// bench gates) and VolatileStatsFields (masked before comparison:
+// wall-clock, spill activity) — and every field of explore.Stats must
+// appear in exactly one of them. Adding a Stats counter without
+// classifying it is exactly the bug shape that let SpillRuns/DiskProbes
+// drift be papered over by hand-maintained masking in four test files:
+// the field silently escapes both the guarantee and the mask.
+//
+// The analyzer runs only on the eval package, where both the lists and
+// the imported Stats type are visible; there is no annotation escape —
+// the fix is always to classify the field.
+var StatsMask = &Analyzer{
+	Name: "statsmask",
+	Doc:  "every explore.Stats field must be classified as compared (DeterministicStatsFields) or masked (VolatileStatsFields) in the eval package",
+	Run:  runStatsMask,
+}
+
+func runStatsMask(pass *Pass) error {
+	if !evalPkg(pass.Pkg.Path()) {
+		return nil
+	}
+
+	// The Stats struct comes from the imported explore package.
+	var stats *types.Struct
+	for _, imp := range pass.Pkg.Imports() {
+		if imp.Path() != "internal/explore" && !strings.HasSuffix(imp.Path(), "/internal/explore") {
+			continue
+		}
+		obj := imp.Scope().Lookup("Stats")
+		if obj == nil {
+			continue
+		}
+		if st, ok := obj.Type().Underlying().(*types.Struct); ok {
+			stats = st
+		}
+	}
+	if stats == nil {
+		return nil // eval without an explore import has no contract to check
+	}
+
+	lists := map[string]map[string]gotoken.Pos{}
+	var anchor ast.Node
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "DeterministicStatsFields" && name.Name != "VolatileStatsFields" {
+						continue
+					}
+					if anchor == nil {
+						anchor = name
+					}
+					if i >= len(vs.Values) {
+						continue
+					}
+					lists[name.Name] = stringElems(vs.Values[i])
+				}
+			}
+		}
+	}
+
+	det, detOK := lists["DeterministicStatsFields"]
+	vol, volOK := lists["VolatileStatsFields"]
+	if !detOK || !volOK {
+		// Without the declarations the contract has no anchor at all.
+		pos := pass.Files[0].Name.Pos()
+		pass.Reportf(pos, "the eval package must declare DeterministicStatsFields and VolatileStatsFields classifying every explore.Stats field (found det=%v vol=%v)", detOK, volOK)
+		return nil
+	}
+
+	fields := map[string]bool{}
+	for i := 0; i < stats.NumFields(); i++ {
+		fields[stats.Field(i).Name()] = true
+	}
+	for name, pos := range det {
+		if !fields[name] {
+			pass.Reportf(pos, "DeterministicStatsFields names %q, which is not a field of explore.Stats", name)
+		}
+		if other, dup := vol[name]; dup {
+			pass.Reportf(other, "explore.Stats field %q is listed as both deterministic and volatile; pick one side of the contract", name)
+		}
+	}
+	for name, pos := range vol {
+		if !fields[name] {
+			pass.Reportf(pos, "VolatileStatsFields names %q, which is not a field of explore.Stats", name)
+		}
+	}
+	for i := 0; i < stats.NumFields(); i++ {
+		name := stats.Field(i).Name()
+		if _, ok := det[name]; ok {
+			continue
+		}
+		if _, ok := vol[name]; ok {
+			continue
+		}
+		pass.Reportf(anchor.Pos(), "explore.Stats field %q is neither compared (DeterministicStatsFields) nor masked (VolatileStatsFields): decide whether it is covered by the determinism guarantee and list it", name)
+	}
+	return nil
+}
+
+// stringElems extracts the string elements of a composite literal, keyed
+// by value and anchored to each element's position.
+func stringElems(expr ast.Expr) map[string]gotoken.Pos {
+	out := map[string]gotoken.Pos{}
+	cl, ok := expr.(*ast.CompositeLit)
+	if !ok {
+		return out
+	}
+	for _, el := range cl.Elts {
+		lit, ok := el.(*ast.BasicLit)
+		if !ok {
+			continue
+		}
+		s, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			continue
+		}
+		out[s] = lit.Pos()
+	}
+	return out
+}

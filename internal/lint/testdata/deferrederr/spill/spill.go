@@ -1,0 +1,51 @@
+// Package spill exercises the deferred-close convention; deferrederr is
+// module-wide, so any fixture path works.
+package spill
+
+type run struct{}
+
+func (r *run) Close() error { return nil }
+
+func open() (*run, error) { return &run{}, nil }
+
+// flagged: the close error is dropped on a path that can report it.
+func bad() error {
+	r, err := open()
+	if err != nil {
+		return err
+	}
+	defer r.Close() // want `deferred Close drops its error`
+	return nil
+}
+
+// allowed: the convention — a closure routes the error into the named
+// return.
+func good() (err error) {
+	r, err := open()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := r.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return nil
+}
+
+// allowed: annotated deliberate drop.
+func backstop() error {
+	r, err := open()
+	if err != nil {
+		return err
+	}
+	//lint:closeerr-ok idempotent backstop: the main path closes again and routes the error
+	defer r.Close()
+	return nil
+}
+
+// not flagged: without an error result there is nowhere to route it.
+func fireAndForget() {
+	r, _ := open()
+	defer r.Close()
+}

@@ -1,0 +1,67 @@
+package explore
+
+import "sort"
+
+// flagged: the iteration order reaches the returned slice.
+func appendValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `range over map`
+		out = append(out, v)
+	}
+	return out
+}
+
+// flagged: key and value both bound, order reaches the output.
+func pairs(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want `range over map`
+		_ = v
+		out = append(out, k)
+	}
+	return out
+}
+
+// allowed: the canonical sort-the-keys prelude.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// allowed: keyless counting observes no element.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// allowed: annotated with a reason.
+func unionInto(dst, src map[string]bool) {
+	//lint:nondet-ok order-free set union: insertion commutes
+	for k := range src {
+		dst[k] = true
+	}
+}
+
+// an annotation without a reason suppresses nothing and is itself
+// reported at the comment.
+func unexplained(m map[string]int) {
+	/* want `needs a reason` */ //lint:nondet-ok
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// allowed: ranging over a slice is ordered.
+func slices(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}

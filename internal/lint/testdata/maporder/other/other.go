@@ -1,0 +1,11 @@
+// Package other is outside the deterministic set: the same shape that is
+// flagged in internal/explore passes untouched here.
+package other
+
+func appendValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,5 @@
+// Package sort is a minimal stand-in so the fixture's sort-the-keys
+// idiom typechecks hermetically.
+package sort
+
+func Strings(s []string) {}

@@ -1,0 +1,16 @@
+package eval
+
+import "internal/explore"
+
+var _ = explore.Stats{}
+
+var DeterministicStatsFields = []string{ // want `explore.Stats field "Mystery" is neither compared`
+	"States",
+	"Events",
+	"Bogus", // want `not a field of explore.Stats`
+}
+
+var VolatileStatsFields = []string{
+	"Duration",
+	"Events", // want `listed as both deterministic and volatile`
+}

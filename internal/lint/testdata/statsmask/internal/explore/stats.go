@@ -1,0 +1,10 @@
+// Package explore is a minimal stand-in for the real explore package:
+// statsmask needs only the Stats struct.
+package explore
+
+type Stats struct {
+	States   int
+	Events   int
+	Duration int64
+	Mystery  int // added without classifying — the bug statsmask exists for
+}

@@ -1,0 +1,14 @@
+package eval
+
+import "internal/explore"
+
+var _ = explore.Stats{}
+
+var DeterministicStatsFields = []string{
+	"States",
+	"Events",
+}
+
+var VolatileStatsFields = []string{
+	"Duration",
+}

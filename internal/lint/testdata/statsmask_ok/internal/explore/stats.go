@@ -1,0 +1,8 @@
+// The negative fixture: every Stats field classified exactly once.
+package explore
+
+type Stats struct {
+	States   int
+	Events   int
+	Duration int64
+}

@@ -1,0 +1,42 @@
+package explore
+
+import "time"
+
+// limiter mirrors the engines' budget tracker: its methods and
+// constructor are on the built-in allowlist, because their clock reads
+// surface only through the masked Duration counter and the Limit
+// verdict's timing-dependent cut point.
+type limiter struct {
+	start    time.Time
+	deadline time.Time
+}
+
+func newLimiter(budget time.Duration) *limiter {
+	l := &limiter{start: time.Now()} // allowed: constructor on the allowlist
+	l.deadline = l.start.Add(budget)
+	return l
+}
+
+func (l *limiter) timeExceeded() bool {
+	return time.Now().After(l.deadline) // allowed: limiter method
+}
+
+func (l *limiter) elapsed() time.Duration {
+	poll := func() time.Duration { return time.Since(l.start) } // allowed: literal inherits the method's allowance
+	return poll()
+}
+
+// flagged: a clock read on an engine path outside the limiter.
+func stamp() time.Time {
+	return time.Now() // want `time.Now on a deterministic engine path`
+}
+
+// flagged: Since leaks the clock the same way.
+func age(t time.Time) time.Duration {
+	return time.Since(t) // want `time.Since on a deterministic engine path`
+}
+
+// allowed: annotated with a reason.
+func logStamp() time.Time {
+	return time.Now() //lint:wallclock-ok progress logging only; never reaches a verdict, stat or trace
+}

@@ -1,0 +1,5 @@
+package explore
+
+import "math/rand" // want `import of math/rand`
+
+func draw() int { return rand.Int() }

@@ -1,0 +1,7 @@
+// Package other is outside the deterministic set: wall-clock reads are
+// unconstrained here (CLIs report progress, benchmarks time themselves).
+package other
+
+import "time"
+
+func stamp() time.Time { return time.Now() }

@@ -1,0 +1,16 @@
+// Package time is a minimal stand-in for the standard library's time
+// package: the wallclock analyzer matches by package path, so the fixture
+// ships its own to stay hermetic.
+package time
+
+type Time struct{ ns int64 }
+
+type Duration int64
+
+func Now() Time { return Time{} }
+
+func Since(t Time) Duration { return 0 }
+
+func (t Time) Add(d Duration) Time { return t }
+
+func (t Time) After(u Time) bool { return t.ns > u.ns }

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// WallClock keeps wall-clock reads and pseudo-randomness out of the
+// verdict/trace paths of the deterministic packages: a `time.Now` that
+// feeds anything but the masked Duration counter, or any `math/rand`
+// draw, makes two otherwise-identical runs diverge. Two escapes exist:
+//
+//   - the built-in allowlist below names the budget-enforcement types
+//     whose clock reads are already outside the determinism guarantee
+//     (explore's limiter and dpor's limits — their output surfaces only
+//     as the masked Stats.Duration and the Limit verdict's cut point,
+//     which the comparison suites treat as timing-dependent);
+//   - `//lint:wallclock-ok <reason>` on the line for any new site.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "ban time.Now/time.Since/math/rand in deterministic engine paths outside the masked limiter sites",
+	Run:  runWallClock,
+}
+
+// wallclockBanned lists the time functions whose results leak the clock.
+var wallclockBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// wallclockAllowedFuncs names the functions and method receivers whose
+// clock use is pre-masked: the shared limiter/limits budget trackers and
+// their constructors. A method counts if its receiver's type name is
+// listed; a function if its own name is.
+var wallclockAllowedFuncs = map[string]bool{
+	"limiter":    true,
+	"limits":     true,
+	"newLimiter": true,
+	"newLimits":  true,
+}
+
+// wallclockBannedImports are rejected wholesale in deterministic
+// packages: there is no deterministic use of a PRNG on a verdict path.
+var wallclockBannedImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+func runWallClock(pass *Pass) error {
+	if !DeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if wallclockBannedImports[path] && !pass.annotated(imp.Pos(), "wallclock-ok") {
+				pass.Reportf(imp.Pos(), "import of %s in a deterministic package: pseudo-randomness on an engine path breaks run-to-run bit-identity; annotate //lint:wallclock-ok <reason> if the draws cannot reach a verdict, stat or trace", path)
+			}
+		}
+		// Function literals inherit their enclosing declaration's
+		// allowance, so the allowlist decision is per top-level decl: an
+		// allowlisted limiter method is skipped wholesale, everything
+		// else (including package-level var initializers) is walked.
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && wallclockScopeAllowed(fd) {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := pass.TypesInfo.Uses[sel.Sel]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+					return true
+				}
+				if !wallclockBanned[sel.Sel.Name] {
+					return true
+				}
+				if pass.annotated(sel.Pos(), "wallclock-ok") {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "time.%s on a deterministic engine path: the clock may only feed the masked limiter/Duration sites; move the read behind the limiter or annotate //lint:wallclock-ok <reason>", sel.Sel.Name)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// wallclockScopeAllowed reports whether fd is on the built-in allowlist:
+// a listed function name, or a method whose receiver type name is listed.
+func wallclockScopeAllowed(fd *ast.FuncDecl) bool {
+	if wallclockAllowedFuncs[fd.Name.Name] {
+		return true
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return wallclockAllowedFuncs[id.Name]
+	}
+	return false
+}

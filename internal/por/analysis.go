@@ -264,6 +264,7 @@ func (a *Analysis) growthFeeders(i int, s *core.State, disableUniqueness bool) [
 		have[q] = true
 	}
 	var out []int
+	//lint:nondet-ok out is sorted before return
 	for q, fs := range a.feeders[i] {
 		if !have[q] {
 			out = append(out, fs...)
@@ -317,6 +318,7 @@ func (a *Analysis) net(i int, s *core.State, disableNET bool) []int {
 
 func (a *Analysis) allFeeders(i int) []int {
 	var out []int
+	//lint:nondet-ok out is sorted before return
 	for _, f := range a.feeders[i] {
 		out = append(out, f...)
 	}

@@ -140,6 +140,7 @@ func (e *Expander) Expand(s *core.State, enabled []core.Event, _ explore.Proviso
 // ampleInfo returns the number of distinct enabled transitions in the
 // stubborn set and whether any of them is visible.
 func (e *Expander) ampleInfo(stub, enabled map[int]bool) (size int, visible bool) {
+	//lint:nondet-ok commutative accumulation: size is a count and visible an OR, both order-free
 	for idx := range stub {
 		if !enabled[idx] {
 			continue
