@@ -1,6 +1,10 @@
-// mplint is the project's static-analysis suite: five analyzers that
+// mplint is the project's static-analysis suite: nine analyzers that
 // enforce the determinism and soundness contracts the differential and
-// fuzz suites otherwise only catch at runtime (see internal/lint).
+// fuzz suites otherwise only catch at runtime (see internal/lint). Six
+// of them — maporder, wallclock, ptraddr, selectorder, exhaustive and
+// lockorder — fire only inside the deterministic closure: the functions
+// reachable from the engine entry points over an interprocedural call
+// graph that both run modes share.
 //
 // It runs two ways:
 //
@@ -8,13 +12,26 @@
 //	go vet -vettool=$(mplint)    # as a vet tool, one build unit at a time
 //
 // Standalone mode loads and typechecks from source (offline, no
-// dependencies); vettool mode speaks the vet unit protocol (-V=full,
-// -flags, a JSON .cfg per package) against the compiler's export data,
-// which is how CI runs it with full build caching.
+// dependencies) and resolves the closure in-process over every loaded
+// package; vettool mode speaks the vet unit protocol (-V=full, -flags, a
+// JSON .cfg per package) against the compiler's export data, carrying
+// the call-graph facts between units through vetx files.
+//
+// Flags:
+//
+//	-entrypoints  extend the closure roots (func:pkg.Name, iface:pkg.Name,
+//	              struct:pkg.Name; bare items mean func:) — forwarded by
+//	              `go vet` too, so both drivers honor it
+//	-sarif        print findings as SARIF 2.1.0 instead of text
+//	-merge-sarif  merge the per-unit SARIF fragments a vet run left in a
+//	              directory (see MPLINT_SARIF_DIR) and print the result
+//	-fix          insert //lint:<marker> TODO annotations above findings
+//	              (idempotent: existing markers are never duplicated)
 package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +51,10 @@ func run(args []string) int {
 	versionFlag := fs.String("V", "", "print version and exit (the go command probes -V=full for its build cache)")
 	abs := fs.Bool("abs", false, "print absolute file paths (editor-jump friendly from any directory)")
 	flagsQuery := fs.Bool("flags", false, "print the tool's flag schema as JSON (vet driver protocol)")
+	entrypoints := fs.String("entrypoints", "", "comma-separated extra closure entry points: func:pkg.Name | iface:pkg.Name | struct:pkg.Name (bare means func:)")
+	sarif := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0 on stdout (standalone mode)")
+	mergeSARIF := fs.String("merge-sarif", "", "merge per-unit SARIF fragments from this directory and print the result")
+	fix := fs.Bool("fix", false, "insert suppression annotations above findings instead of reporting them (standalone mode)")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -42,50 +63,92 @@ func run(args []string) int {
 	case *versionFlag != "":
 		return printVersion()
 	case *flagsQuery:
-		// No analyzer flags are exposed to the vet driver.
-		fmt.Println("[]")
+		// The vet driver re-invokes the tool with any of these the user
+		// passed to `go vet`; -entrypoints is the one that changes
+		// results, and it participates in vet's cache key.
+		schema := []map[string]any{
+			{"Name": "entrypoints", "Bool": false, "Usage": "extra closure entry points (func:|iface:|struct: items, comma-separated)"},
+		}
+		out, _ := json.Marshal(schema)
+		fmt.Println(string(out))
+		return 0
+	case *mergeSARIF != "":
+		wd, _ := os.Getwd()
+		data, err := lint.MergeSARIF(*mergeSARIF, wd)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mplint: %v\n", err)
+			return 1
+		}
+		fmt.Println(string(data))
 		return 0
 	}
 
-	rest := fs.Args()
-	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
-		return lint.RunUnitchecker(os.Stderr, rest[0], lint.All())
-	}
-	return standalone(os.Stdout, rest, *abs)
-}
-
-// standalone loads patterns (default ./...) from the current directory,
-// runs every analyzer, and prints findings as file:line:col lines. Exit
-// codes follow the unitchecker convention: 0 clean, 1 load failure, 2
-// findings.
-func standalone(w io.Writer, patterns []string, abs bool) int {
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	pkgs, err := lint.Load(".", patterns...)
+	spec, err := lint.ParseEntryPoints(*entrypoints)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mplint: %v\n", err)
 		return 1
 	}
-	exit := 0
-	for _, pkg := range pkgs {
-		diags, err := lint.RunAnalyzers(lint.All(), pkg.Fset, pkg.Files, pkg.Pkg, pkg.TypesInfo)
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return lint.RunUnitchecker(os.Stderr, rest[0], lint.All(), spec)
+	}
+	return standalone(os.Stdout, rest, *abs, *sarif, *fix, spec)
+}
+
+// standalone loads patterns (default ./...) from the current directory,
+// runs the closure-aware pipeline over all of them at once, and prints
+// findings as file:line:col lines (or SARIF). Exit codes follow the
+// unitchecker convention: 0 clean, 1 load failure, 2 findings.
+func standalone(w io.Writer, patterns []string, abs, sarif, fix bool, spec *lint.EntryPoints) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.RunModule(".", patterns, lint.All(), spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mplint: %v\n", err)
+		return 1
+	}
+	if fix {
+		changed, skipped, err := lint.ApplyFixes(diags)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mplint: %s: %v\n", pkg.Pkg.Path(), err)
+			fmt.Fprintf(os.Stderr, "mplint: %v\n", err)
 			return 1
 		}
-		for _, d := range diags {
-			name := d.Pos.Filename
-			if abs {
-				if a, err := filepath.Abs(name); err == nil {
-					name = a
-				}
-			} else if rel, err := filepath.Rel(".", name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
-			}
-			fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
-			exit = 2
+		fmt.Fprintf(w, "mplint: annotated findings in %d file(s)\n", changed)
+		for _, d := range skipped {
+			fmt.Fprintf(w, "%s: no suppression marker for %s: fix the site instead\n", d.Pos, d.Analyzer)
 		}
+		if len(skipped) > 0 {
+			return 2
+		}
+		return 0
+	}
+	if sarif {
+		wd, _ := os.Getwd()
+		data, err := lint.SARIF(diags, lint.All(), wd)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mplint: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(w, string(data))
+		if len(diags) > 0 {
+			return 2
+		}
+		return 0
+	}
+	exit := 0
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if abs {
+			if a, err := filepath.Abs(name); err == nil {
+				name = a
+			}
+		} else if rel, err := filepath.Rel(".", name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		exit = 2
 	}
 	return exit
 }
@@ -112,6 +175,12 @@ func printVersion() int {
 		fmt.Fprintf(os.Stderr, "mplint: %v\n", err)
 		return 1
 	}
+	// The SARIF fragment directory participates in the fingerprint: vet
+	// never re-runs a tool whose unit result is cached, so a cached unit
+	// would silently skip writing its fragment. `make lint-sarif` points
+	// MPLINT_SARIF_DIR at a fresh temp directory each run, which misses
+	// the cache and makes every unit report.
+	io.WriteString(h, os.Getenv("MPLINT_SARIF_DIR"))
 	fmt.Printf("mplint version devel buildID=%x\n", h.Sum(nil))
 	return 0
 }

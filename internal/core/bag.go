@@ -65,6 +65,7 @@ func (b *Bag) Distinct() int { return len(b.entries) }
 // Clone returns an independent copy of the bag.
 func (b *Bag) Clone() *Bag {
 	nb := &Bag{entries: make(map[string]bagEntry, len(b.entries)), size: b.size}
+	//lint:nondet-ok map-to-map copy: insertion order of the clone is unobservable
 	for k, e := range b.entries {
 		nb.entries[k] = e
 	}
@@ -74,6 +75,7 @@ func (b *Bag) Clone() *Bag {
 // Each calls f for every distinct message with its multiplicity, in
 // unspecified order.
 func (b *Bag) Each(f func(m Message, n int)) {
+	//lint:nondet-ok unspecified order is the documented contract; every engine caller folds into commutative counts or sorts what it collects
 	for _, e := range b.entries {
 		f(e.msg, e.n)
 	}
@@ -95,6 +97,7 @@ func (b *Bag) MatchingBySender(proc ProcessID, typ string, peers []ProcessID) ([
 		}
 	}
 	bySender := make(map[ProcessID][]Message)
+	//lint:nondet-ok per-sender lists and the sender list are both sorted below
 	for _, e := range b.entries {
 		m := e.msg
 		if m.To != proc || m.Type != typ {
@@ -106,6 +109,7 @@ func (b *Bag) MatchingBySender(proc ProcessID, typ string, peers []ProcessID) ([
 		bySender[m.From] = append(bySender[m.From], m)
 	}
 	senders := make([]ProcessID, 0, len(bySender))
+	//lint:nondet-ok the in-place sort of each list and the sort.Slice on senders below erase any trace of iteration order
 	for p, msgs := range bySender {
 		sort.Slice(msgs, func(i, j int) bool { return msgs[i].Key() < msgs[j].Key() })
 		bySender[p] = msgs

@@ -97,9 +97,11 @@ func (p *Protocol) validateUniqueness(s *State) error {
 		if !t.UniquePerSender {
 			continue
 		}
-		_, bySender := s.Msgs.MatchingBySender(t.Proc, t.MsgType, t.Peers)
-		for q, msgs := range bySender {
-			if len(msgs) > 1 {
+		// Iterate the sorted sender list, not the map: with two offending
+		// senders the error reported must not depend on iteration order.
+		senders, bySender := s.Msgs.MatchingBySender(t.Proc, t.MsgType, t.Peers)
+		for _, q := range senders {
+			if msgs := bySender[q]; len(msgs) > 1 {
 				return fmt.Errorf("transition %s is marked UniquePerSender but sender %d has %d pending candidates in a reachable state", t, q, len(msgs))
 			}
 		}

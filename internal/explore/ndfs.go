@@ -555,6 +555,8 @@ func ParallelNDFS(p *core.Protocol, opts Options) (*Result, error) {
 					}
 					rec := nBuild(p, prop, n.st, n.copy, exp, canon, noProviso{})
 					switch memo.put(n.pkey, rec) {
+					case pdStored:
+						// fresh entry: fall through to expand it below
 					case pdDup:
 						continue
 					case pdFull:

@@ -238,6 +238,8 @@ func ParallelDFS(p *core.Protocol, opts Options) (result *Result, err error) {
 					}
 					rec := pdBuild(p, n.st, exp, canon, noProviso{}, true, probe)
 					switch memo.put(n.key, rec) {
+					case pdStored:
+						// fresh entry: fall through to expand it below
 					case pdDup:
 						continue
 					case pdFull:

@@ -5,7 +5,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 )
 
@@ -22,6 +21,12 @@ type Analyzer struct {
 	// honors, in the style of go/analysis docs.
 	Doc string
 	Run func(*Pass) error
+	// Closure marks an analyzer whose findings are scoped to the
+	// deterministic closure: it reports through ReportfClosure, and a
+	// finding only surfaces when the enclosing function is reachable from
+	// an engine entry point (see closure.go). Non-closure analyzers fire
+	// unconditionally within their own gates.
+	Closure bool
 }
 
 // Pass carries one typechecked package through one analyzer.
@@ -34,6 +39,10 @@ type Pass struct {
 
 	report      func(Diagnostic)
 	annotations map[string]map[int][]annotation // file -> line -> markers
+	// facts/index are set by RunPackage; when nil (ad-hoc RunAnalyzers
+	// use) closure-scoped reports degrade to unconditional ones.
+	facts *PackageFacts
+	index *funcIndex
 }
 
 // Diagnostic is one finding, positioned for editor jump.
@@ -52,6 +61,31 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportfClosure records a closure-conditional finding at pos: it is
+// held as a pending fact keyed by the enclosing function and only
+// becomes a diagnostic when some unit's closure computation proves that
+// function reachable from an engine entry point. A position outside any
+// function (an import, a package-level declaration) becomes a
+// package-scoped pending that fires when any function of the package is
+// in the closure. Without closure context (ad-hoc RunAnalyzers use) the
+// finding is reported unconditionally — a conservative superset.
+func (p *Pass) ReportfClosure(pos token.Pos, format string, args ...any) {
+	if p.facts == nil {
+		p.Reportf(pos, format, args...)
+		return
+	}
+	posn := p.Fset.Position(pos)
+	p.facts.Pending = append(p.facts.Pending, PendingDiag{
+		Func:     p.index.enclosing(pos),
+		Pkg:      p.Pkg.Path(),
+		Analyzer: p.Analyzer.Name,
+		File:     posn.Filename,
+		Line:     posn.Line,
+		Col:      posn.Column,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
@@ -100,8 +134,9 @@ func (p *Pass) scanAnnotations() {
 	}
 }
 
-// annotated reports whether the line of pos — or the line immediately
-// above it, where a standalone suppression comment sits — carries
+// annotated reports whether the line of pos — or the contiguous block of
+// annotation lines immediately above it, where standalone suppression
+// comments stack when a site waives more than one contract — carries
 // //lint:<marker>. A matching annotation with an empty reason suppresses
 // nothing and is reported instead: the escape hatch requires an
 // explanation.
@@ -111,7 +146,7 @@ func (p *Pass) annotated(pos token.Pos, marker string) bool {
 	if byLine == nil {
 		return false
 	}
-	for _, line := range []int{posn.Line, posn.Line - 1} {
+	check := func(line int) (found bool) {
 		for _, a := range byLine[line] {
 			if a.marker != marker {
 				continue
@@ -120,6 +155,15 @@ func (p *Pass) annotated(pos token.Pos, marker string) bool {
 				p.Reportf(a.pos, "//lint:%s needs a reason: state why this site is exempt from the %s contract", marker, p.Analyzer.Name)
 				return true // suppress the site's own diagnostic; the empty-reason one stands
 			}
+			return true
+		}
+		return false
+	}
+	if check(posn.Line) {
+		return true
+	}
+	for line := posn.Line - 1; line > 0 && len(byLine[line]) > 0; line-- {
+		if check(line) {
 			return true
 		}
 	}
@@ -133,9 +177,38 @@ func (p *Pass) isTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
 }
 
-// RunAnalyzers applies every analyzer to one typechecked package and
-// returns the findings sorted by position.
+// RunAnalyzers applies every analyzer to one typechecked package without
+// closure context and returns the findings sorted by position.
+// Closure-scoped analyzers report unconditionally here; the drivers use
+// RunPackage, which gates them on reachability.
 func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	diags, _, err := runPass(analyzers, fset, files, pkg, info, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return dedupDiags(diags), nil
+}
+
+// RunPackage is the full per-unit pipeline both drivers share: build the
+// package's call-graph facts under spec, run every analyzer (closure
+// findings accumulate as pending facts), then emit whatever pendings —
+// this package's and its dependencies', carried in depFacts — the
+// package's own entry points prove reachable. It returns the unit's
+// diagnostics and its facts for the channel (self last, after pendings
+// are recorded).
+func RunPackage(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, depFacts []*PackageFacts, spec *EntryPoints) ([]Diagnostic, *PackageFacts, error) {
+	facts, index := BuildFacts(fset, files, pkg, info, spec)
+	diags, _, err := runPass(analyzers, fset, files, pkg, info, facts, index)
+	if err != nil {
+		return nil, nil, err
+	}
+	diags = append(diags, EmitClosure(facts, depFacts)...)
+	return dedupDiags(diags), facts, nil
+}
+
+// runPass runs the analyzers over one package, threading the optional
+// closure context through each Pass.
+func runPass(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *PackageFacts, index *funcIndex) ([]Diagnostic, *PackageFacts, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -145,24 +218,13 @@ func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 			Pkg:       pkg,
 			TypesInfo: info,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
+			facts:     facts,
+			index:     index,
 		}
 		pass.scanAnnotations()
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %w", a.Name, err)
+			return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i].Pos, diags[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Column != b.Column {
-			return a.Column < b.Column
-		}
-		return diags[i].Analyzer < diags[j].Analyzer
-	})
-	return diags, nil
+	return diags, facts, nil
 }

@@ -1,0 +1,570 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the call-graph layer of the suite: per-package function
+// summaries precise enough to compute, across packages, which functions
+// are reachable from the engine entry points (the "deterministic
+// closure"; see closure.go). The summaries are plain data — they travel
+// between packages through the unitchecker facts channel (vetx files) in
+// vet-tool mode and are merged in-process by the standalone driver, so
+// both load paths see the same cross-package edges.
+//
+// Node identity is a string, so summaries serialize as JSON:
+//
+//	pkgpath.Func               a package-level function
+//	pkgpath.(Recv).Method      a method (receiver named without pointer)
+//	pkgpath.Func$1             the n-th function literal inside Func
+//	iface:pkgpath.I.M          a dynamic call of method M through interface I
+//	field:pkgpath.S.F          a dynamic call through func-typed field F of struct S
+//
+// The two dynamic node kinds resolve at closure time: an iface node
+// expands to T.M for every recorded implementation pair (I, T), a field
+// node to every function recorded as assigned into S.F anywhere in the
+// analyzed universe. Calls through plain func-typed variables and
+// parameters are not tracked (no stable identity exists for them);
+// protocol callbacks — the case that matters here — flow through struct
+// fields and are tracked.
+
+// PackageFacts is one package's serialized contribution to the
+// whole-program view: its call-graph summary, its entry points under the
+// active EntryPoints spec, and the closure-conditional findings its
+// analyzers recorded (emitted later, by whichever package's analysis
+// proves the enclosing function reachable; see EmitClosure).
+type PackageFacts struct {
+	// Path is the package import path.
+	Path string
+	// Funcs maps each function node ID to its outgoing call edges
+	// (sorted, deduplicated node IDs).
+	Funcs map[string][]string
+	// Impls records interface-satisfaction pairs (interface ID, type ID)
+	// for every named non-interface type of this package against every
+	// module-local interface visible to it.
+	Impls [][2]string
+	// Methods maps a type ID to its declared methods (name → func ID),
+	// used to resolve iface: nodes against Impls.
+	Methods map[string]map[string]string
+	// Fields maps a field:pkg.S.F node to the functions recorded as
+	// assigned into that field (composite literals and assignments).
+	Fields map[string][]string
+	// Entries lists the entry-point function IDs this package defines
+	// under the spec: named engine entry points, methods of types
+	// implementing a spec interface, and functions assigned into
+	// func-typed fields of a spec callback struct.
+	Entries []string
+	// Pending holds the closure-conditional diagnostics of this package:
+	// findings of the closure-scoped analyzers, keyed by enclosing
+	// function, that only become real once some package's closure
+	// computation reaches that function.
+	Pending []PendingDiag
+}
+
+// PendingDiag is one closure-conditional finding, positioned absolutely
+// so it can be emitted by a different package's analysis (which has no
+// AST for this one).
+type PendingDiag struct {
+	// Func is the enclosing function's node ID; empty means the finding
+	// is package-scoped (e.g. a banned import) and fires when any
+	// function of Pkg is in the closure.
+	Func     string
+	Pkg      string
+	Analyzer string
+	File     string
+	Line     int
+	Col      int
+	Message  string
+}
+
+// funcSpan locates one function node in the file set, innermost-wins.
+type funcSpan struct {
+	pos, end token.Pos
+	id       string
+}
+
+// funcIndex resolves a position to its enclosing function node ID, so
+// closure-scoped analyzers can attribute findings without knowing the
+// call-graph layer's ID scheme.
+type funcIndex struct {
+	spans []funcSpan
+}
+
+// enclosing returns the innermost function node containing pos, or ""
+// for package-level positions (imports, var initializers, type decls).
+func (ix *funcIndex) enclosing(pos token.Pos) string {
+	best := ""
+	bestSize := token.Pos(-1)
+	for _, s := range ix.spans {
+		if pos < s.pos || pos > s.end {
+			continue
+		}
+		if size := s.end - s.pos; bestSize < 0 || size < bestSize {
+			best, bestSize = s.id, size
+		}
+	}
+	return best
+}
+
+// funcObjID renders the node ID of a resolved function object.
+func funcObjID(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if name, ok := recvTypeName(sig.Recv().Type()); ok {
+			return fmt.Sprintf("%s.(%s).%s", pkg, name, fn.Name())
+		}
+	}
+	return pkg + "." + fn.Name()
+}
+
+// recvTypeName names a receiver type without its pointer.
+func recvTypeName(t types.Type) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name(), true
+	}
+	return "", false
+}
+
+// typeObjID renders the node ID of a named type.
+func typeObjID(n *types.Named) string {
+	pkg := ""
+	if n.Obj().Pkg() != nil {
+		pkg = n.Obj().Pkg().Path()
+	}
+	return pkg + "." + n.Obj().Name()
+}
+
+// funcPkg extracts the package path from a function node ID.
+func funcPkg(id string) string {
+	if i := strings.Index(id, ".("); i >= 0 {
+		return id[:i]
+	}
+	if i := strings.LastIndex(id, "."); i >= 0 {
+		return id[:i]
+	}
+	return id
+}
+
+// moduleLocal reports whether a package path belongs to the analyzed
+// module rather than the standard library: a path with an internal/
+// segment (the layout of this repository and of the lint fixtures) or a
+// domain-qualified first element. The filter bounds the interface
+// universe the Impls computation checks against.
+func moduleLocal(path string) bool {
+	if strings.HasPrefix(path, "internal/") || strings.Contains(path, "/internal/") {
+		return true
+	}
+	first, _, _ := strings.Cut(path, "/")
+	return strings.Contains(first, ".")
+}
+
+// cgBuilder accumulates one package's facts during the AST walk.
+type cgBuilder struct {
+	fset  *token.FileSet
+	info  *types.Info
+	pkg   *types.Package
+	facts *PackageFacts
+	index *funcIndex
+	// litIDs remembers the node ID assigned to each function literal so
+	// the field-assignment scan can reference literals by ID.
+	litIDs map[*ast.FuncLit]string
+	// litSeq numbers literals per enclosing node ID (package-level var
+	// decls share one synthetic id, so the counter cannot be local).
+	litSeq map[string]int
+	edges  map[string]map[string]bool
+}
+
+// BuildFacts computes the call-graph summary, the entry points under
+// spec, and the function index of one typechecked package. Test files
+// are excluded: the determinism contracts bind production code.
+func BuildFacts(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, spec *EntryPoints) (*PackageFacts, *funcIndex) {
+	b := &cgBuilder{
+		fset: fset,
+		info: info,
+		pkg:  pkg,
+		facts: &PackageFacts{
+			Path:    pkg.Path(),
+			Funcs:   make(map[string][]string),
+			Methods: make(map[string]map[string]string),
+			Fields:  make(map[string][]string),
+		},
+		index:  &funcIndex{},
+		litIDs: make(map[*ast.FuncLit]string),
+		litSeq: make(map[string]int),
+		edges:  make(map[string]map[string]bool),
+	}
+	prod := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		if strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		prod = append(prod, f)
+	}
+	for _, f := range prod {
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if decl.Body == nil {
+					continue
+				}
+				obj, ok := info.Defs[decl.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				id := funcObjID(obj)
+				b.index.spans = append(b.index.spans, funcSpan{decl.Pos(), decl.End(), id})
+				b.walkFunc(id, decl.Body)
+			case *ast.GenDecl:
+				// Package-level var initializers (protocol tables,
+				// callback registrations) run under a synthetic init
+				// node, so their function literals get IDs and their
+				// field assignments count for entry-point extraction.
+				if decl.Tok == token.VAR {
+					b.walkFunc(pkg.Path()+".init", decl)
+				}
+			}
+		}
+	}
+	// The field-assignment scan runs after the walk so function literals
+	// already carry their IDs.
+	for _, f := range prod {
+		b.scanFieldAssignments(f)
+	}
+	b.collectMethodsAndImpls()
+	b.finish(spec)
+	return b.facts, b.index
+}
+
+// walkFunc records the outgoing edges of one function node, descending
+// into nested literals as their own nodes (with an edge from the
+// definer: defining a literal is treated as potentially calling it,
+// which keeps callbacks handed to other functions inside the closure).
+func (b *cgBuilder) walkFunc(id string, body ast.Node) {
+	if b.edges[id] == nil {
+		b.edges[id] = make(map[string]bool)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			b.litSeq[id]++
+			litID := fmt.Sprintf("%s$%d", id, b.litSeq[id])
+			b.litIDs[n] = litID
+			b.edges[id][litID] = true
+			b.index.spans = append(b.index.spans, funcSpan{n.Pos(), n.End(), litID})
+			b.walkFunc(litID, n.Body)
+			return false
+		case *ast.Ident:
+			if fn, ok := b.info.Uses[n].(*types.Func); ok && !interfaceMethod(fn) {
+				b.edges[id][funcObjID(fn)] = true
+			}
+		case *ast.SelectorExpr:
+			sel, ok := b.info.Selections[n]
+			if !ok {
+				return true
+			}
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				if in, ok := namedInterface(sel.Recv()); ok {
+					b.edges[id]["iface:"+typeObjID(in)+"."+n.Sel.Name] = true
+				}
+			case types.FieldVal:
+				if _, isSig := sel.Obj().Type().Underlying().(*types.Signature); isSig {
+					if node, ok := fieldNode(sel.Recv(), n.Sel.Name); ok {
+						b.edges[id][node] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// interfaceMethod reports whether fn is the abstract method of an
+// interface (resolved through iface: nodes, not direct edges).
+func interfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// namedInterface unwraps t to a named interface type.
+func namedInterface(t types.Type) (*types.Named, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || !types.IsInterface(n) {
+		return nil, false
+	}
+	return n, true
+}
+
+// fieldNode renders the field: node of field name on the named struct
+// type recv.
+func fieldNode(recv types.Type, name string) (string, bool) {
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	n, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	return "field:" + typeObjID(n) + "." + name, true
+}
+
+// scanFieldAssignments records every function value assigned into a
+// func-typed field of a named struct — composite literals
+// (S{F: fn, G: func(){...}}) and plain assignments (s.F = fn) — as
+// field: → function edges for the closure resolver.
+func (b *cgBuilder) scanFieldAssignments(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			tv, ok := b.info.Types[n]
+			if !ok {
+				return true
+			}
+			t := tv.Type
+			if p, ok := t.Underlying().(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return true
+			}
+			if _, ok := named.Underlying().(*types.Struct); !ok {
+				return true
+			}
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				b.recordFieldValue("field:"+typeObjID(named)+"."+key.Name, kv.Value)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				s, ok := b.info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					continue
+				}
+				if node, ok := fieldNode(s.Recv(), sel.Sel.Name); ok {
+					b.recordFieldValue(node, n.Rhs[i])
+				}
+			}
+		}
+		return true
+	})
+}
+
+// recordFieldValue resolves a value expression to a function node and
+// records it under the field node when it is one.
+func (b *cgBuilder) recordFieldValue(node string, value ast.Expr) {
+	switch v := value.(type) {
+	case *ast.FuncLit:
+		if id, ok := b.litIDs[v]; ok {
+			b.facts.Fields[node] = append(b.facts.Fields[node], id)
+		}
+	case *ast.Ident:
+		if fn, ok := b.info.Uses[v].(*types.Func); ok {
+			b.facts.Fields[node] = append(b.facts.Fields[node], funcObjID(fn))
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := b.info.Uses[v.Sel].(*types.Func); ok && !interfaceMethod(fn) {
+			b.facts.Fields[node] = append(b.facts.Fields[node], funcObjID(fn))
+		}
+	}
+}
+
+// collectMethodsAndImpls records this package's named types: their
+// declared methods (for iface: resolution) and which module-local
+// interfaces they implement.
+func (b *cgBuilder) collectMethodsAndImpls() {
+	ifaces := interfaceUniverse(b.pkg)
+	scope := b.pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		tid := typeObjID(named)
+		for i := 0; i < named.NumMethods(); i++ {
+			m := named.Method(i)
+			if b.facts.Methods[tid] == nil {
+				b.facts.Methods[tid] = make(map[string]string)
+			}
+			b.facts.Methods[tid][m.Name()] = funcObjID(m)
+		}
+		for _, in := range ifaces {
+			it := in.Underlying().(*types.Interface)
+			if types.Implements(named, it) || types.Implements(types.NewPointer(named), it) {
+				b.facts.Impls = append(b.facts.Impls, [2]string{typeObjID(in), tid})
+			}
+		}
+	}
+	sort.Slice(b.facts.Impls, func(i, j int) bool {
+		if b.facts.Impls[i][0] != b.facts.Impls[j][0] {
+			return b.facts.Impls[i][0] < b.facts.Impls[j][0]
+		}
+		return b.facts.Impls[i][1] < b.facts.Impls[j][1]
+	})
+}
+
+// interfaceUniverse collects the named interface types of every
+// module-local package visible from pkg (pkg itself plus its transitive
+// imports), the candidate set for implementation pairs.
+func interfaceUniverse(pkg *types.Package) []*types.Named {
+	seen := make(map[*types.Package]bool)
+	var out []*types.Named
+	var visit func(p *types.Package)
+	visit = func(p *types.Package) {
+		if p == nil || seen[p] {
+			return
+		}
+		seen[p] = true
+		if moduleLocal(p.Path()) {
+			scope := p.Scope()
+			for _, name := range scope.Names() {
+				tn, ok := scope.Lookup(name).(*types.TypeName)
+				if !ok || tn.IsAlias() {
+					continue
+				}
+				if n, ok := tn.Type().(*types.Named); ok && types.IsInterface(n) {
+					out = append(out, n)
+				}
+			}
+		}
+		for _, imp := range p.Imports() {
+			visit(imp)
+		}
+	}
+	visit(pkg)
+	sort.Slice(out, func(i, j int) bool { return typeObjID(out[i]) < typeObjID(out[j]) })
+	return out
+}
+
+// finish freezes the builder's edge sets into sorted slices and derives
+// the package's entry points under spec.
+func (b *cgBuilder) finish(spec *EntryPoints) {
+	for id, set := range b.edges {
+		callees := make([]string, 0, len(set))
+		for c := range set {
+			callees = append(callees, c)
+		}
+		sort.Strings(callees)
+		b.facts.Funcs[id] = callees
+	}
+	for node := range b.facts.Fields {
+		sort.Strings(b.facts.Fields[node])
+		b.facts.Fields[node] = dedupSorted(b.facts.Fields[node])
+	}
+	if spec == nil {
+		return
+	}
+	entries := make(map[string]bool)
+	// Named entry functions.
+	for id := range b.facts.Funcs {
+		if strings.Contains(id, "$") || strings.Contains(id, ".(") {
+			continue
+		}
+		pkg, name := funcPkg(id), id[strings.LastIndex(id, ".")+1:]
+		for _, spec := range spec.Funcs {
+			sp, sn := splitSpec(spec)
+			if sn == name && pathSuffixMatch(pkg, sp) {
+				entries[id] = true
+			}
+		}
+	}
+	// Every method of every type implementing a spec interface.
+	for _, pair := range b.facts.Impls {
+		ip, in := splitSpec(pair[0])
+		for _, spec := range spec.Ifaces {
+			sp, sn := splitSpec(spec)
+			if sn == in && pathSuffixMatch(ip, sp) {
+				for _, mid := range b.facts.Methods[pair[1]] {
+					entries[mid] = true
+				}
+			}
+		}
+	}
+	// Functions assigned into a spec callback struct's fields.
+	for node, fns := range b.facts.Fields {
+		rest := strings.TrimPrefix(node, "field:")
+		lastDot := strings.LastIndex(rest, ".")
+		if lastDot < 0 {
+			continue
+		}
+		sp2, sn2 := splitSpec(rest[:lastDot])
+		for _, spec := range spec.Structs {
+			sp, sn := splitSpec(spec)
+			if sn == sn2 && pathSuffixMatch(sp2, sp) {
+				for _, fn := range fns {
+					// Only functions this package defines are its entry
+					// points; assigning a dependency's function marks it
+					// too, since no other unit will.
+					entries[fn] = true
+				}
+			}
+		}
+	}
+	for id := range entries {
+		b.facts.Entries = append(b.facts.Entries, id)
+	}
+	sort.Strings(b.facts.Entries)
+}
+
+// splitSpec splits "pkgSuffix.Name" at the final dot.
+func splitSpec(s string) (pkg, name string) {
+	i := strings.LastIndex(s, ".")
+	if i < 0 {
+		return "", s
+	}
+	return s[:i], s[i+1:]
+}
+
+// pathSuffixMatch reports whether path equals suffix or ends in
+// "/"+suffix — the same matching DeterministicPkg uses, so the lint
+// fixtures (whose package paths drop the module prefix) behave like the
+// real tree.
+func pathSuffixMatch(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package lint_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"mpbasset/internal/lint"
+)
+
+// closureModule is a real, compilable three-package module exercising
+// both cross-package closure channels: interface dispatch (spill's
+// DiskStore behind explore.Store) and callback fields (proto's literal
+// inside a core.Protocol table). Unlike the testdata fixtures it uses
+// full module import paths, so the genuine go toolchain can build it and
+// `go vet -vettool` can drive the unitchecker protocol end to end.
+var closureModule = map[string]string{
+	"go.mod": "module example.com/cg\n\ngo 1.24\n",
+	"internal/explore/explore.go": `package explore
+
+type Store interface {
+	Seen(key string) bool
+	Len() int
+}
+
+func BFS(s Store, keys []string) int {
+	hits := 0
+	for _, k := range keys {
+		if s.Seen(k) {
+			hits++
+		}
+	}
+	return s.Len()
+}
+`,
+	"internal/core/core.go": `package core
+
+type Protocol struct {
+	Init      func()
+	Invariant func() error
+}
+`,
+	"internal/spill/spill.go": `package spill
+
+import "example.com/cg/internal/explore"
+
+type DiskStore struct{ cache map[string]bool }
+
+var _ explore.Store = (*DiskStore)(nil)
+
+func (d *DiskStore) Seen(key string) bool { return firstKey(d.cache) == key }
+
+func (d *DiskStore) Len() int { return len(d.cache) }
+
+func firstKey(m map[string]bool) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+func coldKey(m map[string]bool) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+`,
+	"internal/proto/proto.go": `package proto
+
+import "example.com/cg/internal/core"
+
+var table = core.Protocol{
+	Init: func() { touch(map[int]int{1: 1}) },
+}
+
+func touch(m map[int]int) {
+	for k, v := range m {
+		_ = k + v
+	}
+}
+`,
+}
+
+func writeClosureModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range closureModule {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// normalize renders a finding as "relpath:line:col: message [analyzer]"
+// with the module root stripped, so the two drivers' outputs compare.
+func normalize(dir, file string, line, col int, rest string) string {
+	if rel, err := filepath.Rel(dir, file); err == nil {
+		file = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s:%d:%d: %s", file, line, col, rest)
+}
+
+var vetDiagRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+)$`)
+
+// TestDriversAgree is the driver-equality test: the standalone loader
+// and the hand-rolled `go vet -vettool` protocol must compute the same
+// closure and report the identical finding set over a real module —
+// including findings that exist only because facts for interface
+// implementations and callback tables flowed across package boundaries.
+func TestDriversAgree(t *testing.T) {
+	dir := writeClosureModule(t)
+
+	diags, err := lint.RunModule(dir, []string{"./..."}, lint.All(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	standalone := make(map[string]bool)
+	for _, d := range diags {
+		standalone[normalize(dir, d.Pos.Filename, d.Pos.Line, d.Pos.Column,
+			fmt.Sprintf("%s [%s]", d.Message, d.Analyzer))] = true
+	}
+
+	bin := filepath.Join(t.TempDir(), "mplint")
+	build := exec.Command("go", "build", "-o", bin, "mpbasset/cmd/mplint")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building vettool: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = dir
+	out, vetErr := vet.CombinedOutput()
+	// go vet exits non-zero when the tool reports findings; only a run
+	// with findings AND a zero exit (or no findings and a crash) lies.
+	vetFindings := make(map[string]bool)
+	for _, line := range strings.Split(string(out), "\n") {
+		m := vetDiagRE.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		var ln, col int
+		fmt.Sscanf(m[2], "%d", &ln)
+		fmt.Sscanf(m[3], "%d", &col)
+		vetFindings[normalize(dir, m[1], ln, col, m[4])] = true
+	}
+	if len(vetFindings) > 0 && vetErr == nil {
+		t.Errorf("go vet reported findings but exited 0:\n%s", out)
+	}
+	if len(vetFindings) == 0 && vetErr != nil {
+		t.Fatalf("go vet failed without findings: %v\n%s", vetErr, out)
+	}
+
+	keys := func(m map[string]bool) []string {
+		var s []string
+		for k := range m {
+			s = append(s, k)
+		}
+		sort.Strings(s)
+		return s
+	}
+	if got, want := keys(vetFindings), keys(standalone); !equalStrings(got, want) {
+		t.Errorf("drivers disagree:\nstandalone:\n  %s\nvet:\n  %s",
+			strings.Join(want, "\n  "), strings.Join(got, "\n  "))
+	}
+
+	// The set must contain both cross-package findings and nothing for
+	// the function outside the closure.
+	assertFinding := func(substr string, want bool) {
+		t.Helper()
+		found := false
+		for k := range standalone {
+			if strings.Contains(k, substr) {
+				found = true
+			}
+		}
+		if found != want {
+			t.Errorf("finding matching %q: present=%v, want %v\nall: %v",
+				substr, found, want, keys(standalone))
+		}
+	}
+	assertFinding("internal/spill/spill.go:14", true) // firstKey, via Store dispatch
+	assertFinding("internal/proto/proto.go:10", true) // touch, via Protocol.Init callback
+	assertFinding("internal/spill/spill.go:21", false)
+	assertFinding("coldKey", false)
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReachInterfaceDispatch pins the closure engine itself: from the
+// BFS entry point, reachability must cross the explore.Store interface
+// into spill's unexported helper, and must not pull in coldKey.
+func TestReachInterfaceDispatch(t *testing.T) {
+	dir := writeClosureModule(t)
+	pkgs, err := lint.Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []*lint.PackageFacts
+	for _, p := range pkgs {
+		facts, _ := lint.BuildFacts(p.Fset, p.Files, p.Pkg, p.TypesInfo, lint.DefaultEntryPoints())
+		all = append(all, facts)
+	}
+	reach := lint.Reach(all, []string{"example.com/cg/internal/explore.BFS"})
+	in := make(map[string]bool, len(reach))
+	for _, id := range reach {
+		in[id] = true
+	}
+	for id, want := range map[string]bool{
+		"example.com/cg/internal/spill.(DiskStore).Seen": true,
+		"example.com/cg/internal/spill.firstKey":         true,
+		"example.com/cg/internal/spill.coldKey":          false,
+		"example.com/cg/internal/proto.touch":            false,
+	} {
+		if in[id] != want {
+			t.Errorf("Reach(BFS) includes %q = %v, want %v\nreach: %v", id, in[id], want, reach)
+		}
+	}
+}

@@ -5,8 +5,10 @@ import "strings"
 // deterministicPkgSuffixes lists the import-path suffixes of the packages
 // bound by the determinism contract: every run over the same protocol and
 // options must produce bit-identical verdicts, stats and traces across
-// engines, worker counts, schedulers and store tiers. The maporder,
-// wallclock and storecontract analyzers fire only inside these packages.
+// engines, worker counts, schedulers and store tiers. The storecontract
+// analyzer fires only inside these packages; maporder and wallclock,
+// which once shared this allowlist, are now scoped to the interprocedural
+// deterministic closure instead (see closure.go).
 //
 // Suffix matching (rather than exact paths) lets the analysistest fixtures
 // under testdata/ reproduce the package layout without the module prefix.
@@ -35,7 +37,9 @@ func evalPkg(path string) bool {
 	return path == "internal/eval" || strings.HasSuffix(path, "/internal/eval")
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the five original
+// contract checks, then the four closure-riding analyzers added with the
+// call-graph layer.
 func All() []*Analyzer {
 	return []*Analyzer{
 		MapOrder,
@@ -43,5 +47,9 @@ func All() []*Analyzer {
 		StatsMask,
 		StoreContract,
 		DeferredErr,
+		PtrAddr,
+		SelectOrder,
+		Exhaustive,
+		LockOrder,
 	}
 }

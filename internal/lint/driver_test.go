@@ -97,7 +97,7 @@ func TestRunUnitchecker(t *testing.T) {
 	}
 
 	var out bytes.Buffer
-	if exit := lint.RunUnitchecker(&out, cfgPath, lint.All()); exit != 2 {
+	if exit := lint.RunUnitchecker(&out, cfgPath, lint.All(), nil); exit != 2 {
 		t.Fatalf("exit = %d, want 2 (diagnostics); output:\n%s", exit, out.String())
 	}
 	if !strings.Contains(out.String(), "deferred Close drops its error") {
@@ -114,7 +114,7 @@ func TestRunUnitchecker(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if exit := lint.RunUnitchecker(&out, cfgPath, lint.All()); exit != 0 || out.Len() != 0 {
+	if exit := lint.RunUnitchecker(&out, cfgPath, lint.All(), nil); exit != 0 || out.Len() != 0 {
 		t.Fatalf("VetxOnly: exit = %d, output %q; want 0 and empty", exit, out.String())
 	}
 }

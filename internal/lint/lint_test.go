@@ -34,10 +34,34 @@ func TestDeferredErr(t *testing.T) {
 	linttest.Run(t, lint.DeferredErr, "testdata/deferrederr")
 }
 
+func TestPtrAddr(t *testing.T) {
+	linttest.Run(t, lint.PtrAddr, "testdata/ptraddr")
+}
+
+func TestSelectOrder(t *testing.T) {
+	linttest.Run(t, lint.SelectOrder, "testdata/selectorder")
+}
+
+func TestExhaustive(t *testing.T) {
+	linttest.Run(t, lint.Exhaustive, "testdata/exhaustive")
+}
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, lint.LockOrder, "testdata/lockorder")
+}
+
+// TestCallGraph proves the closure engine's cross-package edges with the
+// maporder analyzer: a Store implementation reached only through the
+// explore.Store interface, and a protocol callback assigned into a
+// core.Protocol field from a package the engines never import.
+func TestCallGraph(t *testing.T) {
+	linttest.Run(t, lint.MapOrder, "testdata/callgraph")
+}
+
 // TestAll pins the suite roster: drivers (standalone, vettool, Makefile)
 // all run All(), so a new analyzer only ships when it is registered.
 func TestAll(t *testing.T) {
-	want := []string{"maporder", "wallclock", "statsmask", "storecontract", "deferrederr"}
+	want := []string{"maporder", "wallclock", "statsmask", "storecontract", "deferrederr", "ptraddr", "selectorder", "exhaustive", "lockorder"}
 	got := lint.All()
 	if len(got) != len(want) {
 		t.Fatalf("All() has %d analyzers, want %d", len(got), len(want))

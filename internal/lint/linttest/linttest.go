@@ -7,10 +7,18 @@
 // A fixture root is a directory tree whose sub-directories are packages:
 // the import path of each package is its path relative to the root, so a
 // fixture at testdata/maporder/internal/explore typechecks as package
-// path "internal/explore" and trips the suite's deterministic-package
-// scoping exactly like the real tree. Imports resolve inside the fixture
-// tree only — a fixture that needs `time` declares its own minimal fake
-// at <root>/time, keeping the tests hermetic and fast.
+// path "internal/explore" and matches the suite's entry-point and
+// package scoping exactly like the real tree. Imports resolve inside the
+// fixture tree only — a fixture that needs `time` declares its own
+// minimal fake at <root>/time, keeping the tests hermetic and fast
+// (`unsafe` is the one import served by the typechecker itself).
+//
+// The whole tree runs through the same closure-aware pipeline the
+// drivers use (lint.RunPackages with the default entry points), so a
+// fixture exercises reachability: a `func BFS()` in a fixture package
+// named internal/explore is an engine entry point, and a violation in a
+// helper is only reported if some entry point reaches it. Expectations
+// are therefore matched globally over the tree, not per package.
 //
 // Expectations are comments of the form
 //
@@ -39,9 +47,27 @@ import (
 	"mpbasset/internal/lint"
 )
 
-// Run applies analyzer a to every package under root and matches the
-// diagnostics against the fixtures' want comments.
+// Run applies analyzer a to every package under root through the
+// closure-aware pipeline and matches the diagnostics against the
+// fixtures' want comments.
 func Run(t *testing.T, a *lint.Analyzer, root string) {
+	t.Helper()
+	pkgs, fset := loadTree(t, root)
+	diags, err := lint.RunPackages([]*lint.Analyzer{a}, pkgs, nil)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", root, err)
+	}
+	var files []*ast.File
+	for _, p := range pkgs {
+		files = append(files, p.Files...)
+	}
+	checkExpectations(t, fset, files, diags)
+}
+
+// loadTree typechecks every package under root with the hermetic
+// importer, returning them in dependency-safe (sorted) order on a shared
+// FileSet.
+func loadTree(t *testing.T, root string) ([]*lint.Package, *token.FileSet) {
 	t.Helper()
 	absRoot, err := filepath.Abs(root)
 	if err != nil {
@@ -82,17 +108,20 @@ func Run(t *testing.T, a *lint.Analyzer, root string) {
 		t.Fatalf("no fixture packages under %s", root)
 	}
 
+	var pkgs []*lint.Package
 	for _, path := range paths {
 		pkg, err := imp.load(path)
 		if err != nil {
 			t.Fatalf("fixture %s: %v", path, err)
 		}
-		diags, err := lint.RunAnalyzers([]*lint.Analyzer{a}, imp.fset, pkg.files, pkg.pkg, pkg.info)
-		if err != nil {
-			t.Fatalf("fixture %s: %v", path, err)
-		}
-		checkExpectations(t, imp.fset, pkg.files, diags)
+		pkgs = append(pkgs, &lint.Package{
+			Fset:      imp.fset,
+			Files:     pkg.files,
+			Pkg:       pkg.pkg,
+			TypesInfo: pkg.info,
+		})
 	}
+	return pkgs, imp.fset
 }
 
 var wantRe = regexp.MustCompile("want `([^`]*)`")
@@ -158,6 +187,9 @@ type fixtureImporter struct {
 }
 
 func (imp *fixtureImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
 	p, err := imp.load(path)
 	if err != nil {
 		return nil, err

@@ -12,6 +12,7 @@ import (
 	"io"
 	"os/exec"
 	"path/filepath"
+	"sort"
 )
 
 // Package is one loaded, typechecked package ready for analysis.
@@ -28,16 +29,42 @@ type listedPkg struct {
 	Dir        string
 	Name       string
 	GoFiles    []string
+	Imports    []string
+}
+
+// moduleImporter serves imports from the set of packages Load has
+// already typechecked and delegates everything else (in practice: the
+// standard library) to the source importer. Serving intra-module imports
+// ourselves keeps type identity consistent across the loaded set — the
+// closure engine's types.Implements checks compare named types across
+// packages — and makes Load independent of the process working
+// directory, so the standalone driver can lint any module, not just the
+// one it was started in.
+type moduleImporter struct {
+	loaded   map[string]*types.Package
+	fallback types.ImporterFrom
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := m.loaded[path]; ok {
+		return p, nil
+	}
+	return m.fallback.ImportFrom(path, dir, mode)
 }
 
 // Load resolves patterns (./..., import paths) with `go list` from dir
-// and typechecks every matched package from source. Dependencies are
-// typechecked through the standard library's source importer, so loading
-// works offline in a dependency-free module — the trade is speed, which
-// is acceptable for a lint pass over one module. Test files are not
-// loaded; the analyzers exempt them anyway.
+// and typechecks every matched package from source, in dependency order
+// so each package's intra-module imports are already in hand. Standard
+// library dependencies go through the source importer, so loading works
+// offline in a dependency-free module — the trade is speed, which is
+// acceptable for a lint pass over one module. Test files are not loaded;
+// the analyzers exempt them anyway.
 func Load(dir string, patterns ...string) ([]*Package, error) {
-	args := append([]string{"list", "-json=ImportPath,Dir,Name,GoFiles"}, patterns...)
+	args := append([]string{"list", "-json=ImportPath,Dir,Name,GoFiles,Imports"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
@@ -47,12 +74,8 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
 	}
 
-	fset := token.NewFileSet()
-	// One shared source importer: it memoizes the dependency packages it
-	// typechecks, so the module's internal import graph is built once.
-	imp := importer.ForCompiler(fset, "source", nil)
-
-	var pkgs []*Package
+	var listed []*listedPkg
+	byPath := make(map[string]*listedPkg)
 	dec := json.NewDecoder(&stdout)
 	for {
 		var lp listedPkg
@@ -64,6 +87,41 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if len(lp.GoFiles) == 0 {
 			continue
 		}
+		p := lp
+		listed = append(listed, &p)
+		byPath[p.ImportPath] = &p
+	}
+
+	// Topological order over the intra-set import edges: `go list` emits
+	// alphabetically, which is not dependency order (cmd/* sorts before
+	// the internal/* packages it imports).
+	visited := make(map[string]bool, len(listed))
+	var order []*listedPkg
+	var visit func(lp *listedPkg)
+	visit = func(lp *listedPkg) {
+		if visited[lp.ImportPath] {
+			return
+		}
+		visited[lp.ImportPath] = true
+		for _, imp := range lp.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		order = append(order, lp)
+	}
+	for _, lp := range listed {
+		visit(lp)
+	}
+
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		loaded:   make(map[string]*types.Package, len(order)),
+		fallback: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+
+	pkgByPath := make(map[string]*Package, len(order))
+	for _, lp := range order {
 		var files []*ast.File
 		for _, name := range lp.GoFiles {
 			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
@@ -78,9 +136,92 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
 		}
-		pkgs = append(pkgs, &Package{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info})
+		imp.loaded[lp.ImportPath] = pkg
+		pkgByPath[lp.ImportPath] = &Package{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	}
+
+	// Return in the stable `go list` order, not the topological one.
+	pkgs := make([]*Package, 0, len(listed))
+	for _, lp := range listed {
+		pkgs = append(pkgs, pkgByPath[lp.ImportPath])
 	}
 	return pkgs, nil
+}
+
+// RunModule is the standalone driver's pipeline: load every package
+// matched by patterns, build the call-graph facts of all of them, run
+// the analyzer suite (closure-scoped findings accumulate as pending
+// facts), then resolve the deterministic closure per package against the
+// facts of its transitive dependencies and emit what it reaches. Because
+// every loaded package's facts are in hand at once, the result is
+// deduplicated globally — the in-process equivalent of the vetx facts
+// channel the unitchecker driver uses.
+func RunModule(dir string, patterns []string, analyzers []*Analyzer, spec *EntryPoints) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return RunPackages(analyzers, pkgs, spec)
+}
+
+// RunPackages runs the closure-aware pipeline over an already-loaded set
+// of packages sharing one FileSet; the linttest fixture harness uses it
+// directly with its hermetic importer.
+func RunPackages(analyzers []*Analyzer, pkgs []*Package, spec *EntryPoints) ([]Diagnostic, error) {
+	if spec == nil {
+		spec = DefaultEntryPoints()
+	}
+	factsByPath := make(map[string]*PackageFacts, len(pkgs))
+	indexByPath := make(map[string]*funcIndex, len(pkgs))
+	for _, p := range pkgs {
+		facts, index := BuildFacts(p.Fset, p.Files, p.Pkg, p.TypesInfo, spec)
+		factsByPath[p.Pkg.Path()] = facts
+		indexByPath[p.Pkg.Path()] = index
+	}
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		ds, _, err := runPass(analyzers, p.Fset, p.Files, p.Pkg, p.TypesInfo,
+			factsByPath[p.Pkg.Path()], indexByPath[p.Pkg.Path()])
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	// All pending facts are recorded; now resolve each package's closure
+	// against its transitive dependencies (restricted to the loaded set —
+	// `make lint` loads ./..., so that is the whole module).
+	for _, p := range pkgs {
+		var deps []*PackageFacts
+		for _, path := range transitiveImports(p.Pkg) {
+			if pf, ok := factsByPath[path]; ok {
+				deps = append(deps, pf)
+			}
+		}
+		diags = append(diags, EmitClosure(factsByPath[p.Pkg.Path()], deps)...)
+	}
+	return dedupDiags(diags), nil
+}
+
+// transitiveImports returns the import paths of pkg's transitive
+// dependency closure, sorted.
+func transitiveImports(pkg *types.Package) []string {
+	seen := make(map[string]bool)
+	var visit func(p *types.Package)
+	visit = func(p *types.Package) {
+		for _, imp := range p.Imports() {
+			if !seen[imp.Path()] {
+				seen[imp.Path()] = true
+				visit(imp)
+			}
+		}
+	}
+	visit(pkg)
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func newTypesInfo() *types.Info {

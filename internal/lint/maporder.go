@@ -6,30 +6,30 @@ import (
 )
 
 // MapOrder guards the determinism contract against Go's randomized map
-// iteration order: inside the deterministic packages, any observable
+// iteration order: anywhere in the deterministic closure (every function
+// reachable from an engine entry point; see closure.go), any observable
 // effect that depends on the order a `range` visits a map is a
 // nondeterminism leak (verdicts, traces and stats must be bit-identical
 // run to run). A range over a map is reported unless it is one of the
 // recognized order-free shapes:
 //
 //   - `for range m` / `for k := range m` used only to collect the keys
-//     into a slice (`keys = append(keys, k)` as the entire body) — the
-//     canonical sort-the-keys prelude;
+//     into a slice (`keys = append(keys, k)` — or a single-argument
+//     conversion of the key, `keys = append(keys, int(k))` — as the
+//     entire body): the canonical sort-the-keys prelude;
 //   - a keyless `for range m { ... }` (pure counting; no element is
 //     observed);
 //
 // or the site carries `//lint:nondet-ok <reason>` explaining why the
 // iteration order cannot reach an observable output.
 var MapOrder = &Analyzer{
-	Name: "maporder",
-	Doc:  "flag range over maps in deterministic packages unless keys are sorted first or the site is annotated //lint:nondet-ok",
-	Run:  runMapOrder,
+	Name:    "maporder",
+	Doc:     "flag range over maps in the deterministic closure unless keys are sorted first or the site is annotated //lint:nondet-ok",
+	Run:     runMapOrder,
+	Closure: true,
 }
 
 func runMapOrder(pass *Pass) error {
-	if !DeterministicPkg(pass.Pkg.Path()) {
-		return nil
-	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			rng, ok := n.(*ast.RangeStmt)
@@ -55,7 +55,7 @@ func runMapOrder(pass *Pass) error {
 			if pass.annotated(rng.Pos(), "nondet-ok") {
 				return true
 			}
-			pass.Reportf(rng.Pos(), "range over map %s has nondeterministic iteration order in a deterministic package; collect and sort the keys first, or annotate //lint:nondet-ok <reason>", typeLabel(tv.Type))
+			pass.ReportfClosure(rng.Pos(), "range over map %s has nondeterministic iteration order on a deterministic engine path; collect and sort the keys first, or annotate //lint:nondet-ok <reason>", typeLabel(tv.Type))
 			return true
 		})
 	}
@@ -63,7 +63,9 @@ func runMapOrder(pass *Pass) error {
 }
 
 // keyCollectionLoop recognizes the sort-the-keys prelude: the loop binds
-// only the key and its whole body is `keys = append(keys, k)`.
+// only the key and its whole body is `keys = append(keys, k)` — the
+// appended value may also be a single-argument conversion of the key,
+// `append(keys, int(k))`.
 func keyCollectionLoop(rng *ast.RangeStmt) bool {
 	key, ok := rng.Key.(*ast.Ident)
 	if !ok || key.Name == "_" || rng.Value != nil {
@@ -84,8 +86,13 @@ func keyCollectionLoop(rng *ast.RangeStmt) bool {
 	if !ok || fn.Name != "append" {
 		return false
 	}
-	arg, ok := call.Args[1].(*ast.Ident)
-	return ok && arg.Name == key.Name
+	arg := call.Args[1]
+	// Unwrap one conversion: T(k).
+	if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+		arg = conv.Args[0]
+	}
+	id, ok := arg.(*ast.Ident)
+	return ok && id.Name == key.Name
 }
 
 // typeLabel renders t compactly for a diagnostic.

@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// PtrAddr guards the determinism contract against pointer identity
+// leaking into observable values. Heap addresses differ run to run (and
+// worker to worker), so inside the deterministic closure any value
+// derived from where an object lives — rather than what it holds — is a
+// nondeterminism leak. Three shapes are reported:
+//
+//   - formatting a pointer's address into output: %p always, and a
+//     pointer, channel, function or unsafe.Pointer argument under a
+//     value verb (%v, %d, %x, %s) or a non-formatting fmt call, where
+//     fmt prints the address;
+//   - uintptr(unsafe.Pointer(...)): the address laundered into an
+//     ordinary integer, ready to be compared, hashed or emitted;
+//   - a map type keyed by a pointer, channel or unsafe.Pointer: lookup
+//     and iteration key on object identity, so equal states hash apart.
+//
+// The escape is `//lint:ptraddr-ok <reason>` on the site.
+var PtrAddr = &Analyzer{
+	Name:    "ptraddr",
+	Doc:     "flag pointer identity used as a value (%p and friends, uintptr(unsafe.Pointer), pointer map keys) in the deterministic closure",
+	Run:     runPtrAddr,
+	Closure: true,
+}
+
+func runPtrAddr(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if pass.isTestFile(f.Pos()) {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				pass.checkFmtCall(n)
+				pass.checkUintptrConv(n)
+			case *ast.MapType:
+				tv, ok := pass.TypesInfo.Types[n]
+				if !ok {
+					return true
+				}
+				m, ok := tv.Type.Underlying().(*types.Map)
+				if !ok || !addressKeyed(m.Key()) {
+					return true
+				}
+				if pass.annotated(n.Pos(), "ptraddr-ok") {
+					return true
+				}
+				pass.ReportfClosure(n.Pos(), "map keyed by %s compares by pointer identity: heap addresses differ run to run, so lookups and iteration key on object identity instead of state; key by a canonical value or annotate //lint:ptraddr-ok <reason>", typeLabel(m.Key()))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFmtCall inspects a call of a fmt printing function for pointer
+// arguments whose address would reach the output.
+func (p *Pass) checkFmtCall(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !sig.Variadic() {
+		return
+	}
+	name := fn.Name()
+	if sig.Params().Len()-1 > len(call.Args) || call.Ellipsis.IsValid() {
+		return
+	}
+	verbArgs := call.Args[sig.Params().Len()-1:]
+	if len(name) > 1 && name[len(name)-1] == 'f' {
+		// Formatting variant: the format string is the parameter before
+		// the variadic tail; match verbs to arguments.
+		fmtIdx := sig.Params().Len() - 2
+		if fmtIdx < 0 || fmtIdx >= len(call.Args) {
+			return
+		}
+		tv, ok := p.TypesInfo.Types[call.Args[fmtIdx]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return
+		}
+		p.checkFormatVerbs(call, constant.StringVal(tv.Value), verbArgs)
+		return
+	}
+	// Print/Println/Sprint/...: every pointer-ish argument prints its
+	// address.
+	for _, arg := range verbArgs {
+		tv, ok := p.TypesInfo.Types[arg]
+		if !ok || !addressFormatted(tv.Type) {
+			continue
+		}
+		if p.annotated(arg.Pos(), "ptraddr-ok") {
+			continue
+		}
+		p.ReportfClosure(arg.Pos(), "fmt.%s renders %s as its address, which differs run to run; print the pointed-to value or annotate //lint:ptraddr-ok <reason>", name, typeLabel(tv.Type))
+	}
+}
+
+// checkFormatVerbs walks format's verbs against args, reporting %p
+// outright and value verbs applied to address-formatted types. Dynamic
+// width (*), indexed arguments and unmatched arities end the scan —
+// precision there belongs to go vet's printf analyzer, not this one.
+func (p *Pass) checkFormatVerbs(call *ast.CallExpr, format string, args []ast.Expr) {
+	argIdx := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Flags, width, precision; bail on dynamic or indexed forms.
+		for i < len(format) {
+			c := format[i]
+			if c == '*' || c == '[' {
+				return
+			}
+			if c == '%' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+				break
+			}
+			i++
+		}
+		if i >= len(format) {
+			return
+		}
+		verb := format[i]
+		if verb == '%' {
+			continue
+		}
+		if argIdx >= len(args) {
+			return
+		}
+		arg := args[argIdx]
+		argIdx++
+		switch verb {
+		case 'p', 'P':
+			if !p.annotated(arg.Pos(), "ptraddr-ok") {
+				p.ReportfClosure(arg.Pos(), "%%p formats a heap address, which differs run to run on a deterministic engine path; derive a canonical identifier or annotate //lint:ptraddr-ok <reason>")
+			}
+		case 'v', 'd', 'x', 'X', 's', 'q':
+			tv, ok := p.TypesInfo.Types[arg]
+			if !ok || !addressFormatted(tv.Type) {
+				continue
+			}
+			if !p.annotated(arg.Pos(), "ptraddr-ok") {
+				p.ReportfClosure(arg.Pos(), "%%%c renders %s as its address, which differs run to run; print the pointed-to value or annotate //lint:ptraddr-ok <reason>", verb, typeLabel(tv.Type))
+			}
+		}
+	}
+}
+
+// checkUintptrConv reports uintptr(x) where x is an unsafe.Pointer: the
+// canonical address-laundering idiom.
+func (p *Pass) checkUintptrConv(call *ast.CallExpr) {
+	tv, ok := p.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || b.Kind() != types.Uintptr {
+		return
+	}
+	argTV, ok := p.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	ab, ok := argTV.Type.Underlying().(*types.Basic)
+	if !ok || ab.Kind() != types.UnsafePointer {
+		return
+	}
+	if p.annotated(call.Pos(), "ptraddr-ok") {
+		return
+	}
+	p.ReportfClosure(call.Pos(), "uintptr(unsafe.Pointer(...)) turns a heap address into an ordinary integer on a deterministic engine path; addresses differ run to run, so any comparison, hash or output derived from it diverges — annotate //lint:ptraddr-ok <reason> if it provably never escapes")
+}
+
+// addressFormatted reports whether fmt renders a value of type t as a
+// memory address: pointers to scalar-ish values (fmt dereferences
+// pointers to structs, arrays, slices and maps), channels, functions and
+// unsafe.Pointer.
+func addressFormatted(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		switch u.Elem().Underlying().(type) {
+		case *types.Struct, *types.Array, *types.Slice, *types.Map:
+			return false
+		}
+		return true
+	case *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// addressKeyed reports whether a map key of type t compares by pointer
+// identity.
+func addressKeyed(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

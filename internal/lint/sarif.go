@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SARIF 2.1.0 output, so the findings land in code-review UIs (GitHub
+// code scanning via upload-sarif) instead of only in a CI log. The
+// structures declare just the slice of the schema this tool emits.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIF renders diagnostics as one SARIF 2.1.0 run of the mplint driver.
+// File paths are emitted relative to root (when possible) with forward
+// slashes, as the format expects repository-relative artifact URIs.
+func SARIF(diags []Diagnostic, analyzers []*Analyzer, root string) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		uri := d.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, uri); err == nil && !strings.HasPrefix(rel, "..") {
+				uri = rel
+			}
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(uri)},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "mplint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+// writeSARIFFragment drops one unit's findings into dir as a SARIF file
+// named by the import path's hash (import paths contain separators).
+// Best-effort: the vet driver must not fail a unit over reporting
+// plumbing, so errors are swallowed — the text diagnostics still print.
+func writeSARIFFragment(dir, importPath string, analyzers []*Analyzer, diags []Diagnostic) {
+	data, err := SARIF(diags, analyzers, "")
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return
+	}
+	name := fmt.Sprintf("%x.sarif", sha256.Sum256([]byte(importPath)))
+	_ = os.WriteFile(filepath.Join(dir, name), data, 0o666)
+}
+
+// MergeSARIF folds every *.sarif fragment under dir into one SARIF log
+// with a single run: rules unioned by ID, results concatenated and
+// sorted by location. An empty or missing dir merges to a clean report.
+func MergeSARIF(dir, root string) ([]byte, error) {
+	entries, _ := os.ReadDir(dir)
+	ruleByID := make(map[string]sarifRule)
+	results := []sarifResult{} // non-nil: a clean merge must marshal as [], not null
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".sarif") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var log sarifLog
+		if err := json.Unmarshal(data, &log); err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		for _, run := range log.Runs {
+			for _, r := range run.Tool.Driver.Rules {
+				ruleByID[r.ID] = r
+			}
+			results = append(results, run.Results...)
+		}
+	}
+	ids := make([]string, 0, len(ruleByID))
+	for id := range ruleByID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	rules := make([]sarifRule, 0, len(ids))
+	for _, id := range ids {
+		rules = append(rules, ruleByID[id])
+	}
+	sort.Slice(results, func(i, j int) bool {
+		a, b := results[i], results[j]
+		al, bl := "", ""
+		if len(a.Locations) > 0 {
+			al = a.Locations[0].PhysicalLocation.ArtifactLocation.URI
+		}
+		if len(b.Locations) > 0 {
+			bl = b.Locations[0].PhysicalLocation.ArtifactLocation.URI
+		}
+		if al != bl {
+			return al < bl
+		}
+		var ar, br sarifRegion
+		if len(a.Locations) > 0 {
+			ar = a.Locations[0].PhysicalLocation.Region
+		}
+		if len(b.Locations) > 0 {
+			br = b.Locations[0].PhysicalLocation.Region
+		}
+		if ar.StartLine != br.StartLine {
+			return ar.StartLine < br.StartLine
+		}
+		if ar.StartColumn != br.StartColumn {
+			return ar.StartColumn < br.StartColumn
+		}
+		return a.RuleID < b.RuleID
+	})
+	// Fragment URIs were written absolute (units know no repo root);
+	// relativize here where possible.
+	if root != "" {
+		for i := range results {
+			for j := range results[i].Locations {
+				uri := results[i].Locations[j].PhysicalLocation.ArtifactLocation.URI
+				if rel, err := filepath.Rel(root, filepath.FromSlash(uri)); err == nil && !strings.HasPrefix(rel, "..") {
+					results[i].Locations[j].PhysicalLocation.ArtifactLocation.URI = filepath.ToSlash(rel)
+				}
+			}
+		}
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "mplint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

@@ -1,0 +1,42 @@
+package lint
+
+import "go/ast"
+
+// SelectOrder guards the determinism contract against the runtime's
+// select statement: when more than one case is ready, Go picks one
+// pseudo-randomly, so a multi-case select on an engine path is a
+// scheduling coin-flip. Inside the deterministic closure every select
+// with two or more cases (a default clause counts — default-vs-comm
+// choice is load-dependent) must carry `//lint:select-ok <reason>`
+// stating why the choice cannot reach a verdict, stat or trace — e.g.
+// the cases are mutually exclusive by protocol, or every case folds into
+// a commutative merge. Single-case selects are deterministic and exempt.
+var SelectOrder = &Analyzer{
+	Name:    "selectorder",
+	Doc:     "require //lint:select-ok on multi-case select statements in the deterministic closure (case choice is runtime-nondeterministic)",
+	Run:     runSelectOrder,
+	Closure: true,
+}
+
+func runSelectOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			if len(sel.Body.List) < 2 {
+				return true
+			}
+			if pass.annotated(sel.Pos(), "select-ok") {
+				return true
+			}
+			pass.ReportfClosure(sel.Pos(), "select with %d cases on a deterministic engine path: the runtime picks among ready cases pseudo-randomly; restructure to a deterministic order or annotate //lint:select-ok <reason>", len(sel.Body.List))
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+package core
+
+// Protocol mirrors the real tree's callback struct: functions assigned
+// into its func-typed fields run under the engines, so the default
+// entry-point spec treats them as entry points of the assigning package.
+type Protocol struct {
+	Init      func()
+	Invariant func() error
+}

@@ -1,0 +1,24 @@
+package explore
+
+// Store mirrors the real engine's visited-store interface: under the
+// default entry-point spec, every method of every type implementing it —
+// in any package — is an engine entry point and an interface-dispatch
+// target.
+type Store interface {
+	Seen(key string) bool
+	Len() int
+}
+
+// BFS is an engine entry point that only ever sees Store's interface:
+// the call graph resolves s.Seen through the recorded implementation
+// pairs, so violations inside implementations in other packages are in
+// the closure.
+func BFS(s Store, keys []string) int {
+	hits := 0
+	for _, k := range keys {
+		if s.Seen(k) {
+			hits++
+		}
+	}
+	return s.Len()
+}

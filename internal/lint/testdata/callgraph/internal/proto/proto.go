@@ -1,0 +1,25 @@
+// Package proto stands in for internal/protocols: it never imports the
+// engines, yet its callbacks run under them — assigning a function into
+// core.Protocol's func-typed fields makes it an entry point of this
+// package, including literals inside package-level protocol tables.
+package proto
+
+import "internal/core"
+
+var table = core.Protocol{
+	Init: func() { touch(map[int]int{1: 1}) },
+}
+
+// flagged: runs as a Protocol.Init callback under the engines.
+func touch(m map[int]int) {
+	for k, v := range m { // want `range over map`
+		_ = k + v
+	}
+}
+
+// unreached: not assigned into any callback struct and never called.
+func coldTouch(m map[int]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}

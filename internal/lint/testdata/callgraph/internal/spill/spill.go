@@ -1,0 +1,26 @@
+// Package spill is NOT on the old five-package allowlist: its violation
+// is only found because DiskStore implements explore.Store, which makes
+// its methods engine entry points and interface-dispatch targets.
+package spill
+
+import "internal/explore"
+
+type DiskStore struct {
+	cache map[string]bool
+}
+
+var _ explore.Store = (*DiskStore)(nil)
+
+func (d *DiskStore) Seen(key string) bool {
+	return firstKey(d.cache) == key
+}
+
+func (d *DiskStore) Len() int { return len(d.cache) }
+
+// flagged: reached from explore.BFS through the Store interface.
+func firstKey(m map[string]bool) string {
+	for k := range m { // want `range over map`
+		return k
+	}
+	return ""
+}

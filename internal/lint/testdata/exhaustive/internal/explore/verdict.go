@@ -1,0 +1,94 @@
+package explore
+
+// Verdict mirrors the real tree's closed verdict set.
+type Verdict int
+
+const (
+	VerdictVerified Verdict = iota + 1
+	VerdictViolated
+	VerdictLimit
+)
+
+// Sched has an alias value: naming either constant covers the shared
+// value.
+type Sched int
+
+const (
+	SchedWorkStealing Sched = iota
+	SchedSingleIndex
+	SchedDefault = SchedWorkStealing
+)
+
+// BFS is an engine entry point reaching every helper except coldLabel.
+func BFS(v Verdict, s Sched) {
+	_ = partial(v)
+	_ = full(v)
+	_ = annotated(v)
+	_ = aliased(s)
+	_ = plainInt(int(v))
+}
+
+// flagged: VerdictLimit is routed through default silently.
+func partial(v Verdict) string {
+	switch v { // want `switch over explore.Verdict does not handle VerdictLimit`
+	case VerdictVerified:
+		return "verified"
+	case VerdictViolated:
+		return "violated"
+	default:
+		return "?"
+	}
+}
+
+// allowed: every value named.
+func full(v Verdict) string {
+	switch v {
+	case VerdictVerified:
+		return "verified"
+	case VerdictViolated:
+		return "violated"
+	case VerdictLimit:
+		return "limit"
+	}
+	return "?"
+}
+
+// allowed: annotated with a reason.
+func annotated(v Verdict) bool {
+	//lint:exhaustive-ok only the violated verdict matters here; everything else is a pass-through
+	switch v {
+	case VerdictViolated:
+		return true
+	}
+	return false
+}
+
+// allowed: SchedDefault aliases SchedWorkStealing, so naming the alias
+// covers the value; matching is by constant value, not name.
+func aliased(s Sched) bool {
+	switch s {
+	case SchedDefault:
+		return true
+	case SchedSingleIndex:
+		return false
+	}
+	return false
+}
+
+// allowed: a switch over a plain int has no closed const set.
+func plainInt(n int) bool {
+	switch n {
+	case 1:
+		return true
+	}
+	return false
+}
+
+// unreached: identical to partial, but outside the closure.
+func coldLabel(v Verdict) string {
+	switch v {
+	case VerdictVerified:
+		return "verified"
+	}
+	return "?"
+}

@@ -1,0 +1,93 @@
+package explore
+
+import "sync"
+
+type registry struct {
+	mu     sync.Mutex
+	shards []*shard
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	seen map[string]bool
+}
+
+type memo struct {
+	mu sync.Mutex
+}
+
+// BFS is an engine entry point reaching every helper except coldSwap.
+func BFS(r *registry, s *shard, m *memo) {
+	forward(r, s)
+	backward(r, s)
+	viaHelper(r, m)
+	memoUnderShard(s, m)
+	sequential(r)
+	indexOrdered(r)
+}
+
+// One half of the conflict: shard.mu under registry.mu ...
+func forward(r *registry, s *shard) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.mu.Lock() // want `inconsistent lock order: shard.mu is acquired while holding registry.mu`
+	s.mu.Unlock()
+}
+
+// ... and the other half: registry.mu under shard.mu.
+func backward(r *registry, s *shard) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r.mu.Lock() // want `inconsistent lock order: registry.mu is acquired while holding shard.mu`
+	r.mu.Unlock()
+}
+
+// Interprocedural edge: lockMemo acquires memo.mu, so calling it under
+// registry.mu orders memo.mu after registry.mu — consistent on its own
+// (no reverse edge), so unflagged.
+func viaHelper(r *registry, m *memo) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lockMemo(m)
+}
+
+func lockMemo(m *memo) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+}
+
+// allowed: annotated with the order invariant.
+func memoUnderShard(s *shard, m *memo) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	//lint:lockorder-ok memo.mu is always the outermost lock; shard locks never wrap it
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// allowed: sequential (non-nested) acquisition of the same class.
+func sequential(r *registry) {
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		sh.seen = nil
+		sh.mu.Unlock()
+	}
+}
+
+// flagged: two locks of the same class held at once need a global order
+// the class-level analysis cannot verify.
+func indexOrdered(r *registry) {
+	a, b := r.shards[0], r.shards[1]
+	a.mu.Lock()
+	b.mu.Lock() // want `nested acquisition of two shard.mu locks`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// unreached: the same inversion as backward, but outside the closure.
+func coldSwap(r *registry, s *shard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.mu.Lock()
+	r.mu.Unlock()
+}

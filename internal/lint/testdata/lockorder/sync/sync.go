@@ -1,0 +1,16 @@
+// Package sync is a minimal stand-in for the standard library's sync:
+// the lockorder analyzer resolves Lock/Unlock methods by package path
+// and receiver type name, so the fixture ships its own to stay hermetic.
+package sync
+
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type RWMutex struct{ state int32 }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}

@@ -1,0 +1,38 @@
+package explore
+
+// BFS is an engine entry point under the default spec
+// (internal/explore.BFS): every site this fixture expects to be flagged
+// must be reachable from here — maporder is closure-scoped, not
+// package-scoped.
+func BFS() {
+	m := map[string]int{"a": 1}
+	_ = appendValues(m)
+	_ = pairs(m)
+	_ = sortedKeys(m)
+	_ = count(m)
+	unionInto(map[string]bool{}, map[string]bool{})
+	unexplained(m)
+	_ = sortedPids(map[uint32]bool{1: true})
+	_ = slices(nil)
+}
+
+// allowed: the key-collection prelude with a conversion — the appended
+// value is a single-argument conversion of the key, the shape the real
+// tree's pid collectors use.
+func sortedPids(m map[uint32]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, int(k))
+	}
+	return keys
+}
+
+// unreached: the same shape appendValues is flagged for, but no entry
+// point reaches this function, so the closure leaves it alone.
+func unreachedValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+// Package fmt is a minimal stand-in for the standard library's fmt: the
+// ptraddr analyzer resolves printing functions by package path and
+// variadic signature, so the fixture ships its own to stay hermetic.
+package fmt
+
+func Sprintf(format string, a ...any) string { return format }
+
+func Printf(format string, a ...any) (int, error) { return 0, nil }
+
+func Errorf(format string, a ...any) error { return nil }
+
+func Sprint(a ...any) string { return "" }
+
+func Println(a ...any) (int, error) { return 0, nil }

@@ -1,0 +1,65 @@
+package explore
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+type node struct{ id int }
+
+// BFS is an engine entry point: the closure reaches every helper below
+// except coldPath.
+func BFS() {
+	n := &node{id: 1}
+	_ = renderP(n)
+	_ = renderV(n)
+	_ = launder(n)
+	_ = printAll(n)
+	_ = keyed()
+	_ = renderValue(n)
+	_ = annotated(n)
+}
+
+// flagged: %p is the address itself.
+func renderP(n *node) string {
+	return fmt.Sprintf("node@%p", n) // want `%p formats a heap address`
+}
+
+// flagged: %v on a pointer to a scalar renders the address too.
+func renderV(n *node) string {
+	p := &n.id
+	return fmt.Sprintf("id=%v", p) // want `renders \*int as its address`
+}
+
+// flagged: the canonical address-laundering conversion.
+func launder(n *node) uintptr {
+	return uintptr(unsafe.Pointer(n)) // want `turns a heap address into an ordinary integer`
+}
+
+// flagged: non-formatting print of a pointer-ish value.
+func printAll(n *node) string {
+	c := make(chan int)
+	return fmt.Sprint(c) // want `renders chan int as its address`
+}
+
+// flagged: a map keyed by pointer identity.
+func keyed() int {
+	seen := map[*node]bool{} // want `map keyed by \*explore.node compares by pointer identity`
+	return len(seen)
+}
+
+// allowed: %v on a pointer to a struct prints the dereferenced value.
+func renderValue(n *node) string {
+	return fmt.Sprintf("%v", n)
+}
+
+// allowed: annotated with a reason.
+func annotated(n *node) string {
+	//lint:ptraddr-ok debug-only rendering stripped before verdict comparison
+	return fmt.Sprintf("%p", n)
+}
+
+// unreached: identical to renderP, but outside the closure.
+func coldPath(n *node) string {
+	return fmt.Sprintf("%p", n)
+}

@@ -1,0 +1,58 @@
+package explore
+
+// BFS is an engine entry point reaching every helper except coldDrain.
+func BFS(work, steal chan int, done chan struct{}) {
+	race(work, steal)
+	single(work)
+	merged(work, steal)
+	withDefault(work, done)
+}
+
+// flagged: two ready cases are picked pseudo-randomly.
+func race(work, steal chan int) int {
+	select { // want `select with 2 cases on a deterministic engine path`
+	case v := <-work:
+		return v
+	case v := <-steal:
+		return v
+	}
+}
+
+// allowed: a single-case select is deterministic.
+func single(work chan int) int {
+	select {
+	case v := <-work:
+		return v
+	}
+}
+
+// allowed: annotated with a reason.
+func merged(work, steal chan int) int {
+	//lint:select-ok both arms fold into a commutative merge; order cannot reach a verdict
+	select {
+	case v := <-work:
+		return v
+	case v := <-steal:
+		return v
+	}
+}
+
+// flagged: a default clause still makes the choice load-dependent.
+func withDefault(work chan int, done chan struct{}) bool {
+	select { // want `select with 2 cases on a deterministic engine path`
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// unreached: identical to race, but outside the closure.
+func coldDrain(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

@@ -1,0 +1,23 @@
+package explore
+
+import "time"
+
+// BFS is an engine entry point under the default spec: the flagged
+// clock reads are reachable from here, and the rand.go import finding is
+// package-scoped — it fires because this package has functions in the
+// closure.
+func BFS() time.Duration {
+	l := newLimiter(5)
+	_ = l.timeExceeded()
+	t := stamp()
+	_ = age(t)
+	_ = logStamp()
+	_ = draw()
+	return l.elapsed()
+}
+
+// unreached: a bare clock read no entry point reaches — closure scoping
+// leaves it unflagged.
+func coldStamp() time.Time {
+	return time.Now()
+}

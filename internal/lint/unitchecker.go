@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 )
 
 // vetConfig mirrors the JSON unit description `go vet -vettool` hands the
@@ -28,6 +29,7 @@ type vetConfig struct {
 	NonGoFiles                []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	Standard                  map[string]bool
 	VetxOnly                  bool
 	VetxOutput                string
@@ -39,7 +41,26 @@ type vetConfig struct {
 // clean unit, 1 for a driver/typecheck failure, 2 when diagnostics were
 // reported (matching x/tools' unitchecker so `go vet` renders the output
 // identically). Diagnostics go to stderr as file:line:col lines.
-func RunUnitchecker(w io.Writer, cfgPath string, analyzers []*Analyzer) int {
+//
+// The facts channel: PackageVetx maps each dependency's import path to
+// the facts file that dependency's unit wrote, and VetxOutput is where
+// this unit writes its own. Each unit re-exports its dependencies' facts
+// alongside its own (a sorted JSON array of PackageFacts), so a unit
+// sees its entire transitive dependency closure through its direct
+// dependencies' files — that is what lets the detclosure pass resolve
+// cross-package reachability from engine entry points under a driver
+// that only ever shows it one package's source. spec selects the entry
+// points; nil means DefaultEntryPoints.
+//
+// If MPLINT_SARIF_DIR names a directory, a unit with diagnostics also
+// drops a SARIF fragment there (one file per unit), which `mplint
+// -merge-sarif` later folds into one report; `go vet`'s result caching
+// means unchanged units do not re-run, so the fragment set covers the
+// units vet actually visited.
+func RunUnitchecker(w io.Writer, cfgPath string, analyzers []*Analyzer, spec *EntryPoints) int {
+	if spec == nil {
+		spec = DefaultEntryPoints()
+	}
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintf(w, "mplint: %v\n", err)
@@ -51,17 +72,20 @@ func RunUnitchecker(w io.Writer, cfgPath string, analyzers []*Analyzer) int {
 		return 1
 	}
 
-	// The vet driver always expects the facts file; the suite keeps no
-	// cross-package facts, so an empty one is complete.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintf(w, "mplint: %v\n", err)
-			return 1
-		}
-	}
+	// Fact-gathering-only units (stdlib, unmatched deps): the driver
+	// still expects the facts file. These packages are outside the
+	// module, so empty facts are complete for them.
 	if cfg.VetxOnly {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte("[]"), 0o666); err != nil {
+				fmt.Fprintf(w, "mplint: %v\n", err)
+				return 1
+			}
+		}
 		return 0
 	}
+
+	depFacts := readDepFacts(cfg.PackageVetx)
 
 	fset := token.NewFileSet()
 	var files []*ast.File
@@ -108,16 +132,92 @@ func RunUnitchecker(w io.Writer, cfgPath string, analyzers []*Analyzer) int {
 		return 1
 	}
 
-	diags, err := RunAnalyzers(analyzers, fset, files, pkg, info)
+	diags, selfFacts, err := RunPackage(analyzers, fset, files, pkg, info, depFacts, spec)
 	if err != nil {
 		fmt.Fprintf(w, "mplint: %v\n", err)
 		return 1
 	}
+
+	if cfg.VetxOutput != "" {
+		if err := writeFacts(cfg.VetxOutput, append(depFacts, selfFacts)); err != nil {
+			fmt.Fprintf(w, "mplint: %v\n", err)
+			return 1
+		}
+	}
 	if len(diags) == 0 {
 		return 0
+	}
+	if dir := os.Getenv("MPLINT_SARIF_DIR"); dir != "" {
+		writeSARIFFragment(dir, cfg.ImportPath, analyzers, diags)
 	}
 	for _, d := range diags {
 		fmt.Fprintf(w, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
 	}
 	return 2
+}
+
+// readDepFacts loads and merges the facts files of the unit's direct
+// dependencies. Since every unit re-exports its own dependencies' facts,
+// the merge covers the transitive closure. Missing or empty files (a
+// stale cache, a non-module dep) degrade to no facts for that package —
+// the closure just does not extend there.
+func readDepFacts(packageVetx map[string]string) []*PackageFacts {
+	paths := make([]string, 0, len(packageVetx))
+	for p := range packageVetx {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	byPath := make(map[string]*PackageFacts)
+	var order []string
+	for _, p := range paths {
+		data, err := os.ReadFile(packageVetx[p])
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		var facts []*PackageFacts
+		if err := json.Unmarshal(data, &facts); err != nil {
+			continue
+		}
+		for _, pf := range facts {
+			if pf == nil || pf.Path == "" {
+				continue
+			}
+			if _, ok := byPath[pf.Path]; !ok {
+				byPath[pf.Path] = pf
+				order = append(order, pf.Path)
+			}
+		}
+	}
+	sort.Strings(order)
+	out := make([]*PackageFacts, 0, len(order))
+	for _, p := range order {
+		out = append(out, byPath[p])
+	}
+	return out
+}
+
+// writeFacts serializes a deterministic facts file: sorted by package
+// path, deduplicated.
+func writeFacts(path string, facts []*PackageFacts) error {
+	byPath := make(map[string]*PackageFacts, len(facts))
+	var order []string
+	for _, pf := range facts {
+		if pf == nil {
+			continue
+		}
+		if _, ok := byPath[pf.Path]; !ok {
+			byPath[pf.Path] = pf
+			order = append(order, pf.Path)
+		}
+	}
+	sort.Strings(order)
+	out := make([]*PackageFacts, 0, len(order))
+	for _, p := range order {
+		out = append(out, byPath[p])
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
 }

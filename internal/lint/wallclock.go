@@ -6,9 +6,13 @@ import (
 )
 
 // WallClock keeps wall-clock reads and pseudo-randomness out of the
-// verdict/trace paths of the deterministic packages: a `time.Now` that
+// verdict/trace paths of the deterministic closure: a `time.Now` that
 // feeds anything but the masked Duration counter, or any `math/rand`
-// draw, makes two otherwise-identical runs diverge. Two escapes exist:
+// draw, makes two otherwise-identical runs diverge. Call sites are
+// closure-scoped (a finding surfaces only when the enclosing function is
+// reachable from an engine entry point); a banned import is
+// package-scoped and surfaces when any function of the importing package
+// is in the closure. Two escapes exist:
 //
 //   - the built-in allowlist below names the budget-enforcement types
 //     whose clock reads are already outside the determinism guarantee
@@ -17,9 +21,10 @@ import (
 //     which the comparison suites treat as timing-dependent);
 //   - `//lint:wallclock-ok <reason>` on the line for any new site.
 var WallClock = &Analyzer{
-	Name: "wallclock",
-	Doc:  "ban time.Now/time.Since/math/rand in deterministic engine paths outside the masked limiter sites",
-	Run:  runWallClock,
+	Name:    "wallclock",
+	Doc:     "ban time.Now/time.Since/math/rand in the deterministic closure outside the masked limiter sites",
+	Run:     runWallClock,
+	Closure: true,
 }
 
 // wallclockBanned lists the time functions whose results leak the clock.
@@ -45,17 +50,14 @@ var wallclockAllowedFuncs = map[string]bool{
 	"newLimits":  true,
 }
 
-// wallclockBannedImports are rejected wholesale in deterministic
-// packages: there is no deterministic use of a PRNG on a verdict path.
+// wallclockBannedImports are rejected wholesale in closure packages:
+// there is no deterministic use of a PRNG on a verdict path.
 var wallclockBannedImports = map[string]bool{
 	"math/rand":    true,
 	"math/rand/v2": true,
 }
 
 func runWallClock(pass *Pass) error {
-	if !DeterministicPkg(pass.Pkg.Path()) {
-		return nil
-	}
 	for _, f := range pass.Files {
 		if pass.isTestFile(f.Pos()) {
 			continue
@@ -66,7 +68,10 @@ func runWallClock(pass *Pass) error {
 				continue
 			}
 			if wallclockBannedImports[path] && !pass.annotated(imp.Pos(), "wallclock-ok") {
-				pass.Reportf(imp.Pos(), "import of %s in a deterministic package: pseudo-randomness on an engine path breaks run-to-run bit-identity; annotate //lint:wallclock-ok <reason> if the draws cannot reach a verdict, stat or trace", path)
+				// Import declarations enclose no function, so
+				// ReportfClosure records this package-scoped: it fires if
+				// any function of the package is on an engine path.
+				pass.ReportfClosure(imp.Pos(), "import of %s in a package on a deterministic engine path: pseudo-randomness breaks run-to-run bit-identity; annotate //lint:wallclock-ok <reason> if the draws cannot reach a verdict, stat or trace", path)
 			}
 		}
 		// Function literals inherit their enclosing declaration's
@@ -92,7 +97,7 @@ func runWallClock(pass *Pass) error {
 				if pass.annotated(sel.Pos(), "wallclock-ok") {
 					return true
 				}
-				pass.Reportf(sel.Pos(), "time.%s on a deterministic engine path: the clock may only feed the masked limiter/Duration sites; move the read behind the limiter or annotate //lint:wallclock-ok <reason>", sel.Sel.Name)
+				pass.ReportfClosure(sel.Pos(), "time.%s on a deterministic engine path: the clock may only feed the masked limiter/Duration sites; move the read behind the limiter or annotate //lint:wallclock-ok <reason>", sel.Sel.Name)
 				return true
 			})
 		}

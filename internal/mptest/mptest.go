@@ -16,6 +16,7 @@ package mptest
 
 import (
 	"fmt"
+	//lint:wallclock-ok seeded PRNG: generated protocols are deterministic functions of their seed, never of the clock
 	"math/rand"
 	"strconv"
 

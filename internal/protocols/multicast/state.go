@@ -105,9 +105,11 @@ func appendPidMap(sb *strings.Builder, m map[core.ProcessID]int) {
 
 func (s *receiverState) Clone() core.LocalState {
 	c := newReceiverState()
+	//lint:nondet-ok map-to-map copy: insertion order of the clone is unobservable
 	for k, v := range s.Echoed {
 		c.Echoed[k] = v
 	}
+	//lint:nondet-ok map-to-map copy: insertion order of the clone is unobservable
 	for k, v := range s.Delivered {
 		c.Delivered[k] = v
 	}

@@ -156,6 +156,7 @@ func (s *learnerState) Clone() core.LocalState {
 	c := *s
 	if s.Counts != nil {
 		c.Counts = make(map[proposal]int, len(s.Counts))
+		//lint:nondet-ok map-to-map copy: insertion order of the clone is unobservable
 		for k, v := range s.Counts {
 			c.Counts[k] = v
 		}
