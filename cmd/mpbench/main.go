@@ -38,8 +38,8 @@ func main() {
 		baseline = flag.String("baseline", "", "gate the run against this committed report (e.g. BENCH_baseline.json): exit 1 on regressions")
 		regPct   = flag.Float64("regress-pct", 25, "tolerated per-cell wall-clock growth over the baseline, in percent (needs -baseline)")
 		regFloor = flag.Duration("regress-floor", 250*time.Millisecond, "noise floor: baseline cells faster than this are not duration-gated (needs -baseline)")
-		workers  = flag.Int("workers", 0, "run the stateful cells with this many speculative parallel DFS workers (0 = sequential DFS)")
-		stealD   = flag.Int("steal-depth", 0, "events a parallel DFS worker speculates below a stolen sibling (0 = default 8; needs -workers)")
+		workers  = flag.Int("workers", 0, "run the stateful DFS and DPOR cells with this many speculative workers (0 = sequential)")
+		stealD   = flag.Int("steal-depth", 0, "events a parallel DFS/DPOR worker speculates below a stolen sibling or backtrack point (0 = default 8; needs -workers)")
 		memB     = flag.String("mem-budget", "", "visited-set memory budget per cell, e.g. 512M: past it, fingerprints spill to sorted runs on disk (empty = in-memory only)")
 		spillDir = flag.String("spill-dir", "", "directory for spill run files (default: a temporary directory per cell; needs -mem-budget)")
 	)

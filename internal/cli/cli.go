@@ -101,19 +101,29 @@ func dfsSearch(search string) bool {
 	return false
 }
 
+// stealEngine names the speculative engine a search's -workers selects,
+// for the error messages of ValidateParallelFlags.
+func stealEngine(search string) string {
+	if search == "dpor" {
+		return "parallel DPOR"
+	}
+	return "parallel DFS"
+}
+
 // ValidateParallelFlags checks the parallel-search flag combinations the
-// CLIs accept: -workers requires a stateful search — the DFS searches
-// (spor, unreduced and its dfs alias) run the speculative parallel DFS
-// engine, bfs the frontier-parallel BFS engine. The tuning knobs are
-// engine-specific and rejected elsewhere instead of silently ignored:
-// -chunk/-batch tune the BFS frontier scheduler (they keep their original
-// rule of requiring -workers, and additionally need the bfs search now
-// that the DFS searches parallelize differently), while -steal-depth tunes
-// DFS subtree speculation and needs -workers with a DFS search.
+// CLIs accept: -workers requires a search with a parallel engine — the DFS
+// searches (spor, unreduced and its dfs alias) run the speculative
+// parallel DFS engine, bfs the frontier-parallel BFS engine, and dpor the
+// speculative parallel DPOR engine. Only the stateless search has no
+// parallel counterpart. The tuning knobs are engine-specific and rejected
+// elsewhere instead of silently ignored: -chunk/-batch tune the BFS
+// frontier scheduler (they keep their original rule of requiring -workers,
+// and additionally need the bfs search), while -steal-depth tunes subtree
+// speculation and needs -workers with a DFS or dpor search.
 func ValidateParallelFlags(search string, workers, chunk, batch, stealDepth int) error {
 	if workers > 0 {
-		if !dfsSearch(search) && search != "bfs" {
-			return fmt.Errorf("-workers requires a stateful search (spor, unreduced, dfs or bfs), not %q", search)
+		if !dfsSearch(search) && search != "bfs" && search != "dpor" {
+			return fmt.Errorf("-workers requires a search with a parallel engine (spor, unreduced, dfs, bfs or dpor), not %q", search)
 		}
 	} else {
 		if chunk != 0 {
@@ -123,26 +133,45 @@ func ValidateParallelFlags(search string, workers, chunk, batch, stealDepth int)
 			return fmt.Errorf("-batch requires -workers (it tunes the parallel BFS visited-set insert batching)")
 		}
 		if stealDepth != 0 {
-			return fmt.Errorf("-steal-depth requires -workers (it tunes parallel DFS subtree speculation)")
+			return fmt.Errorf("-steal-depth requires -workers (it tunes parallel DFS/DPOR subtree speculation)")
 		}
 		return nil
 	}
 	if chunk != 0 && search != "bfs" {
-		return fmt.Errorf("-chunk tunes the parallel BFS frontier scheduler; the %q search runs parallel DFS (tune -steal-depth instead)", search)
+		return fmt.Errorf("-chunk tunes the parallel BFS frontier scheduler; the %q search runs %s (tune -steal-depth instead)", search, stealEngine(search))
 	}
 	if batch != 0 && search != "bfs" {
-		return fmt.Errorf("-batch tunes the parallel BFS insert batching; the %q search runs parallel DFS (tune -steal-depth instead)", search)
+		return fmt.Errorf("-batch tunes the parallel BFS insert batching; the %q search runs %s (tune -steal-depth instead)", search, stealEngine(search))
 	}
-	if stealDepth != 0 && !dfsSearch(search) {
-		return fmt.Errorf("-steal-depth tunes parallel DFS subtree speculation; the %q search runs parallel BFS (tune -chunk/-batch instead)", search)
+	if stealDepth != 0 && !dfsSearch(search) && search != "dpor" {
+		return fmt.Errorf("-steal-depth tunes parallel DFS/DPOR subtree speculation; the %q search runs parallel BFS (tune -chunk/-batch instead)", search)
 	}
 	return nil
 }
 
+// decimalDigits reports whether s consists of ASCII decimal digits only
+// (vacuously true for the empty string).
+func decimalDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
 // ParseBytes parses a human-readable byte size like "64M", "1.5GiB" or
-// "4096": a non-negative decimal number with an optional binary-multiple
-// suffix K/M/G/T (the B/iB spellings are accepted and equivalent —
-// multiples are always 1024-based). An empty string is 0.
+// "4096": a non-negative plain decimal number — digits with at most one
+// decimal point — with an optional binary-multiple suffix K/M/G/T (the
+// B/iB spellings are accepted and equivalent — multiples are always
+// 1024-based). An empty string is 0.
+//
+// Integer sizes are parsed exactly, with no float64 round-trip: byte
+// counts above 2^53 (e.g. "9007199254740993") keep every digit. Only a
+// genuine fraction ("1.5G") goes through floating point, and then only for
+// its sub-unit part, so the error stays below one suffix unit. Scientific
+// ("1e3"), hexadecimal ("0x1p10") and other exotic number syntax is
+// rejected — a size flag that survives parsing should mean what it says.
 func ParseBytes(s string) (int64, error) {
 	t := strings.TrimSpace(s)
 	if t == "" {
@@ -166,18 +195,35 @@ func ParseBytes(s string) (int64, error) {
 			break
 		}
 	}
-	v, err := strconv.ParseFloat(upper, 64)
-	if err != nil || math.IsNaN(v) {
-		return 0, fmt.Errorf("byte size %q: want a number with an optional K/M/G/T suffix", s)
-	}
-	if v < 0 {
+	if strings.HasPrefix(upper, "-") {
 		return 0, fmt.Errorf("byte size %q: must not be negative", s)
 	}
-	bytes := v * float64(mult)
-	if bytes >= float64(1<<62) {
+	intPart, fracPart, _ := strings.Cut(upper, ".")
+	if !decimalDigits(intPart) || !decimalDigits(fracPart) || intPart+fracPart == "" {
+		return 0, fmt.Errorf("byte size %q: want a plain decimal number with an optional K/M/G/T suffix (scientific and hex notation are not accepted)", s)
+	}
+	const limit = int64(1) << 62
+	var bytes int64
+	if intPart != "" {
+		v, err := strconv.ParseInt(intPart, 10, 64)
+		if err != nil || v > (limit-1)/mult {
+			return 0, fmt.Errorf("byte size %q: too large", s)
+		}
+		bytes = v * mult
+	}
+	if fracPart != "" {
+		// The fraction is strictly below one unit of the multiplier, so the
+		// float64 detour cannot touch the exact integer part.
+		f, err := strconv.ParseFloat("0."+fracPart, 64)
+		if err != nil || math.IsNaN(f) {
+			return 0, fmt.Errorf("byte size %q: want a plain decimal number with an optional K/M/G/T suffix (scientific and hex notation are not accepted)", s)
+		}
+		bytes += int64(f * float64(mult))
+	}
+	if bytes >= limit {
 		return 0, fmt.Errorf("byte size %q: too large", s)
 	}
-	return int64(bytes), nil
+	return bytes, nil
 }
 
 // ValidateSpillFlags checks the spill-store flag combinations the CLIs

@@ -96,8 +96,9 @@ func TestValidateParallelFlags(t *testing.T) {
 		{"workers with unreduced", "unreduced", 2, 0, 0, 0, ""},
 		{"workers with dfs alias", "dfs", 4, 0, 0, 0, ""},
 		{"workers with bfs", "bfs", 4, 0, 0, 0, ""},
-		{"workers with stateless", "stateless", 4, 0, 0, 0, "-workers requires a stateful search"},
-		{"workers with dpor", "dpor", 1, 0, 0, 0, "-workers requires a stateful search"},
+		{"workers with dpor", "dpor", 1, 0, 0, 0, ""},
+		{"many workers with dpor", "dpor", 8, 0, 0, 0, ""},
+		{"workers with stateless", "stateless", 4, 0, 0, 0, "-workers requires a search with a parallel engine"},
 		// -chunk/-batch keep their original rule (they need -workers) and
 		// tune the BFS frontier scheduler only.
 		{"workers with bfs knobs", "bfs", 4, 16, 128, 0, ""},
@@ -106,12 +107,15 @@ func TestValidateParallelFlags(t *testing.T) {
 		{"both knobs without workers", "bfs", 0, 8, 8, 0, "-chunk requires -workers"},
 		{"chunk with parallel dfs", "spor", 4, 16, 0, 0, "-chunk tunes the parallel BFS frontier scheduler"},
 		{"batch with parallel dfs", "dfs", 4, 0, 64, 0, "-batch tunes the parallel BFS insert batching"},
-		// -steal-depth mirrors them for the DFS searches.
+		{"chunk with parallel dpor", "dpor", 4, 16, 0, 0, "runs parallel DPOR (tune -steal-depth instead)"},
+		{"batch with parallel dpor", "dpor", 4, 0, 64, 0, "runs parallel DPOR (tune -steal-depth instead)"},
+		// -steal-depth mirrors them for the DFS and dpor searches.
 		{"steal-depth with spor", "spor", 4, 0, 0, 8, ""},
 		{"steal-depth with dfs alias", "dfs", 8, 0, 0, 3, ""},
 		{"steal-depth with unreduced", "unreduced", 2, 0, 0, 64, ""},
+		{"steal-depth with dpor", "dpor", 4, 0, 0, 8, ""},
 		{"steal-depth without workers", "spor", 0, 0, 0, 8, "-steal-depth requires -workers"},
-		{"steal-depth with parallel bfs", "bfs", 4, 0, 0, 8, "-steal-depth tunes parallel DFS subtree speculation"},
+		{"steal-depth with parallel bfs", "bfs", 4, 0, 0, 8, "-steal-depth tunes parallel DFS/DPOR subtree speculation"},
 	}
 	for _, tc := range cases {
 		err := ValidateParallelFlags(tc.search, tc.workers, tc.chunk, tc.batch, tc.stealDepth)
@@ -146,6 +150,17 @@ func TestParseBytes(t *testing.T) {
 		{"2G", 2 << 30, false},
 		{"1T", 1 << 40, false},
 		{"1.5K", 1536, false},
+		{"1.5G", 3 << 29, false},
+		{".5K", 512, false},
+		{"1.", 1, false},
+		// Integer byte counts are exact — no float64 round-trip. 2^53+1 is
+		// the first integer float64 cannot represent; the old parser
+		// silently rounded it to 2^53.
+		{"9007199254740993", 9007199254740993, false},
+		{"9007199254740993B", 9007199254740993, false},
+		{"4611686018427387903", 4611686018427387903, false}, // 2^62 - 1: the cap itself
+		{"4611686018427387904", 0, true},                    // 2^62: past the cap
+		{"8796093022207K", (int64(1)<<43 - 1) << 10, false}, // exact near the cap with a suffix
 		{"-1", 0, true},
 		{"-1K", 0, true},
 		{"x", 0, true},
@@ -154,6 +169,20 @@ func TestParseBytes(t *testing.T) {
 		{"NaN", 0, true},
 		{"Inf", 0, true},
 		{"1e30", 0, true},
+		// Exotic float syntax strconv would happily accept is rejected:
+		// scientific notation (with or without a suffix), hex floats,
+		// digit-separating underscores, explicit signs and doubled points.
+		{"1e3", 0, true},
+		{"1e3M", 0, true},
+		{"1E3", 0, true},
+		{"0x1p10", 0, true},
+		{"0X1P10", 0, true},
+		{"1_000", 0, true},
+		{"1_0.5K", 0, true},
+		{"+5", 0, true},
+		{"1.2.3", 0, true},
+		{".", 0, true},
+		{".K", 0, true},
 	}
 	for _, tc := range cases {
 		got, err := ParseBytes(tc.in)

@@ -9,9 +9,10 @@ import (
 
 // recordExecution stores the bookkeeping of the event just taken from the
 // top frame: its vector clock (program order joined with the clocks of the
-// send events of its consumed messages) and the keys of the messages it
-// sent (derived from the bag difference to the successor state).
-func (e *engine) recordExecution(ev core.Event, next *core.State) {
+// send events of its consumed messages) and sent, the keys of the messages
+// it sent (the caller derives them with sentKeys from the bag difference
+// to the successor state, or replays them from a speculative record).
+func (e *engine) recordExecution(ev core.Event, sent []string) {
 	f := &e.stack[len(e.stack)-1]
 	n := e.p.N
 	clock := make([]int, n)
@@ -32,7 +33,7 @@ func (e *engine) recordExecution(ev core.Event, next *core.State) {
 	clock[ev.T.Proc]++
 	f.executed = ev
 	f.clock = clock
-	f.sent = sentKeys(f.state, next, ev)
+	f.sent = sent
 	for _, k := range f.sent {
 		e.sendClocks[k] = append(e.sendClocks[k], clock)
 	}
@@ -129,7 +130,7 @@ func (e *engine) raceAt(ev core.Event, avail []int, d int) raceOutcome {
 		return raceContinue
 	}
 	if _, ok := g.keys[ev.Key()]; ok {
-		g.backtrack[ev.Key()] = true
+		e.addBacktrack(g, ev.Key())
 		return raceFound
 	}
 	// ev was not executable at d (guard or quorum not yet satisfiable
@@ -137,9 +138,9 @@ func (e *engine) raceAt(ev core.Event, avail []int, d int) raceOutcome {
 	// Flanagan–Godefroid's "add all enabled processes" fallback. (A
 	// restriction to ev-dependent events looks tempting but loses
 	// interleavings — the generated-protocol validation suite catches it.)
-	//lint:nondet-ok order-free set union: every key is inserted and insertion commutes
+	//lint:nondet-ok order-free set union: every key is inserted and insertion commutes; the publish order speculative workers see varies with it, but records are pure, so only scheduling — never results — is affected
 	for k := range g.keys {
-		g.backtrack[k] = true
+		e.addBacktrack(g, k)
 	}
 	return raceFound
 }

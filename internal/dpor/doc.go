@@ -1,0 +1,32 @@
+// Package dpor implements dynamic partial-order reduction in the style of
+// Flanagan and Godefroid (POPL 2005), the algorithm the paper uses for its
+// single-message baselines (Table I, "No quorum (DPOR)").
+//
+// DPOR computes reduced expansion sets on the fly: the search starts each
+// state with a single scheduled event and, whenever an executed event races
+// with an earlier one on the stack (dependent, not ordered by
+// happens-before, and co-enabled), schedules the racing event as a
+// backtrack point at the earlier state. Happens-before is tracked with
+// vector clocks over program order and send→consume edges.
+//
+// As in the paper (§III-A), DPOR requires stateless search — it is unsound
+// with a visited-state set — so states are revisited along different paths
+// and the reported state count is node visits, matching how Table I counts
+// the Basset/DPOR column. And as in Basset, quorum transitions are not
+// supported: Explore rejects protocols that declare any (Table I, fn. 2).
+//
+// # Speculation and commit
+//
+// ExploreParallel splits the work the way the repo's other parallel
+// engines do: a single commit walk runs sequential DPOR verbatim, and a
+// pool of speculative workers runs ahead of it. The walk publishes every
+// backtrack point it schedules at a frame it has not returned to yet;
+// workers claim the deepest-published points and precompute pure expansion
+// records — enabled events, executed successors, invariant checks and
+// sent-message keys, all deterministic functions of a state alone — which
+// the walk consumes in place of its inline computation when it reaches the
+// same states. Everything path-dependent (vector clocks, race detection,
+// backtrack and sleep sets) stays inside the walk, so a record can be
+// missing but never wrong, and verdicts, deterministic statistics and
+// counterexample traces are bit-identical to Explore for any worker count.
+package dpor

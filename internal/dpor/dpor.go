@@ -1,19 +1,3 @@
-// Package dpor implements dynamic partial-order reduction in the style of
-// Flanagan and Godefroid (POPL 2005), the algorithm the paper uses for its
-// single-message baselines (Table I, "No quorum (DPOR)").
-//
-// DPOR computes reduced expansion sets on the fly: the search starts each
-// state with a single scheduled event and, whenever an executed event races
-// with an earlier one on the stack (dependent, not ordered by
-// happens-before, and co-enabled), schedules the racing event as a
-// backtrack point at the earlier state. Happens-before is tracked with
-// vector clocks over program order and send→consume edges.
-//
-// As in the paper (§III-A), DPOR requires stateless search — it is unsound
-// with a visited-state set — so states are revisited along different paths
-// and the reported state count is node visits, matching how Table I counts
-// the Basset/DPOR column. And as in Basset, quorum transitions are not
-// supported: Explore rejects protocols that declare any (Table I, fn. 2).
 package dpor
 
 import (
@@ -44,20 +28,27 @@ func Explore(p *core.Protocol, opts explore.Options) (*explore.Result, error) {
 
 // ExploreWith is Explore with explicit engine configuration.
 func ExploreWith(p *core.Protocol, opts explore.Options, cfg Config) (*explore.Result, error) {
-	if err := p.Finalize(); err != nil {
-		return nil, err
-	}
-	for _, t := range p.Transitions {
-		if t.Quorum > 1 || t.Quorum == core.AnyQuorum {
-			return nil, fmt.Errorf("dpor: transition %s is a quorum transition; DPOR supports single-message models only", t)
-		}
-	}
-	a, err := por.NewAnalysis(p)
+	a, err := analyze(p)
 	if err != nil {
 		return nil, err
 	}
 	e := &engine{p: p, a: a, opts: opts, cfg: cfg}
 	return e.run()
+}
+
+// analyze finalizes and validates the protocol for DPOR — rejecting quorum
+// transitions, which DPOR cannot reduce soundly — and builds the
+// dependence analysis. Shared by the sequential and parallel entry points.
+func analyze(p *core.Protocol) (*por.Analysis, error) {
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	for _, t := range p.Transitions {
+		if t.Quorum > 1 || t.Quorum == core.AnyQuorum {
+			return nil, fmt.Errorf("dpor: transition %s is a quorum transition; DPOR supports single-message models only (rebuild the protocol in the single-message style — mpcheck's -model single)", t)
+		}
+	}
+	return por.NewAnalysis(p)
 }
 
 // DeadlockStates runs the DPOR search and returns the distinct terminal
@@ -95,6 +86,11 @@ type frame struct {
 	executed core.Event
 	clock    []int    // vector clock of the executed event
 	sent     []string // message keys the executed event sent
+	// rec is the speculative expansion record this frame's state was pushed
+	// with, when ExploreParallel's workers got there first; nil under
+	// sequential search and on memo misses. Its succs are indexed parallel
+	// to enabled.
+	rec *specRecord
 }
 
 type engine struct {
@@ -108,6 +104,13 @@ type engine struct {
 	// (possibly repeated) send events along the current path.
 	sendClocks map[string][][]int
 	res        explore.Result
+	// Speculation hooks, set only by ExploreParallel: memo is the table of
+	// worker-built expansion records push consumes; publish announces a
+	// newly scheduled backtrack point as a steal target; specHits counts
+	// consumed records (surfaced as the volatile Stats.SpeculationHits).
+	memo     *specMemo
+	publish  func(specTarget)
+	specHits int
 }
 
 func (e *engine) run() (*explore.Result, error) {
@@ -139,19 +142,46 @@ func (e *engine) run() (*explore.Result, error) {
 			continue
 		}
 		f.done[key] = true
-		ev := f.enabled[f.keys[key]]
-		ns, err := e.p.Execute(f.state, ev)
-		if err != nil {
-			return nil, err
+		idx := f.keys[key]
+		ev := f.enabled[idx]
+		// A frame pushed with a speculative record replays the memoized
+		// successor — Execute result, sent-message keys and invariant check
+		// are pure functions of (state, event), so the record equals what
+		// the inline computation below would produce. (Sole caveat: the
+		// sent keys follow Bag.Each's unspecified iteration order, so the
+		// record's slice may be a permutation of the inline one — harmless,
+		// since every consumer of frame.sent folds it into a set.)
+		var ns *core.State
+		var sent []string
+		var verr error
+		fromRec := false
+		if f.rec != nil {
+			sc := &f.rec.succs[idx]
+			if sc.err != nil {
+				return nil, sc.err
+			}
+			ns, sent, verr, fromRec = sc.st, sc.sent, sc.verr, true
+		} else {
+			var err error
+			ns, err = e.p.Execute(f.state, ev)
+			if err != nil {
+				return nil, err
+			}
 		}
 		e.res.Stats.Events++
 		e.updateRaces(ev)
-		e.recordExecution(ev, ns)
-		if verr := e.p.CheckInvariant(ns); verr != nil {
+		if !fromRec {
+			sent = sentKeys(f.state, ns, ev)
+		}
+		e.recordExecution(ev, sent)
+		if !fromRec {
+			verr = e.p.CheckInvariant(ns)
+		}
+		if verr != nil {
 			e.res.Stats.States++
 			e.res.Verdict = explore.VerdictViolated
 			e.res.Violation = verr
-			e.res.Trace = e.trace()
+			e.res.Trace = e.trace(ns)
 			return &e.res, nil
 		}
 		e.push(ns)
@@ -229,17 +259,29 @@ func (e *engine) backtrackDisabled(ev core.Event) {
 			continue
 		}
 		if _, still := child.keys[k]; !still {
-			parent.backtrack[k] = true
+			e.addBacktrack(parent, k)
 		}
 	}
 }
 
-// push enters a new state: computes its enabled events and seeds the
-// backtrack set with a single event (highest transition priority, then
-// enumeration order) — the defining move of DPOR.
+// push enters a new state: computes its enabled events — consuming a
+// speculative expansion record when a parallel worker got there first —
+// and seeds the backtrack set with a single event (highest transition
+// priority, then enumeration order) — the defining move of DPOR.
 func (e *engine) push(s *core.State) {
 	e.res.Stats.States++
-	enabled := e.p.Enabled(s)
+	var rec *specRecord
+	if e.memo != nil {
+		if rec = e.memo.take(s.Key()); rec != nil {
+			e.specHits++
+		}
+	}
+	var enabled []core.Event
+	if rec != nil {
+		enabled = rec.enabled
+	} else {
+		enabled = e.p.Enabled(s)
+	}
 	f := frame{
 		state:     s,
 		enabled:   enabled,
@@ -247,6 +289,7 @@ func (e *engine) push(s *core.State) {
 		backtrack: make(map[string]bool, 1),
 		done:      make(map[string]bool, 1),
 		sleep:     make(map[string]core.Event),
+		rec:       rec,
 	}
 	for i, ev := range enabled {
 		f.keys[ev.Key()] = i
@@ -307,6 +350,22 @@ func (e *engine) pop() {
 	}
 }
 
+// addBacktrack schedules event key k for exploration at frame g. Under
+// ExploreParallel, a point that is genuinely new and not yet explored is
+// also published as a steal target — it is the root of a subtree the
+// commit walk will re-explore once it returns to g, which a speculative
+// worker can expand in the meantime. (The seed event push schedules is not
+// published: the walk executes it on its very next iteration.)
+func (e *engine) addBacktrack(g *frame, k string) {
+	if g.backtrack[k] {
+		return
+	}
+	g.backtrack[k] = true
+	if e.publish != nil && !g.done[k] {
+		e.publish(specTarget{src: g.state, ev: g.enabled[g.keys[k]]})
+	}
+}
+
 // nextEvent picks the next scheduled, unexplored, non-sleeping event of f
 // in the deterministic enabled order.
 func (e *engine) nextEvent(f *frame) (string, bool) {
@@ -322,14 +381,26 @@ func (e *engine) nextEvent(f *frame) (string, bool) {
 	return "", false
 }
 
-// trace reconstructs the current path as a counterexample.
-func (e *engine) trace() []explore.Step {
+// trace reconstructs the current path as a counterexample. final is the
+// violating state the last executed event reached (it is never pushed, so
+// it is not on the stack). Each step carries the key of the state its
+// event reached — stack[i+1]'s state for inner steps, final for the last —
+// so explore.Replay's canon cross-check can verify DPOR traces the same
+// way it verifies stateful-engine traces.
+func (e *engine) trace(final *core.State) []explore.Step {
 	var steps []explore.Step
 	for i := 0; i < len(e.stack); i++ {
 		f := &e.stack[i]
-		if f.clock != nil {
-			steps = append(steps, explore.Step{Event: f.executed})
+		if f.clock == nil {
+			continue
 		}
+		key := ""
+		if i+1 < len(e.stack) {
+			key = e.stack[i+1].state.Key()
+		} else if final != nil {
+			key = final.Key()
+		}
+		steps = append(steps, explore.Step{Event: f.executed, StateKey: key})
 	}
 	return steps
 }

@@ -87,14 +87,18 @@ var DeterministicStatsFields = []string{
 }
 
 // VolatileStatsFields lists the explore.Stats fields explicitly excluded
-// from the determinism guarantee — wall-clock time and the spill tier's
-// storage-effort counters, whose values depend on insert timing — and
-// therefore masked before any cross-run or cross-engine comparison.
+// from the determinism guarantee — wall-clock time, the spill tier's
+// storage-effort counters, whose values depend on insert timing, and the
+// parallel-DPOR speculation counters, whose values depend on worker
+// scheduling — and therefore masked before any cross-run or cross-engine
+// comparison.
 var VolatileStatsFields = []string{
 	"Duration",
 	"SpillRuns",
 	"SpillBytes",
 	"DiskProbes",
+	"SpeculatedVisits",
+	"SpeculationHits",
 }
 
 // MaskVolatileStats zeroes the fields of st that VolatileStatsFields

@@ -30,17 +30,18 @@ type Options struct {
 	// (3,1,1,1) row of Table II and doubles the Paxos ballots.
 	Paper bool
 	// Workers > 0 runs the stateful cells (SPOR, unreduced) with the
-	// speculative parallel DFS engine and that many workers — sound on any
-	// model (the commit walk enforces the stack variant of the ignoring
-	// proviso, so reduction is safe on cyclic state graphs too) and
-	// bit-identical to the sequential DFS cells: verdicts, state and event
-	// counts never change, only wall-clock. DPOR cells are inherently
-	// sequential and ignore it.
+	// speculative parallel DFS engine and the DPOR cells with the
+	// speculative parallel DPOR engine, each with that many workers —
+	// sound on any model (the DFS commit walk enforces the stack variant
+	// of the ignoring proviso; the DPOR commit walk replays the sequential
+	// exploration verbatim) and bit-identical to the sequential cells:
+	// verdicts, state and event counts never change, only wall-clock.
 	Workers int
 	// StealDepth bounds one stolen subtree's speculation in the parallel
-	// DFS cells (events below a stolen sibling before the worker steals
-	// afresh); 0 selects the engine default. It never changes cell
-	// results, only throughput, and is ignored without Workers.
+	// DFS and DPOR cells (events below a stolen sibling or backtrack
+	// point before the worker steals afresh); 0 selects the engine
+	// default. It never changes cell results, only throughput, and is
+	// ignored without Workers.
 	StealDepth int
 	// StoreBudgetBytes > 0 runs the stateful cells over a two-tier
 	// explore.SpillStore: the visited set's in-memory hot tier is bounded
@@ -152,9 +153,16 @@ func RunSPOR(column string, p *core.Protocol, opts Options) Cell {
 }
 
 // RunDPOR is the stateless dynamic-POR cell (single-message models only);
-// always sequential.
+// speculative parallel DPOR when Options.Workers is set, with results
+// bit-identical to the sequential engine.
 func RunDPOR(column string, p *core.Protocol, opts Options) Cell {
-	return run(column, p, opts, dpor.Explore, explore.Options{})
+	engine, xo := dpor.Explore, explore.Options{}
+	if opts.Workers > 0 {
+		xo.Workers = opts.Workers
+		xo.StealDepth = opts.StealDepth
+		engine = dpor.ExploreParallel
+	}
+	return run(column, p, opts, engine, xo)
 }
 
 // RunUnreduced is the plain stateful cell.

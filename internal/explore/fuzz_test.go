@@ -24,12 +24,23 @@
 // reference of its reduction mode, and every reported lasso must replay.
 // The fair parameter turns on weak fairness, exercising the copies
 // monitor.
+//
+// A third mode (the dporMode parameter, which takes precedence) targets the
+// stateless dynamic-POR engine: the input decodes into a generated
+// single-message model (quorum, cycle and trap knobs forced off — DPOR
+// rejects quorum transitions and assumes acyclic state graphs), and
+// dpor.ExploreParallel at 1, 2 and 4 workers must be bit-identical —
+// verdict, statistics modulo the volatile speculation counters, violation
+// and trace — to sequential dpor.Explore, with sleep sets on and off. The
+// seed corpus mirrors the DPOR validation suite's generator configurations.
 package explore_test
 
 import (
 	"testing"
 
 	"mpbasset/internal/core"
+	"mpbasset/internal/dpor"
+	"mpbasset/internal/eval"
 	"mpbasset/internal/explore"
 	"mpbasset/internal/liveness"
 	"mpbasset/internal/mptest"
@@ -238,6 +249,70 @@ func fuzzLivenessCheck(t *testing.T, p *core.Protocol, prop *liveness.Property) 
 	}
 }
 
+// fuzzDPORCheck is the dporMode body of the harness: on a generated
+// single-message model, sequential DPOR fixes the reference per sleep-set
+// mode and the speculative parallel engine at 1, 2 and 4 workers is held
+// bit-identical to it — verdict, statistics modulo the volatile speculation
+// counters, violation message and counterexample trace — with every
+// violation replayed.
+func fuzzDPORCheck(t *testing.T, p *core.Protocol) {
+	for _, sleep := range []bool{true, false} {
+		cfg := dpor.Config{SleepSets: sleep}
+		opts := explore.Options{MaxStates: fuzzMaxStates}
+		ref, err := dpor.ExploreWith(p, opts, cfg)
+		if err != nil {
+			t.Fatalf("sequential DPOR (sleep=%v): %v", sleep, err)
+		}
+		if ref.Verdict == explore.VerdictLimit {
+			t.Skip("state space exceeds the fuzz budget")
+		}
+		if ref.Verdict == explore.VerdictViolated {
+			if _, err := explore.ReplayViolation(p, ref.Trace, nil); err != nil {
+				t.Errorf("sleep=%v: sequential DPOR counterexample does not replay: %v", sleep, err)
+			}
+		}
+		for _, w := range []int{1, 2, 4} {
+			popts := opts
+			popts.Workers = w
+			res, err := dpor.ExploreParallelWith(p, popts, cfg)
+			if err != nil {
+				t.Fatalf("parallel DPOR w=%d (sleep=%v): %v", w, sleep, err)
+			}
+			if res.Verdict != ref.Verdict {
+				t.Errorf("dpor w=%d sleep=%v: verdict %s, sequential %s", w, sleep, res.Verdict, ref.Verdict)
+				continue
+			}
+			if !eval.StatsEqualModuloVolatile(res.Stats, ref.Stats) {
+				rs, ws := res.Stats, ref.Stats
+				eval.MaskVolatileStats(&rs)
+				eval.MaskVolatileStats(&ws)
+				t.Errorf("dpor w=%d sleep=%v: stats %+v, sequential %+v", w, sleep, rs, ws)
+			}
+			refViol, resViol := "", ""
+			if ref.Violation != nil {
+				refViol = ref.Violation.Error()
+			}
+			if res.Violation != nil {
+				resViol = res.Violation.Error()
+			}
+			if resViol != refViol {
+				t.Errorf("dpor w=%d sleep=%v: violation %q, sequential %q", w, sleep, resViol, refViol)
+			}
+			if len(res.Trace) != len(ref.Trace) {
+				t.Errorf("dpor w=%d sleep=%v: trace length %d, sequential %d", w, sleep, len(res.Trace), len(ref.Trace))
+				continue
+			}
+			for i := range res.Trace {
+				if res.Trace[i].StateKey != ref.Trace[i].StateKey ||
+					res.Trace[i].Event.Key() != ref.Trace[i].Event.Key() {
+					t.Errorf("dpor w=%d sleep=%v: trace step %d diverges", w, sleep, i)
+					break
+				}
+			}
+		}
+	}
+}
+
 func FuzzEngineAgreement(f *testing.F) {
 	// Seed corpus: an acyclic quorum protocol, the cyclic soundness-matrix
 	// configurations (two-process bounce and longer rings at benign and
@@ -245,16 +320,16 @@ func FuzzEngineAgreement(f *testing.F) {
 	// violating deep-cycle seed, two deep-round seeds (long first-child
 	// spines, the ParallelDFS steal stress), and the ignoring trap at
 	// rings 2 and 4.
-	f.Add(int64(0), uint8(2), uint8(0), uint8(0), uint8(0), uint8(0), true, false, false, false, false, false)
-	f.Add(int64(0), uint8(2), uint8(0), uint8(0), uint8(1), uint8(0), true, false, true, false, false, false)
-	f.Add(int64(5), uint8(2), uint8(0), uint8(3), uint8(1), uint8(0), true, false, true, false, false, false)
-	f.Add(int64(3), uint8(2), uint8(3), uint8(3), uint8(1), uint8(0), true, false, true, false, false, false)
-	f.Add(int64(9), uint8(2), uint8(4), uint8(3), uint8(2), uint8(0), true, true, true, false, false, false)
-	f.Add(int64(1), uint8(2), uint8(3), uint8(3), uint8(2), uint8(0), true, false, true, false, false, false)
-	f.Add(int64(4), uint8(1), uint8(0), uint8(0), uint8(0), uint8(2), true, false, false, false, false, false)
-	f.Add(int64(7), uint8(2), uint8(3), uint8(3), uint8(1), uint8(2), true, false, true, false, false, false)
-	f.Add(int64(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), false, false, false, true, false, false)
-	f.Add(int64(0), uint8(0), uint8(2), uint8(0), uint8(0), uint8(0), false, false, false, true, false, false)
+	f.Add(int64(0), uint8(2), uint8(0), uint8(0), uint8(0), uint8(0), true, false, false, false, false, false, false)
+	f.Add(int64(0), uint8(2), uint8(0), uint8(0), uint8(1), uint8(0), true, false, true, false, false, false, false)
+	f.Add(int64(5), uint8(2), uint8(0), uint8(3), uint8(1), uint8(0), true, false, true, false, false, false, false)
+	f.Add(int64(3), uint8(2), uint8(3), uint8(3), uint8(1), uint8(0), true, false, true, false, false, false, false)
+	f.Add(int64(9), uint8(2), uint8(4), uint8(3), uint8(2), uint8(0), true, true, true, false, false, false, false)
+	f.Add(int64(1), uint8(2), uint8(3), uint8(3), uint8(2), uint8(0), true, false, true, false, false, false, false)
+	f.Add(int64(4), uint8(1), uint8(0), uint8(0), uint8(0), uint8(2), true, false, false, false, false, false, false)
+	f.Add(int64(7), uint8(2), uint8(3), uint8(3), uint8(1), uint8(2), true, false, true, false, false, false, false)
+	f.Add(int64(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), false, false, false, true, false, false, false)
+	f.Add(int64(0), uint8(0), uint8(2), uint8(0), uint8(0), uint8(0), false, false, false, true, false, false, false)
 
 	// Liveness-mode seeds: the liveness trap at rings 2 and 4 (the proviso
 	// regression, where proviso-free reduction hides the accepting cycle),
@@ -262,16 +337,35 @@ func FuzzEngineAgreement(f *testing.F) {
 	// real-cycle counterexample, an acyclic quorum model whose runs halt
 	// short of the goal (stutter lassos), a verified-side model, and two
 	// weakly fair variants (the copies monitor over both polarities).
-	f.Add(int64(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), false, false, false, true, true, false)
-	f.Add(int64(0), uint8(0), uint8(2), uint8(0), uint8(0), uint8(0), false, false, false, true, true, false)
-	f.Add(int64(1), uint8(2), uint8(3), uint8(3), uint8(1), uint8(0), true, false, true, false, true, false)
-	f.Add(int64(3), uint8(2), uint8(3), uint8(3), uint8(0), uint8(0), true, false, true, false, true, false)
-	f.Add(int64(0), uint8(2), uint8(0), uint8(0), uint8(1), uint8(0), true, false, false, false, true, false)
-	f.Add(int64(4), uint8(1), uint8(0), uint8(0), uint8(0), uint8(2), true, false, false, false, true, false)
-	f.Add(int64(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), false, false, false, true, true, true)
-	f.Add(int64(1), uint8(2), uint8(3), uint8(3), uint8(1), uint8(0), true, false, true, false, true, true)
+	f.Add(int64(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), false, false, false, true, true, false, false)
+	f.Add(int64(0), uint8(0), uint8(2), uint8(0), uint8(0), uint8(0), false, false, false, true, true, false, false)
+	f.Add(int64(1), uint8(2), uint8(3), uint8(3), uint8(1), uint8(0), true, false, true, false, true, false, false)
+	f.Add(int64(3), uint8(2), uint8(3), uint8(3), uint8(0), uint8(0), true, false, true, false, true, false, false)
+	f.Add(int64(0), uint8(2), uint8(0), uint8(0), uint8(1), uint8(0), true, false, false, false, true, false, false)
+	f.Add(int64(4), uint8(1), uint8(0), uint8(0), uint8(0), uint8(2), true, false, false, false, true, false, false)
+	f.Add(int64(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), false, false, false, true, true, true, false)
+	f.Add(int64(1), uint8(2), uint8(3), uint8(3), uint8(1), uint8(0), true, false, true, false, true, true, false)
 
-	f.Fuzz(func(t *testing.T, seed int64, procs, ring, prio, threshold, rounds uint8, quorums, anyQuorums, cycles, trap, livenessMode, fair bool) {
+	// DPOR-mode seeds, mirroring the validation suite's generator
+	// configurations (internal/dpor's differential tests): small rings at
+	// thresholds 0..2 and a deep-round spine, all single-message.
+	f.Add(int64(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), false, false, false, false, false, false, true)
+	f.Add(int64(3), uint8(1), uint8(0), uint8(0), uint8(2), uint8(0), false, false, false, false, false, false, true)
+	f.Add(int64(9), uint8(2), uint8(0), uint8(0), uint8(1), uint8(0), false, false, false, false, false, false, true)
+	f.Add(int64(17), uint8(2), uint8(0), uint8(0), uint8(2), uint8(2), false, false, false, false, false, false, true)
+
+	f.Fuzz(func(t *testing.T, seed int64, procs, ring, prio, threshold, rounds uint8, quorums, anyQuorums, cycles, trap, livenessMode, fair, dporMode bool) {
+		if dporMode {
+			// Single-message only: quorum transitions are rejected by the
+			// engine and cyclic state graphs break the stateless search, so
+			// those knobs (and the traps) are forced off.
+			p, err := decodeFuzzProtocol(seed, procs, ring, prio, threshold, rounds, false, false, false, false)
+			if err != nil {
+				t.Fatalf("generator rejected a clamped config: %v", err)
+			}
+			fuzzDPORCheck(t, p)
+			return
+		}
 		if livenessMode {
 			p, prop, err := decodeFuzzLiveness(seed, procs, ring, prio, threshold, rounds, quorums, anyQuorums, cycles, trap, fair)
 			if err != nil {

@@ -79,6 +79,13 @@ type Step struct {
 // other counter — they are NOT covered by the engines' determinism
 // guarantee (in parallel runs the insert timing moves the spill points),
 // and the differential test suites mask them when comparing runs.
+//
+// SpeculatedVisits and SpeculationHits report the speculation layer's
+// activity in dpor.ExploreParallel (always zero elsewhere): expansion
+// records the workers built, and records the commit walk consumed. They
+// describe scheduling luck, not the explored state space — both depend on
+// worker timing — so, like the spill counters, they are volatile and
+// masked before any determinism comparison.
 type Stats struct {
 	States            int
 	Revisits          int
@@ -92,6 +99,8 @@ type Stats struct {
 	SpillRuns         int
 	SpillBytes        int64
 	DiskProbes        int64
+	SpeculatedVisits  int
+	SpeculationHits   int
 	Duration          time.Duration
 }
 

@@ -35,9 +35,10 @@ type EntryPoints struct {
 }
 
 // DefaultEntryPoints returns the engine root set: the six exploration
-// entry functions, the liveness oracle and the DPOR drivers; the store,
-// expander and local-state interfaces; and the protocol/property/options
-// callback structs through which user code is invoked by the engines.
+// entry functions, the liveness oracle and the DPOR drivers (sequential
+// and speculative parallel); the store, expander and local-state
+// interfaces; and the protocol/property/options callback structs through
+// which user code is invoked by the engines.
 func DefaultEntryPoints() *EntryPoints {
 	return &EntryPoints{
 		Funcs: []string{
@@ -50,6 +51,8 @@ func DefaultEntryPoints() *EntryPoints {
 			"internal/liveness.Oracle",
 			"internal/dpor.Explore",
 			"internal/dpor.ExploreWith",
+			"internal/dpor.ExploreParallel",
+			"internal/dpor.ExploreParallelWith",
 		},
 		Ifaces: []string{
 			"internal/explore.Store",

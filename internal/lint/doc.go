@@ -25,7 +25,8 @@
 //
 //   - functions: the search drivers (internal/explore BFS, DFS,
 //     ParallelBFS, ParallelDFS, NDFS, ParallelNDFS), internal/dpor
-//     Explore/ExploreWith, internal/liveness.Oracle;
+//     Explore/ExploreWith/ExploreParallel/ExploreParallelWith,
+//     internal/liveness.Oracle;
 //   - interfaces: internal/explore.Store, internal/explore.Expander,
 //     internal/core.LocalState — every method of every in-module
 //     implementing type is an entry point and a dispatch target;

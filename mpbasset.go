@@ -15,22 +15,25 @@
 //	res, err := mpbasset.Check(p, mpbasset.Options{Search: mpbasset.SearchSPOR})
 //	fmt.Println(res.Verdict, res.Stats.States)
 //
-// Setting Options.Workers parallelizes the selected engine over a sharded
-// concurrent visited-state store: the DFS searches (SearchSPOR,
-// SearchUnreduced) run the speculative parallel DFS engine — workers steal
+// Setting Options.Workers parallelizes the selected engine: the DFS
+// searches (SearchSPOR, SearchUnreduced) run the speculative parallel DFS
+// engine over a sharded concurrent visited-state store — workers steal
 // unexplored sibling subtrees from the deep end of the search stack and
 // expand them ahead of a commit walk that replays the exact sequential
-// order — while SearchBFS runs the frontier-parallel BFS engine with its
-// deterministic per-level merge. Either way, verdicts, state counts and
+// order — SearchBFS runs the frontier-parallel BFS engine with its
+// deterministic per-level merge, and SearchDPOR runs the speculative
+// parallel DPOR engine, whose workers claim pending backtrack points and
+// precompute the subtrees below them while the commit walk replays
+// sequential DPOR verbatim. Either way, verdicts, state counts and
 // counterexamples are reproducible and identical to the corresponding
 // sequential search for any worker count. Parallel search is sound for the
 // reduced searches because the expanders and canonicalizers are
-// stateless/read-only, and — like every engine here — it enforces the
-// ignoring proviso, so partial-order reduction stays sound on cyclic state
-// graphs too: the DFS engines re-expand states whose reduced expansion
-// would close a cycle on the search stack, the BFS engines re-expand
-// states whose reduced expansion discovers nothing that was unvisited when
-// their level began (see Result.Stats.ProvisoExpansions).
+// stateless/read-only, and — like every stateful engine here — it enforces
+// the ignoring proviso, so partial-order reduction stays sound on cyclic
+// state graphs too: the DFS engines re-expand states whose reduced
+// expansion would close a cycle on the search stack, the BFS engines
+// re-expand states whose reduced expansion discovers nothing that was
+// unvisited when their level began (see Result.Stats.ProvisoExpansions).
 //
 // Setting Options.StoreBudgetBytes bounds the visited set's memory
 // footprint for beyond-RAM state spaces: the search runs over a two-tier
@@ -154,19 +157,22 @@ type Options struct {
 	// TrackTrace records parent links so BFS can reconstruct
 	// counterexamples (DFS variants always can).
 	TrackTrace bool
-	// Workers > 0 parallelizes the selected stateful search with that many
-	// workers over a sharded concurrent visited-state store. The DFS
-	// searches (SearchSPOR, SearchUnreduced) run the speculative parallel
-	// DFS engine: workers steal unexplored sibling subtrees from the deep
-	// end of the search stack and precompute their expansions, while a
-	// commit walk replays the exact sequential DFS order — results are
-	// bit-identical to the sequential search for any worker count.
-	// SearchBFS runs the frontier-parallel BFS engine (deterministic
-	// per-level merge, identical to sequential BFS). Both are sound on
-	// every model, cyclic ones included: the expanders and canon functions
-	// are stateless/read-only, and each engine enforces its variant of the
-	// ignoring proviso. Stateless and DPOR searches do not support
-	// workers.
+	// Workers > 0 parallelizes the selected search with that many workers.
+	// The DFS searches (SearchSPOR, SearchUnreduced) run the speculative
+	// parallel DFS engine over a sharded concurrent visited-state store:
+	// workers steal unexplored sibling subtrees from the deep end of the
+	// search stack and precompute their expansions, while a commit walk
+	// replays the exact sequential DFS order — results are bit-identical
+	// to the sequential search for any worker count. SearchBFS runs the
+	// frontier-parallel BFS engine (deterministic per-level merge,
+	// identical to sequential BFS). SearchDPOR runs the speculative
+	// parallel DPOR engine: workers claim pending backtrack points and
+	// precompute the subtrees below them, while the commit walk replays
+	// sequential DPOR verbatim — again bit-identical for any worker
+	// count. All are sound on every model, cyclic ones included: the
+	// expanders and canon functions are stateless/read-only, and each
+	// stateful engine enforces its variant of the ignoring proviso. Only
+	// SearchStateless does not support workers (-workers in the CLIs).
 	Workers int
 	// ChunkSize fixes how many frontier nodes a parallel BFS worker claims
 	// per grab; 0 means adaptive (frontier/(workers*8), clamped to
@@ -180,11 +186,12 @@ type Options struct {
 	// it.
 	BatchSize int
 	// StealDepth bounds one stolen subtree's speculation in the parallel
-	// DFS searches: a worker explores at most this many events below a
-	// stolen sibling before reporting back and stealing afresh; 0 means
-	// the default of 8. It tunes throughput only and never changes
-	// results. Only meaningful with Workers > 0 and the DFS searches
-	// (SearchSPOR, SearchUnreduced); SearchBFS ignores it.
+	// DFS and DPOR searches: a worker explores at most this many events
+	// below a stolen sibling (or backtrack point) before reporting back
+	// and stealing afresh; 0 means the default of 8. It tunes throughput
+	// only and never changes results. Only meaningful with Workers > 0
+	// and the DFS searches (SearchSPOR, SearchUnreduced) or SearchDPOR;
+	// SearchBFS ignores it.
 	StealDepth int
 	// ExactStates stores full state keys instead of 128-bit fingerprints
 	// (more memory, zero collision risk). Incompatible with
@@ -240,7 +247,7 @@ func Check(p *Protocol, opts Options) (*Result, error) {
 	if opts.Property != nil {
 		switch opts.Search {
 		case SearchBFS, SearchStateless, SearchDPOR:
-			return nil, fmt.Errorf("mpbasset: Property requires a DFS search (SearchSPOR or SearchUnreduced): liveness checking runs nested depth-first search")
+			return nil, fmt.Errorf("mpbasset: Property (-property) requires a DFS search (SearchSPOR or SearchUnreduced): liveness checking runs nested depth-first search")
 		}
 		// Instrument before the expander is built in runSearch, so the
 		// property-visible marks constrain the reduction (C2).
@@ -261,7 +268,7 @@ func Check(p *Protocol, opts Options) (*Result, error) {
 		Property:    opts.Property,
 	}
 	if opts.SpillDir != "" && opts.StoreBudgetBytes <= 0 {
-		return nil, fmt.Errorf("mpbasset: SpillDir requires StoreBudgetBytes (the spill directory is meaningless without a memory budget)")
+		return nil, fmt.Errorf("mpbasset: SpillDir (-spill-dir) requires StoreBudgetBytes (-mem-budget): the spill directory is meaningless without a memory budget")
 	}
 	parallel := opts.Workers > 0
 	var spill *explore.SpillStore
@@ -271,7 +278,7 @@ func Check(p *Protocol, opts Options) (*Result, error) {
 		}
 		switch opts.Search {
 		case SearchStateless, SearchDPOR:
-			return nil, fmt.Errorf("mpbasset: StoreBudgetBytes requires a stateful search (stateless and DPOR searches keep no visited set)")
+			return nil, fmt.Errorf("mpbasset: StoreBudgetBytes (-mem-budget) requires a stateful search (stateless and DPOR searches keep no visited set to spill)")
 		}
 		sp, err := explore.NewSpillStore(explore.SpillConfig{
 			BudgetBytes: opts.StoreBudgetBytes,
@@ -352,12 +359,12 @@ func runSearch(p *Protocol, opts Options, xo explore.Options, parallel bool) (*R
 		return stateful(explore.BFS, explore.ParallelBFS)
 	case SearchStateless:
 		if parallel {
-			return nil, fmt.Errorf("mpbasset: Workers is not supported by stateless search")
+			return nil, fmt.Errorf("mpbasset: Workers (-workers) is not supported by stateless search — no parallel engine exists for it (SearchDPOR has one)")
 		}
 		return explore.StatelessDFS(p, xo)
 	case SearchDPOR:
 		if parallel {
-			return nil, fmt.Errorf("mpbasset: Workers is not supported by DPOR search")
+			return dpor.ExploreParallel(p, xo)
 		}
 		return dpor.Explore(p, xo)
 	default:

@@ -175,11 +175,34 @@ func TestCheckWorkers(t *testing.T) {
 	if ce.Verdict != mpbasset.VerdictViolated || len(ce.Trace) == 0 {
 		t.Errorf("faulty paxos with workers: verdict %s, trace %d steps", ce.Verdict, len(ce.Trace))
 	}
-	// Stateless engines cannot run parallel.
-	for _, search := range []mpbasset.Search{mpbasset.SearchStateless, mpbasset.SearchDPOR} {
-		if _, err := mpbasset.Check(p, mpbasset.Options{Search: search, Workers: 2}); err == nil {
-			t.Errorf("search %d accepted Workers", search)
+	// SearchDPOR + Workers runs the speculative parallel DPOR engine,
+	// bit-identical to the sequential DPOR run (single-message models only,
+	// so it gets its own protocol instance).
+	single, err := paxos.New(paxos.Config{Proposers: 1, Acceptors: 3, Learners: 1, Model: paxos.ModelSingle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dporSeq, err := mpbasset.Check(single, mpbasset.Options{Search: mpbasset.SearchDPOR, MaxDuration: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		res, err := mpbasset.Check(single, mpbasset.Options{Search: mpbasset.SearchDPOR, Workers: workers, MaxDuration: 2 * time.Minute})
+		if err != nil {
+			t.Fatalf("dpor workers %d: %v", workers, err)
 		}
+		if res.Verdict != dporSeq.Verdict {
+			t.Errorf("dpor workers %d: verdict %s, sequential %s", workers, res.Verdict, dporSeq.Verdict)
+		}
+		if res.Stats.States != dporSeq.Stats.States || res.Stats.Events != dporSeq.Stats.Events {
+			t.Errorf("dpor workers %d: states=%d events=%d, sequential states=%d events=%d",
+				workers, res.Stats.States, res.Stats.Events, dporSeq.Stats.States, dporSeq.Stats.Events)
+		}
+	}
+	// The stateless search is the only engine without a parallel
+	// counterpart; its rejection names the CLI flag spelling.
+	if _, err := mpbasset.Check(p, mpbasset.Options{Search: mpbasset.SearchStateless, Workers: 2}); err == nil {
+		t.Error("stateless search accepted Workers")
 	}
 }
 
