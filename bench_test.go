@@ -1,7 +1,8 @@
 // Benchmarks regenerating the paper's evaluation: every row and column of
 // Table I (quorum semantics) and Table II (transition refinement), plus
 // ablations over the design choices called out in DESIGN.md (seed
-// heuristics, best-seed search, state stores, symmetry reduction).
+// heuristics, best-seed search, state stores, symmetry reduction) and the
+// store-tier sweep (collapse compression, lossy bitstate hashing).
 //
 // Each benchmark iteration performs one full model-checking run and
 // reports the explored state count as the "states" metric — the number the
@@ -243,6 +244,67 @@ func BenchmarkAblation(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.ReportMetric(float64(res.Stats.States), "states")
+		}
+	})
+}
+
+// BenchmarkStoreTier sweeps the visited-store tiers on the (3,1) regular
+// storage model under SPOR — the eval store-tier table's first row as Go
+// benchmarks. The exact tiers (hash, exact, and their collapse-compressed
+// variants) explore the identical state space, so states/op is constant
+// and time/op isolates the per-state store cost; the bitstate cell runs
+// the lossy tier at its default sizing, where no state happens to be
+// omitted on this model, and time/op prices the k probe hashes.
+func BenchmarkStoreTier(b *testing.B) {
+	newStorage := func(b *testing.B) *core.Protocol {
+		p, err := storage.New(storage.Config{Objects: 3, Readers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	run := func(b *testing.B, p *core.Protocol, o explore.Options) {
+		exp, err := por.NewExpander(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		o.Expander = exp
+		o.MaxDuration = benchBudget()
+		res, err := explore.DFS(p, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Stats.States), "states")
+	}
+	b.Run("hash", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, newStorage(b), explore.Options{Store: explore.NewHashStore()})
+		}
+	})
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, newStorage(b), explore.Options{Store: explore.NewExactStore()})
+		}
+	})
+	b.Run("collapse-hash", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, newStorage(b), explore.Options{
+				Store: explore.NewHashStore(),
+				Canon: explore.NewCollapser().Canon,
+			})
+		}
+	})
+	b.Run("collapse-exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, newStorage(b), explore.Options{
+				Store: explore.NewExactStore(),
+				Canon: explore.NewCollapser().Canon,
+			})
+		}
+	})
+	b.Run("bitstate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, newStorage(b), explore.Options{Store: explore.NewBitstateStore(0, 0)})
 		}
 	})
 }

@@ -1,16 +1,18 @@
 // Command mpbench regenerates the paper's evaluation tables: Table I
 // (quorum semantics) and Table II (transition refinement), plus the
-// state-space analysis of §II-C and a liveness table (the bundled
-// protocols' eventuality properties under nested DFS). It doubles as the
-// CI perf harness: -out serializes every table of a run into a
-// machine-readable report, and -baseline gates the run against a committed
-// report, failing on wall-clock regressions past a threshold or on
-// determinism drift.
+// state-space analysis of §II-C, a liveness table (the bundled protocols'
+// eventuality properties under nested DFS) and a store-tier table
+// (collapse compression against the exact stores, lossy bitstate against
+// an equal-memory exact cap). It doubles as the CI perf harness: -out
+// serializes every table of a run into a machine-readable report, and
+// -baseline gates the run against a committed report, failing on
+// wall-clock regressions past a threshold or on determinism drift.
 //
 //	mpbench -table 1
 //	mpbench -table 2 -budget 2m
 //	mpbench -table 2 -paper          # includes Echo Multicast (3,1,1,1)
 //	mpbench -table 3                 # liveness: NDFS unreduced/SPOR/weakly fair
+//	mpbench -table 4                 # store tiers: collapse + lossy bitstate
 //	mpbench -analysis
 //	mpbench -max-states 20000 -budget 30s -out BENCH_ci.json -baseline BENCH_baseline.json
 package main
@@ -27,7 +29,7 @@ import (
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "table to regenerate: 1, 2 or 3 (liveness); 0 = all")
+		table    = flag.Int("table", 0, "table to regenerate: 1, 2, 3 (liveness) or 4 (store tiers); 0 = all")
 		budget   = flag.Duration("budget", time.Minute, "wall-clock limit per cell (the paper's 48h-timeout analogue)")
 		maxSt    = flag.Int("max-states", 0, "state limit per cell (0 = unlimited); fixes the explored work so -baseline compares like against like")
 		paper    = flag.Bool("paper", false, "run paper-scale workloads (adds Echo Multicast (3,1,1,1); doubles Paxos ballots)")
@@ -42,6 +44,9 @@ func main() {
 		stealD   = flag.Int("steal-depth", 0, "events a parallel DFS/DPOR worker speculates below a stolen sibling or backtrack point (0 = default 8; needs -workers)")
 		memB     = flag.String("mem-budget", "", "visited-set memory budget per cell, e.g. 512M: past it, fingerprints spill to sorted runs on disk (empty = in-memory only)")
 		spillDir = flag.String("spill-dir", "", "directory for spill run files (default: a temporary directory per cell; needs -mem-budget)")
+		compress = flag.Bool("compress", false, "run the stateful cells with collapse compression (results bit-identical, only wall-clock moves)")
+		lossy    = flag.Bool("lossy", false, "run the stateful cells over the EXPLICITLY LOSSY bitstate store — cell state counts become coverage claims")
+		bitsB    = flag.String("bitstate-bytes", "", "bit-array size for -lossy, e.g. 64M (empty = 64M default; needs -lossy)")
 	)
 	flag.Parse()
 
@@ -67,6 +72,13 @@ func main() {
 	if err := cli.ValidateSpillFlags("spor", memBudget, *spillDir); err != nil {
 		fail(err)
 	}
+	bitstateBytes, err := cli.ParseBytes(*bitsB)
+	if err != nil {
+		fail(err)
+	}
+	if err := cli.ValidateLossyFlags("spor", *lossy, bitstateBytes, memBudget, ""); err != nil {
+		fail(err)
+	}
 	if *baseline == "" && (*regPct != 25 || *regFloor != 250*time.Millisecond) {
 		fail(fmt.Errorf("-regress-pct/-regress-floor require -baseline (they tune the regression gate)"))
 	}
@@ -74,6 +86,7 @@ func main() {
 		Budget: *budget, MaxStates: *maxSt, Paper: *paper,
 		Workers: *workers, StealDepth: *stealD,
 		StoreBudgetBytes: memBudget, SpillDir: *spillDir,
+		Compress: *compress, Lossy: *lossy, BitstateBytes: bitstateBytes,
 	}
 	var report eval.Report
 	emit := func(title string, rows []eval.Row) {
@@ -125,6 +138,19 @@ func main() {
 				fail(err)
 			}
 		}
+		if *table == 0 {
+			fmt.Println()
+		}
+	}
+	if *table == 0 || *table == 4 {
+		// No Verify here: the compression row's cells are pinned against
+		// each other by the baseline determinism gate, and the bitstate
+		// row's cells are coverage claims with no paper verdict to match.
+		rows, err := eval.StoreTierTable(opts)
+		if err != nil {
+			fail(err)
+		}
+		emit("Store tiers — collapse compression and lossy bitstate", rows)
 	}
 	if *outFile != "" {
 		if err := eval.WriteReportFile(*outFile, report); err != nil {

@@ -56,6 +56,9 @@ func run(args []string) error {
 		fair     = fs.Bool("fair", false, "restrict liveness counterexamples to weakly fair schedules (needs -property; forces full expansion — the fairness monitor observes every transition)")
 		memB     = fs.String("mem-budget", "", "visited-set memory budget, e.g. 512M or 2G: past it, fingerprints spill to sorted runs on disk (empty = in-memory only; spor, unreduced and bfs searches)")
 		spillDir = fs.String("spill-dir", "", "directory for spill run files (default: a temporary directory; needs -mem-budget)")
+		compress = fs.Bool("compress", false, "collapse compression: intern per-process and message-bag components in a shared table so stored state keys shrink to component IDs (stateful searches; verdicts and stats identical to uncompressed)")
+		lossy    = fs.Bool("lossy", false, "EXPLICITLY LOSSY bitstate store: k hash probes over a fixed bit array instead of an exact visited set — coverage sweeps past exact-store limits; a 'Verified' is a coverage claim, not a verdict (stateful searches, safety only)")
+		bitsB    = fs.String("bitstate-bytes", "", "bit-array size for -lossy, e.g. 64M or 1G (empty = 64M default; needs -lossy)")
 		dotOut   = fs.String("dot", "", "write the full state graph (small models!) as Graphviz DOT to this file")
 		traceDot = fs.String("trace-dot", "", "write the counterexample trace as Graphviz DOT to this file")
 	)
@@ -73,6 +76,16 @@ func run(args []string) error {
 		return err
 	}
 	if err := cli.ValidateLivenessFlags(*search, *property, *fair); err != nil {
+		return err
+	}
+	bitstateBytes, err := cli.ParseBytes(*bitsB)
+	if err != nil {
+		return err
+	}
+	if err := cli.ValidateLossyFlags(*search, *lossy, bitstateBytes, memBudget, *property); err != nil {
+		return err
+	}
+	if err := cli.ValidateCompressFlags(*search, *compress, *sym); err != nil {
 		return err
 	}
 
@@ -111,8 +124,17 @@ func run(args []string) error {
 		BatchSize:   *batch,
 		StealDepth:  *stealD,
 	}
+	var coll *explore.Collapser
+	if *compress {
+		coll = explore.NewCollapser()
+		opts.Canon = coll.Canon
+	}
 	var spill *explore.SpillStore
 	switch {
+	case *lossy:
+		// Concurrency-safe, so it serves the sequential and parallel
+		// engines alike. ValidateLossyFlags already rejected -mem-budget.
+		opts.Store = explore.NewBitstateStore(bitstateBytes, 0)
 	case memBudget > 0:
 		// The spill store is concurrency-safe, so it serves the
 		// sequential and parallel engines alike.
@@ -201,6 +223,12 @@ func run(args []string) error {
 	if memBudget > 0 {
 		fmt.Printf("mem-budget: %d bytes (visited set spills to disk past it)\n", memBudget)
 	}
+	if *compress {
+		fmt.Println("compress:  collapse compression on (stored keys are interned component IDs)")
+	}
+	if *lossy {
+		fmt.Println("lossy:     bitstate store — 'Verified' is a coverage claim, not a verdict")
+	}
 	if *dotOut != "" {
 		if err := writeGraphDOT(p, *dotOut); err != nil {
 			return err
@@ -217,6 +245,14 @@ func run(args []string) error {
 	}
 	if err != nil {
 		return err
+	}
+	// Compressed trace keys are run-internal intern-table IDs; decompress
+	// them so the trace renderer, -trace-dot and any downstream replay see
+	// full canonical state keys.
+	if coll != nil {
+		if err := coll.ExpandTrace(res.Trace); err != nil {
+			return err
+		}
 	}
 	report(res)
 	if *trace && len(res.Trace) > 0 {
@@ -271,6 +307,10 @@ func report(res *explore.Result) {
 	if st.SpillRuns > 0 || st.DiskProbes > 0 {
 		fmt.Printf("spill:     %d runs, %d bytes written, %d disk probes\n",
 			st.SpillRuns, st.SpillBytes, st.DiskProbes)
+	}
+	if st.BitstateFill > 0 {
+		fmt.Printf("bitstate:  %.4f fill, ~%.2e omission probability (state count is a coverage claim, not a census)\n",
+			st.BitstateFill, st.BitstateOmission)
 	}
 }
 

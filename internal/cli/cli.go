@@ -1,5 +1,3 @@
-// Package cli holds the testable core of the command-line tools: parsing
-// protocol settings and instantiating the bundled protocol models.
 package cli
 
 import (
@@ -240,6 +238,50 @@ func ValidateSpillFlags(search string, budgetBytes int64, spillDir string) error
 	}
 	if spillDir != "" {
 		return fmt.Errorf("-spill-dir requires -mem-budget (the spill directory is meaningless without a memory budget)")
+	}
+	return nil
+}
+
+// ValidateLossyFlags checks the lossy-store flag combinations the CLIs
+// accept: -lossy requires a stateful search (stateless and DPOR searches
+// keep no visited set, and DPOR's soundness argument assumes exactness
+// anyway), excludes -property (nested-DFS cycle detection needs an exact
+// visited set), excludes -mem-budget (the bitstate store never grows — its
+// size is -bitstate-bytes), and -bitstate-bytes is meaningless without
+// -lossy. Mirrors ValidateSpillFlags.
+func ValidateLossyFlags(search string, lossy bool, bitstateBytes, budgetBytes int64, property string) error {
+	if !lossy {
+		if bitstateBytes != 0 {
+			return fmt.Errorf("-bitstate-bytes requires -lossy (it sizes the lossy bitstate store's bit array)")
+		}
+		return nil
+	}
+	if !dfsSearch(search) && search != "bfs" {
+		return fmt.Errorf("-lossy requires a stateful search (spor, unreduced, dfs or bfs), not %q", search)
+	}
+	if property != "" {
+		return fmt.Errorf("-lossy is incompatible with -property: nested-DFS cycle detection needs an exact visited set")
+	}
+	if budgetBytes > 0 {
+		return fmt.Errorf("-lossy is incompatible with -mem-budget: the bitstate store never grows, size it with -bitstate-bytes instead")
+	}
+	return nil
+}
+
+// ValidateCompressFlags checks the collapse-compression flag combinations
+// the CLIs accept: -compress requires a stateful search (stateless and
+// DPOR searches keep no visited set to compress) and excludes -symmetry
+// (symmetry reduction installs its own canonicalizer, and a run gets
+// exactly one).
+func ValidateCompressFlags(search string, compress, symmetry bool) error {
+	if !compress {
+		return nil
+	}
+	if !dfsSearch(search) && search != "bfs" {
+		return fmt.Errorf("-compress requires a stateful search (spor, unreduced, dfs or bfs), not %q", search)
+	}
+	if symmetry {
+		return fmt.Errorf("-compress is incompatible with -symmetry: symmetry reduction installs its own canonicalizer")
 	}
 	return nil
 }

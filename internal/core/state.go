@@ -51,6 +51,21 @@ func (s *State) Key() string {
 	return s.key
 }
 
+// ComponentKeys returns the canonical encoding of the state component by
+// component: one key per process local state, plus the message-bag key.
+// Key() is exactly the locals joined by '|', then '#', then the bag key —
+// ComponentKeys exposes the parts before they are flattened, so collapse
+// compression (explore.Collapser) can intern each component in a shared
+// table instead of re-splitting the joined string (local keys may contain
+// any byte, so splitting the flat key would be ambiguous).
+func (s *State) ComponentKeys() (locals []string, bag string) {
+	locals = make([]string, len(s.Locals))
+	for i, l := range s.Locals {
+		locals[i] = l.Key()
+	}
+	return locals, s.Msgs.Key()
+}
+
 // Local returns the local state of process p.
 func (s *State) Local(p ProcessID) LocalState { return s.Locals[p] }
 

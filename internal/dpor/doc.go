@@ -29,4 +29,10 @@
 // backtrack and sleep sets) stays inside the walk, so a record can be
 // missing but never wrong, and verdicts, deterministic statistics and
 // counterexample traces are bit-identical to Explore for any worker count.
+//
+// In the store matrix (see package explore's doc), DPOR occupies the
+// no-store column: statelessness is not an implementation detail but the
+// soundness argument itself, which is why the facade rejects every
+// visited-store option — exact, spill, lossy bitstate and collapse
+// compression alike — when SearchDPOR is selected.
 package dpor

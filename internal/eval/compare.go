@@ -4,6 +4,7 @@
 // a baseline — wall-clock regressions past a threshold fail, and so do
 // determinism breaches (verdict or state-count drift on cells the engines
 // guarantee to be bit-identical run-to-run).
+
 package eval
 
 import (
@@ -88,10 +89,11 @@ var DeterministicStatsFields = []string{
 
 // VolatileStatsFields lists the explore.Stats fields explicitly excluded
 // from the determinism guarantee — wall-clock time, the spill tier's
-// storage-effort counters, whose values depend on insert timing, and the
+// storage-effort counters, whose values depend on insert timing, the
 // parallel-DPOR speculation counters, whose values depend on worker
-// scheduling — and therefore masked before any cross-run or cross-engine
-// comparison.
+// scheduling, and the lossy bitstate coverage figures, whose values depend
+// on which colliding state reached the store first — and therefore masked
+// before any cross-run or cross-engine comparison.
 var VolatileStatsFields = []string{
 	"Duration",
 	"SpillRuns",
@@ -99,6 +101,8 @@ var VolatileStatsFields = []string{
 	"DiskProbes",
 	"SpeculatedVisits",
 	"SpeculationHits",
+	"BitstateFill",
+	"BitstateOmission",
 }
 
 // MaskVolatileStats zeroes the fields of st that VolatileStatsFields

@@ -1,0 +1,24 @@
+// Package eval defines the paper's evaluation as executable experiments:
+// the quorum-semantics comparison of Table I, the transition-refinement
+// comparison of Table II, the interleaving-cost analysis of §II-C, and
+// the repo's own store-tier table (collapse compression and lossy
+// bitstate sweeps). cmd/mpbench prints the tables; the root bench_test.go
+// exposes each row as a Go benchmark.
+//
+// The package is part of the determinism contract (it appears in the lint
+// suite's deterministic allowlist) and is also the contract's arbiter: it
+// owns the canonical partition of result statistics into
+// DeterministicStatsFields — bit-identical across engines, worker counts,
+// schedulers and exact store tiers, enforced cell-by-cell by the baseline
+// gate in compare.go — and VolatileStatsFields, the timing, spill and
+// bitstate-coverage numbers that legitimately drift. The statsmask lint
+// analyzer cross-checks that partition against explore.Stats, so a new
+// statistic cannot ship without being classified.
+//
+// In the engine/store matrix, eval is the row driver: every cell it emits
+// names one engine (DFS, BFS, their parallel twins, DPOR, NDFS) crossed
+// with one reduction (none, SPOR, refinement, symmetry) and one store
+// tier (exact, fingerprint, sharded, spill, bitstate) or compression
+// mode. Cells over lossy or compressed tiers set Options accordingly and
+// inherit the facade's soundness gating.
+package eval

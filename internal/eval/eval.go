@@ -1,8 +1,3 @@
-// Package eval defines the paper's evaluation as executable experiments:
-// the quorum-semantics comparison of Table I, the transition-refinement
-// comparison of Table II, and the interleaving-cost analysis of §II-C.
-// cmd/mpbench prints the tables; the root bench_test.go exposes each row
-// as a Go benchmark.
 package eval
 
 import (
@@ -54,6 +49,22 @@ type Options struct {
 	// fresh temporary directory per cell, removed when the cell finishes.
 	// Only meaningful with StoreBudgetBytes > 0.
 	SpillDir string
+	// Compress runs the stateful cells with collapse compression: a fresh
+	// explore.Collapser per cell interns state components so stored keys
+	// shrink to component IDs. Cell results (verdicts, state and event
+	// counts) are bit-identical to uncompressed cells — the mapping is
+	// injective — so only wall-clock changes. DPOR cells keep no visited
+	// set and ignore it.
+	Compress bool
+	// Lossy runs the stateful cells over an explicitly lossy
+	// explore.BitstateStore sized by BitstateBytes instead of an exact
+	// store. Lossy cells are coverage claims: their state counts are a
+	// floor, and their "Verified" verdicts only mean no violation was found
+	// among the states visited. DPOR cells ignore it.
+	Lossy bool
+	// BitstateBytes sizes the lossy cells' bit array; 0 means the
+	// explore.BitstateStore 64 MiB default. Only meaningful with Lossy.
+	BitstateBytes int64
 }
 
 func (o Options) budget() time.Duration {
@@ -125,7 +136,14 @@ func (o Options) stateful(xo explore.Options) (func(*core.Protocol, explore.Opti
 		xo.StealDepth = o.StealDepth
 		engine = explore.ParallelDFS
 	}
+	if o.Compress {
+		// One collapser per cell: intern-table IDs are run-internal names,
+		// and cells must not share visited-set state.
+		xo.Canon = explore.NewCollapser().Canon
+	}
 	switch {
+	case o.Lossy:
+		xo.Store = explore.NewBitstateStore(o.BitstateBytes, 0)
 	case o.StoreBudgetBytes > 0:
 		sp, err := explore.NewSpillStore(explore.SpillConfig{BudgetBytes: o.StoreBudgetBytes, Dir: o.SpillDir})
 		if err != nil {

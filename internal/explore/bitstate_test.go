@@ -1,0 +1,148 @@
+package explore_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mpbasset/internal/core"
+	"mpbasset/internal/explore"
+	"mpbasset/internal/mptest"
+)
+
+// TestBitstateStoreBasics pins the Store contract on the lossy store at a
+// size where collisions are effectively impossible: Seen admits each
+// distinct key exactly once, Has probes without recording, Len counts
+// admitted keys, and SeenBatch sees in-batch duplicates on their second
+// occurrence like the exact stores do.
+func TestBitstateStoreBasics(t *testing.T) {
+	b := explore.NewBitstateStore(1<<20, 3)
+	if b.Has("a") {
+		t.Fatal("Has on an empty store")
+	}
+	if b.Seen("a") {
+		t.Fatal("first Seen(a) reported present")
+	}
+	if !b.Seen("a") || !b.Has("a") {
+		t.Fatal("second Seen(a) / Has(a) reported absent")
+	}
+	if got := b.SeenBatch([]string{"b", "a", "b"}); got[0] || !got[1] || !got[2] {
+		t.Fatalf("SeenBatch(b,a,b) = %v, want [false true true]", got)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (a and b)", b.Len())
+	}
+	fill, omission := b.BitstateStats()
+	if fill <= 0 || fill >= 1 {
+		t.Fatalf("fill = %v, want within (0,1)", fill)
+	}
+	if omission <= 0 || omission >= fill {
+		t.Fatalf("omission = %v, want within (0, fill=%v) for k=3", omission, fill)
+	}
+}
+
+// TestBitstateStoreSizing pins the constructor's clamping: budgets round
+// down to a power of two of bits with a 512-bit floor, and non-positive
+// arguments select the defaults.
+func TestBitstateStoreSizing(t *testing.T) {
+	// 1 byte is far below the floor: 512 bits. Saturate it and check the
+	// fill denominator via the reported ratio.
+	b := explore.NewBitstateStore(1, 1)
+	for i := 0; i < 10000; i++ {
+		b.Seen(fmt.Sprintf("key-%d", i))
+	}
+	fill, omission := b.BitstateStats()
+	if fill < 0.9 || fill > 1 {
+		t.Fatalf("fill = %v after saturating a floor-sized store, want near 1", fill)
+	}
+	if omission != fill {
+		t.Fatalf("omission = %v, want fill %v for k=1", omission, fill)
+	}
+	// Admissions are bounded by the bit count: each admitted key set at
+	// least one of the 512 bits.
+	if b.Len() > 512 {
+		t.Fatalf("Len = %d admitted keys exceeds the 512-bit floor array", b.Len())
+	}
+}
+
+// lossyModel is a generated protocol whose exact state space comfortably
+// exceeds the 512-bit floor array, so a floor-sized bitstate store MUST
+// omit states (each admitted state sets at least one bit — pigeonhole).
+func lossyModel(t *testing.T) *core.Protocol {
+	t.Helper()
+	p, err := mptest.Random(mptest.GenConfig{
+		Seed:       9,
+		MaxProcs:   4,
+		Quorums:    true,
+		AnyQuorums: true,
+		Cycles:     true,
+		RingSize:   5,
+		MaxRounds:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestBitstateOmissionAccounting is the provable-omission case: the exact
+// state space exceeds the floor-sized bit array, so the lossy run must
+// visit strictly fewer states, and the omission must be visible in the
+// reported fill/omission stats the engine copies into Stats.
+func TestBitstateOmissionAccounting(t *testing.T) {
+	p := lossyModel(t)
+	exact, err := explore.DFS(p, explore.Options{Store: explore.NewExactStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Verdict != explore.VerdictVerified {
+		t.Fatalf("exact verdict %s, want Verified (the model has no invariant)", exact.Verdict)
+	}
+	if exact.Stats.States <= 512 {
+		t.Fatalf("exact space has %d states; the test needs > 512 to force omission", exact.Stats.States)
+	}
+	res, err := explore.DFS(p, explore.Options{Store: explore.NewBitstateStore(64, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.States >= exact.Stats.States {
+		t.Fatalf("lossy run visited %d states, exact %d: a 512-bit array cannot hold them all",
+			res.Stats.States, exact.Stats.States)
+	}
+	if res.Stats.States > 512 {
+		t.Fatalf("lossy run admitted %d states into a 512-bit array", res.Stats.States)
+	}
+	if res.Stats.BitstateFill <= 0.5 {
+		t.Fatalf("fill = %v after saturating omission, want high", res.Stats.BitstateFill)
+	}
+	if res.Stats.BitstateOmission <= 0 {
+		t.Fatalf("omission estimate = %v with %d provably omitted states",
+			res.Stats.BitstateOmission, exact.Stats.States-res.Stats.States)
+	}
+	// The exact run, by contrast, must report no bitstate activity.
+	if exact.Stats.BitstateFill != 0 || exact.Stats.BitstateOmission != 0 {
+		t.Fatalf("exact run reports bitstate stats %v/%v", exact.Stats.BitstateFill, exact.Stats.BitstateOmission)
+	}
+}
+
+// TestBitstateSequentialDeterminism pins that a sequential lossy run is
+// reproducible: same store size, same probe count, same schedule — same
+// omissions, bit-identical results including the coverage stats. (The
+// parallel engines make no such promise; their visit order moves the
+// collisions, which is why the bitstate stats are classified volatile.)
+func TestBitstateSequentialDeterminism(t *testing.T) {
+	p := lossyModel(t)
+	run := func() *explore.Result {
+		res, err := explore.DFS(p, explore.Options{Store: explore.NewBitstateStore(64, 3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	sa, sb := a.Stats, b.Stats
+	sa.Duration, sb.Duration = 0, 0
+	if a.Verdict != b.Verdict || sa != sb {
+		t.Fatalf("two identical sequential lossy runs diverge:\n  %s %+v\n  %s %+v",
+			a.Verdict, sa, b.Verdict, sb)
+	}
+}

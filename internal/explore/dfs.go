@@ -64,7 +64,7 @@ func DFS(p *core.Protocol, opts Options) (result *Result, err error) {
 	)
 	defer func() {
 		res.Stats.Duration = lim.elapsed()
-		captureSpillStats(store, &res.Stats)
+		captureStoreStats(store, &res.Stats)
 		if serr := storeErr(store); serr != nil && err == nil {
 			result, err = nil, serr
 		}

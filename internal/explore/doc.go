@@ -55,4 +55,40 @@
 // they parallelize: the protocol's Enabled/Execute/CheckInvariant, the
 // Canon function and the Expander must be stateless or read-only (true of
 // everything in this repository).
+//
+// # The store matrix
+//
+// Every stateful engine takes its visited set through the Store interface,
+// and the tiers trade memory against exactness:
+//
+//   - ExactStore keeps full canonical keys — the reference tier, and the
+//     only one whose Len is a census by construction;
+//   - HashStore keeps 128-bit fingerprints (collisions are possible in
+//     principle, vanishingly rare in practice, and flagged nowhere — it is
+//     the default because at 16 bytes/state the differential suites have
+//     never produced a collision);
+//   - ShardedStore / ShardedHashStore stripe either of the above across
+//     mutexes for the parallel engines;
+//   - SpillStore bounds resident memory and overflows to sorted runs on
+//     disk (SpillReporter surfaces the traffic in Stats);
+//   - BitstateStore is the deliberately lossy tier: Spin-style bitstate
+//     hashing in a fixed budget, where a run's "no violation" is a
+//     coverage claim qualified by Stats.BitstateFill/BitstateOmission, and
+//     which the facade therefore refuses to combine with DPOR, stateless
+//     search or liveness properties.
+//
+// Orthogonally, the Canon hook rewrites the key the store sees: package
+// symmetry canonicalizes orbits, and Collapser (collapse compression, in
+// the sense of Spin's COLLAPSE mode) interns per-process components so a
+// key costs a few bytes instead of the full state encoding. Compressed
+// keys are run-internal names — injective within a run, meaningless
+// outside it — so counterexample traces are expanded back
+// (Collapser.ExpandTrace) before they are reported or replayed, and the
+// two Canon users cannot be stacked.
+//
+// Neighbouring packages place themselves in this matrix in their own
+// docs: por (static reduction feeding the Expander hook), dpor (stateless
+// dynamic reduction, incompatible with every store tier), liveness
+// (exact-store-only products), eval (the benchmark cells that sweep the
+// matrix), and symmetry/refine (the orthogonal reductions).
 package explore

@@ -25,6 +25,16 @@
 // The fair parameter turns on weak fairness, exercising the copies
 // monitor.
 //
+// The safety mode also runs a lossy-coverage leg: DFS and BFS over a
+// deliberately tiny BitstateStore, whose hash collisions silently omit
+// states. A lossy "no violation" is a coverage claim, not a verdict, so
+// this is the one leg the harness deliberately does NOT hold to
+// bit-identity — it asserts only the contracts a lossy run does make: any
+// violation it reports is real (the trace replays), it never "finds" a
+// violation in a space the exact reference verified, it never visits more
+// states than the exact reference, and omissions are visible in the
+// reported fill ratio.
+//
 // A third mode (the dporMode parameter, which takes precedence) targets the
 // stateless dynamic-POR engine: the input decodes into a generated
 // single-message model (quorum, cycle and trap knobs forced off — DPOR
@@ -313,6 +323,56 @@ func fuzzDPORCheck(t *testing.T, p *core.Protocol) {
 	}
 }
 
+// fuzzLossyCheck is the lossy-coverage leg of the safety mode: sequential
+// DFS and BFS over a deliberately tiny bitstate store (512 bits after the
+// constructor's floor, so hash collisions — omitted states — are forced on
+// all but the smallest inputs). Lossy results are coverage claims, not
+// verdicts, so nothing here is compared for bit-identity against the exact
+// engines; the leg pins the contracts a lossy run does make instead. ref
+// is the exact unreduced BFS reference (never VerdictLimit — the caller
+// skips those inputs).
+func fuzzLossyCheck(t *testing.T, p *core.Protocol, ref *explore.Result) {
+	for _, eng := range []diffEngine{
+		{"DFS", explore.DFS, false},
+		{"BFS", explore.BFS, false},
+	} {
+		xo := explore.Options{TrackTrace: true, MaxStates: fuzzMaxStates}
+		xo.Store = explore.NewBitstateStore(64, 3)
+		res, err := eng.run(p, xo)
+		if err != nil {
+			t.Fatalf("lossy/%s: %v", eng.name, err)
+		}
+		if res.Stats.BitstateFill <= 0 || res.Stats.BitstateFill > 1 {
+			t.Errorf("lossy/%s: fill %v outside (0,1] after a non-empty run", eng.name, res.Stats.BitstateFill)
+		}
+		if res.Verdict == explore.VerdictViolated {
+			// A lossy violation is real — omission can hide states, never
+			// invent them — so its trace must replay...
+			if _, err := explore.ReplayViolation(p, res.Trace, nil); err != nil {
+				t.Errorf("lossy/%s: counterexample does not replay: %v", eng.name, err)
+			}
+			// ...and a space the exact reference verified has none to find.
+			if ref.Verdict == explore.VerdictVerified {
+				t.Errorf("lossy/%s: violation reported in a space the exact reference verified", eng.name)
+			}
+		}
+		if ref.Verdict == explore.VerdictVerified {
+			// With no violation to stop at, the lossy run sees a subset of
+			// the exact space: omission only shrinks it. (A violated
+			// reference stops early, so no bound holds there.)
+			if res.Stats.States > ref.Stats.States {
+				t.Errorf("lossy/%s: %d states exceeds the exact reference's %d", eng.name, res.Stats.States, ref.Stats.States)
+			}
+			// Every omitted state is a collision, and collisions need set
+			// bits.
+			if res.Stats.States < ref.Stats.States && res.Stats.BitstateOmission <= 0 {
+				t.Errorf("lossy/%s: %d states omitted but omission estimate is %v", eng.name,
+					ref.Stats.States-res.Stats.States, res.Stats.BitstateOmission)
+			}
+		}
+	}
+}
+
 func FuzzEngineAgreement(f *testing.F) {
 	// Seed corpus: an acyclic quorum protocol, the cyclic soundness-matrix
 	// configurations (two-process bounce and longer rings at benign and
@@ -397,6 +457,10 @@ func FuzzEngineAgreement(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+
+		// Lossy-coverage leg: no bit-identity, only the coverage-claim
+		// contracts (see fuzzLossyCheck).
+		fuzzLossyCheck(t, p, ref)
 
 		check := func(label string, eng diffEngine, reduced *por.Expander, want *explore.Result) {
 			for _, spillStore := range []struct {

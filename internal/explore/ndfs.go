@@ -219,7 +219,7 @@ func ndfs(p *core.Protocol, opts Options, store Store, spec *nSpec) (result *Res
 	}
 	defer func() {
 		res.Stats.Duration = lim.elapsed()
-		captureSpillStats(store, &res.Stats)
+		captureStoreStats(store, &res.Stats)
 		if serr := storeErr(store); serr != nil && err == nil {
 			result, err = nil, serr
 		}

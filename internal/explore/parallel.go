@@ -173,7 +173,7 @@ func ParallelBFS(p *core.Protocol, opts Options) (result *Result, err error) {
 	)
 	defer func() {
 		res.Stats.Duration = lim.elapsed()
-		captureSpillStats(store, &res.Stats)
+		captureStoreStats(store, &res.Stats)
 		if serr := storeErr(store); serr != nil && err == nil {
 			result, err = nil, serr
 		}

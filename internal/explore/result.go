@@ -86,6 +86,14 @@ type Step struct {
 // describe scheduling luck, not the explored state space — both depend on
 // worker timing — so, like the spill counters, they are volatile and
 // masked before any determinism comparison.
+//
+// BitstateFill and BitstateOmission report a lossy store's coverage when
+// the search ran over a BitstateStore (always zero otherwise): the bit
+// array's fill ratio in [0,1] and the fill^k estimate of the probability
+// that a fresh state was wrongly treated as visited. They qualify the
+// run's coverage claim rather than describe the explored space, and under
+// the parallel engines the visit order moves which states collide — so
+// both are volatile and masked like the spill counters.
 type Stats struct {
 	States            int
 	Revisits          int
@@ -101,6 +109,8 @@ type Stats struct {
 	DiskProbes        int64
 	SpeculatedVisits  int
 	SpeculationHits   int
+	BitstateFill      float64
+	BitstateOmission  float64
 	Duration          time.Duration
 }
 

@@ -60,11 +60,15 @@ type SpillReporter interface {
 	SpillStats() (runs int, spilledBytes, diskProbes int64)
 }
 
-// captureSpillStats copies the store's spill counters into st when the
-// store has a disk tier; a no-op for purely in-memory stores.
-func captureSpillStats(store Store, st *Stats) {
+// captureStoreStats copies store-side counters into st once a search ends:
+// spill counters when the store has a disk tier, and fill/omission figures
+// when the store is lossy. A no-op for exact in-memory stores.
+func captureStoreStats(store Store, st *Stats) {
 	if sr, ok := store.(SpillReporter); ok {
 		st.SpillRuns, st.SpillBytes, st.DiskProbes = sr.SpillStats()
+	}
+	if br, ok := store.(BitstateReporter); ok {
+		st.BitstateFill, st.BitstateOmission = br.BitstateStats()
 	}
 }
 

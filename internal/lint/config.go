@@ -38,8 +38,8 @@ func evalPkg(path string) bool {
 }
 
 // All returns the full analyzer suite in stable order: the five original
-// contract checks, then the four closure-riding analyzers added with the
-// call-graph layer.
+// contract checks, the four closure-riding analyzers added with the
+// call-graph layer, then the documentation gate.
 func All() []*Analyzer {
 	return []*Analyzer{
 		MapOrder,
@@ -51,5 +51,6 @@ func All() []*Analyzer {
 		SelectOrder,
 		Exhaustive,
 		LockOrder,
+		DocCheck,
 	}
 }

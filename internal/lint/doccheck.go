@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// DocCheck enforces the documentation layer the package matrix depends on:
+// every internal package must carry its contract in a doc.go package
+// comment (which engines or stores it feeds, what determinism promise it
+// makes), and the engine/store packages — internal/explore and
+// internal/dpor, whose exported identifiers ARE the public matrix — must
+// document every exported identifier. Twelve internal packages, six
+// engines and four store tiers are navigable only if each package states
+// its place; a package whose contract lives in a reviewer's memory is
+// exactly how the README's store section fell behind NDFS and parallel
+// DPOR.
+//
+// The package-comment check wants a file literally named doc.go: package
+// comments attached to an arbitrary source file migrate or vanish when
+// that file is split, and godoc readers (and this repo's satellite
+// tooling) look for doc.go first. The identifier check accepts a doc
+// comment on the declaration or its group; `//lint:doc-ok reason`
+// suppresses it for identifiers that are deliberately self-explanatory.
+// Test files, external _test package variants, testdata fixtures and
+// package main are exempt.
+var DocCheck = &Analyzer{
+	Name: "doccheck",
+	Doc:  "internal packages must have a doc.go package comment; exported engine/store identifiers must have doc comments",
+	Run:  runDocCheck,
+}
+
+// engineStorePkg reports whether path names one of the engine/store
+// packages held to the per-identifier documentation rule. Suffix matching
+// for the same reason as deterministicPkgSuffixes: the linttest fixtures
+// reproduce the layout without the module prefix.
+func engineStorePkg(path string) bool {
+	for _, suf := range []string{"internal/explore", "internal/dpor"} {
+		if path == suf || strings.HasSuffix(path, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// exportedRecv reports whether a method receiver names an exported type
+// (unwrapping pointers and type-parameter instantiations).
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// internalPkg reports whether the import path has an "internal" segment —
+// the scope of the doc.go rule.
+func internalPkg(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "internal" {
+			return true
+		}
+	}
+	return false
+}
+
+func runDocCheck(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !internalPkg(path) || strings.Contains(path, "testdata") {
+		return nil
+	}
+	if pass.Pkg.Name() == "main" || strings.HasSuffix(pass.Pkg.Name(), "_test") {
+		return nil
+	}
+
+	// The doc.go rule: some file named doc.go must carry the package
+	// comment. Report on the lexically-first non-test file's package
+	// clause, the stable anchor a reader would look at first.
+	var anchor *ast.File
+	anchorName := ""
+	hasDocGo := false
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if anchor == nil || name < anchorName {
+			anchor, anchorName = f, name
+		}
+		if name == "doc.go" && f.Doc != nil {
+			hasDocGo = true
+		}
+	}
+	if anchor == nil {
+		return nil // external-test variants and empty units have no contract to anchor
+	}
+	if !hasDocGo {
+		pass.Reportf(anchor.Name.Pos(), "internal package %s has no doc.go package comment: state the package's determinism contract and its place in the engine/store matrix", pass.Pkg.Name())
+	}
+
+	if !engineStorePkg(path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || pass.annotated(d.Pos(), "doc-ok") || d.Doc != nil {
+					continue
+				}
+				kind := "function"
+				if d.Recv != nil {
+					// A method is API only if its receiver type is: an
+					// exported Close on an unexported helper struct needs no
+					// godoc entry.
+					if !exportedRecv(d.Recv) {
+						continue
+					}
+					kind = "method"
+				}
+				pass.Reportf(d.Name.Pos(), "exported %s %s of engine/store package %s has no doc comment", kind, d.Name.Name, pass.Pkg.Name())
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() || pass.annotated(s.Pos(), "doc-ok") || d.Doc != nil || s.Doc != nil {
+							continue
+						}
+						pass.Reportf(s.Name.Pos(), "exported type %s of engine/store package %s has no doc comment", s.Name.Name, pass.Pkg.Name())
+					case *ast.ValueSpec:
+						if pass.annotated(s.Pos(), "doc-ok") || d.Doc != nil || s.Doc != nil {
+							continue
+						}
+						for _, name := range s.Names {
+							if !name.IsExported() {
+								continue
+							}
+							pass.Reportf(name.Pos(), "exported identifier %s of engine/store package %s has no doc comment", name.Name, pass.Pkg.Name())
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -13,7 +13,9 @@ import (
 
 // violatingSource needs no imports, so it typechecks in both drivers
 // without export data or a fake stdlib: a deferred Close dropping its
-// error in a function that returns error.
+// error in a function that returns error. Run is documented and the temp
+// module carries a doc.go (docSource) so doccheck stays quiet and the
+// deferrederr finding is the only diagnostic.
 const violatingSource = `package explore
 
 type res struct{}
@@ -22,6 +24,7 @@ func (r *res) Close() error { return nil }
 
 func acquire() (*res, error) { return &res{}, nil }
 
+// Run acquires and leaks a close error.
 func Run() error {
 	r, err := acquire()
 	if err != nil {
@@ -30,6 +33,11 @@ func Run() error {
 	defer r.Close()
 	return nil
 }
+`
+
+// docSource is the temp module's doc.go, keeping doccheck satisfied.
+const docSource = `// Package explore is a one-package fixture module for the driver tests.
+package explore
 `
 
 // writeTempModule lays out a one-package module and returns its root.
@@ -44,6 +52,9 @@ func writeTempModule(t *testing.T) string {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(filepath.Join(pkgDir, "explore.go"), []byte(violatingSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pkgDir, "doc.go"), []byte(docSource), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	return dir
@@ -78,13 +89,17 @@ func TestRunUnitchecker(t *testing.T) {
 	if err := os.WriteFile(src, []byte(violatingSource), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	docFile := filepath.Join(dir, "doc.go")
+	if err := os.WriteFile(docFile, []byte(docSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	vetx := filepath.Join(dir, "out.vetx")
 	cfg := map[string]any{
 		"ID":         "example.com/tmp/internal/explore",
 		"Compiler":   "gc",
 		"ImportPath": "example.com/tmp/internal/explore",
 		"GoVersion":  "go1.24",
-		"GoFiles":    []string{src},
+		"GoFiles":    []string{src, docFile},
 		"VetxOutput": vetx,
 	}
 	data, err := json.Marshal(cfg)

@@ -50,6 +50,10 @@ func TestLockOrder(t *testing.T) {
 	linttest.Run(t, lint.LockOrder, "testdata/lockorder")
 }
 
+func TestDocCheck(t *testing.T) {
+	linttest.Run(t, lint.DocCheck, "testdata/doccheck")
+}
+
 // TestCallGraph proves the closure engine's cross-package edges with the
 // maporder analyzer: a Store implementation reached only through the
 // explore.Store interface, and a protocol callback assigned into a
@@ -61,7 +65,7 @@ func TestCallGraph(t *testing.T) {
 // TestAll pins the suite roster: drivers (standalone, vettool, Makefile)
 // all run All(), so a new analyzer only ships when it is registered.
 func TestAll(t *testing.T) {
-	want := []string{"maporder", "wallclock", "statsmask", "storecontract", "deferrederr", "ptraddr", "selectorder", "exhaustive", "lockorder"}
+	want := []string{"maporder", "wallclock", "statsmask", "storecontract", "deferrederr", "ptraddr", "selectorder", "exhaustive", "lockorder", "doccheck"}
 	got := lint.All()
 	if len(got) != len(want) {
 		t.Fatalf("All() has %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,37 @@
+// Package linttest runs an analyzer over a self-contained fixture tree
+// and checks its diagnostics against `// want` expectations, in the
+// spirit of golang.org/x/tools/go/analysis/analysistest (reimplemented on
+// the standard library; see internal/lint for why the module carries its
+// own framework).
+//
+// A fixture root is a directory tree whose sub-directories are packages:
+// the import path of each package is its path relative to the root, so a
+// fixture at testdata/maporder/internal/explore typechecks as package
+// path "internal/explore" and matches the suite's entry-point and
+// package scoping exactly like the real tree. Imports resolve inside the
+// fixture tree only — a fixture that needs `time` declares its own
+// minimal fake at <root>/time, keeping the tests hermetic and fast
+// (`unsafe` is the one import served by the typechecker itself).
+//
+// The whole tree runs through the same closure-aware pipeline the
+// drivers use (lint.RunPackages with the default entry points), so a
+// fixture exercises reachability: a `func BFS()` in a fixture package
+// named internal/explore is an engine entry point, and a violation in a
+// helper is only reported if some entry point reaches it. Expectations
+// are therefore matched globally over the tree, not per package.
+//
+// Expectations are comments of the form
+//
+//	for k := range m { // want `range over map`
+//
+// where the backquoted text is a regexp that must match a diagnostic
+// reported on that line. Block comments work too (`/* want `re` */`),
+// which is how a line that already carries a //lint: annotation states
+// its expectation. Every diagnostic must be expected and every
+// expectation must fire; mismatches fail the test with positions.
+//
+// The package itself makes no determinism claims — it is harness, not
+// engine — but it is where the lint suite's claims about the engine/store
+// matrix (including doccheck's documentation gate on that matrix) are
+// themselves proven against known-answer fixtures.
+package linttest

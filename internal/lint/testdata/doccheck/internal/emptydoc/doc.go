@@ -1,0 +1,1 @@
+package emptydoc // want `internal package emptydoc has no doc.go package comment`

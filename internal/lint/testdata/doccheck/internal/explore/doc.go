@@ -1,0 +1,3 @@
+// Package explore is the fixture engine/store package: every exported
+// identifier here must carry a doc comment.
+package explore

@@ -1,0 +1,27 @@
+package explore
+
+// Good is a documented store type.
+type Good struct{}
+
+type Bad struct{} // want `exported type Bad of engine/store package explore has no doc comment`
+
+func Missing() {} // want `exported function Missing of engine/store package explore has no doc comment`
+
+// Run is documented.
+func Run() {}
+
+func (Good) Probe() {} // want `exported method Probe of engine/store package explore has no doc comment`
+
+func internalHelper() {}
+
+var Budget = 64 //lint:doc-ok sized and explained by the constructor's doc comment
+
+var Floor = 8 // want `exported identifier Floor of engine/store package explore has no doc comment`
+
+var Probe2 = 1 /* want `needs a reason` */ //lint:doc-ok
+
+// Grouped declarations are covered by the group doc.
+const (
+	KMax = 16
+	KMin = 1
+)

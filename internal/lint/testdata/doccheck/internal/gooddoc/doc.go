@@ -1,0 +1,3 @@
+// Package gooddoc states its contract here: pure helpers with no engine
+// or store role, so only the doc.go rule applies.
+package gooddoc

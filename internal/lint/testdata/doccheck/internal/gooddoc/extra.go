@@ -1,0 +1,7 @@
+package gooddoc
+
+// Exported is documented, though gooddoc is not an engine/store package,
+// so the identifier rule would not apply regardless.
+func Exported() {}
+
+func AlsoExported() {}

@@ -1,0 +1,3 @@
+package nodoc // want `internal package nodoc has no doc.go package comment`
+
+func helper() {}

@@ -1,0 +1,4 @@
+package plain
+
+// Not under internal/: the doc.go rule does not apply.
+func Helper() {}

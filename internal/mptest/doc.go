@@ -1,0 +1,22 @@
+// Package mptest generates small randomized message-passing protocols with
+// honest POR annotations. The generator is the test bed for the soundness
+// arguments of this repository: partial-order reduction, dynamic POR,
+// transition refinement and symmetry reduction are all validated by
+// comparing their results against unreduced searches over thousands of
+// generated protocols (in addition to the bundled real protocols).
+//
+// Generated protocols are deterministic functions of their seed, bounded
+// (every state-changing transition is gated on a round counter), and
+// annotation-honest by construction: send specifications list exactly the
+// messages a transition can emit, reply transitions only answer their
+// senders, and ReadOnly transitions never touch local state. Protocols are
+// generated with ValidateSends enabled, so any generator bug that breaks
+// these claims fails the tests loudly.
+//
+// In the engine/store matrix, mptest supplies the differential workload:
+// the fuzz and soundness suites run one generated protocol through every
+// engine × reduction × store-tier cell and demand bit-identical results —
+// except over the lossy bitstate tier, whose runs are coverage claims and
+// are held only to their replay and monotonicity contracts (see
+// explore.BitstateStore).
+package mptest

@@ -41,4 +41,11 @@
 // proviso is exactly the cycle condition the nested-DFS engines need —
 // a reduced expansion never hides an accepting cycle from explore.NDFS,
 // as the differential tests against the Büchi-product oracle pin down.
+//
+// In the store matrix (see package explore's doc), static reduction is
+// store-agnostic: the expander only narrows which events an engine
+// executes, never how states are keyed or remembered, so SPOR composes
+// with every store tier — including the lossy bitstate tier, where the
+// reduction shrinks the state space before the bit array ever sees it —
+// and with both Canon users (symmetry, collapse compression).
 package por

@@ -1,0 +1,39 @@
+// Package multicast models Reiter's Echo Multicast (the consistent
+// multicast of Rampart, "Secure Agreement Protocols"), the paper's
+// Byzantine evaluation target.
+//
+// An initiator sends its message to all receivers; each honest receiver
+// echoes (signs) the first message it sees from that initiator; once the
+// initiator collects echoes from ⌈(n+f+1)/2⌉ distinct receivers it sends a
+// commit carrying the echo certificate, and receivers deliver a commit
+// with a valid certificate. Agreement — no two honest receivers deliver
+// different messages from one initiator — follows from quorum
+// intersection: two certificates of that size share at least f+1
+// receivers, hence at least one honest receiver, and an honest receiver
+// echoes only one message per initiator.
+//
+// Byzantine behaviour follows the paper's attack strategies (§V-A):
+//
+//   - a Byzantine initiator "attempts to violate the agreement property by
+//     sending different messages to each of two groups of honest
+//     receivers" and collects echo quorums for both;
+//   - a Byzantine receiver "sends invalid confirmations to an honest
+//     initiator and cooperates with a Byzantine initiator by confirming
+//     (signing) both of its messages".
+//
+// Signatures are abstracted into unforgeable certificates: commit messages
+// can only be constructed by collect transitions from genuinely received
+// echoes, and certificates list the distinct echoing receivers.
+//
+// The "wrong agreement" settings exceed the threshold assumption (more
+// Byzantine receivers than the protocol tolerates), and the model checker
+// finds the agreement counterexample.
+//
+// In the engine/store matrix, the package is pure workload: it builds
+// core.Protocol values and never touches engines or stores, so every
+// engine, reduction and store tier runs it unchanged. Its transitions are
+// deterministic functions of the state (the determinism contract's
+// precondition), its quorum transitions exercise the paper's
+// quorum-semantics comparison, and its Eventually-style delivery property
+// is the bundled liveness workload for the NDFS engines.
+package multicast

@@ -1,0 +1,28 @@
+// Package storage models a message-based regular storage protocol in the
+// style of Attiya, Bar-Noy and Dolev ("Sharing Memory Robustly in
+// Message-Passing Systems"), the paper's third evaluation target: a single
+// writer and R readers accessing B crash-prone base objects, with majority
+// quorums for both writes and reads.
+//
+// A write sends timestamped values to every base object and completes on a
+// majority of acknowledgements; a read probes every object and returns the
+// highest-timestamped value from a majority of replies.
+//
+// Regularity is specified with observer snapshots (GlobalReads, the
+// mechanism the paper's appendix footnote 7 allows for specifications):
+// each read records the writer's last completed timestamp at its start
+// (SnapStart) and at its completion (SnapEnd). The correct property demands
+// result ≥ SnapStart — a read not preceded by a concurrent write returns at
+// least the last completed value. The paper's deliberately "wrong
+// regularity" variant demands result ≥ SnapEnd: a read completing after a
+// write must return that write even if the two were concurrent, which a
+// regular register does not guarantee — the model checker finds the
+// counterexample.
+//
+// In the engine/store matrix, the package is pure workload, like its
+// sibling multicast: deterministic core.Protocol values that every
+// engine, reduction and store tier runs unchanged. Its larger settings
+// are the repo's store-tier stress cases — the (3,1) regular-storage
+// model is the worked example for spill, collapse-compressed and lossy
+// bitstate runs in the README and the eval store-tier table.
+package storage

@@ -1,18 +1,3 @@
-// Package refine implements transition refinement (§III): rewriting a
-// protocol's transition set without changing its state graph, so that
-// partial-order reduction sees finer-grained independence.
-//
-// Quorum-split (Definition 3) replaces an exact quorum transition t with
-// one transition per quorum-sized subset Q of its potential senders; the
-// split transition behaves exactly like t but consumes messages only from
-// the processes in Q. Reply-split applies the same construction to reply
-// transitions (Definition 4), whose sends go only back to the senders of
-// the consumed messages — after the split, the static analysis knows the
-// refined transition can feed only its named peers.
-//
-// Theorem 2 (a quorum-split is a transition refinement, i.e. the state
-// graph is unchanged) is validated by this package's tests through explicit
-// state-graph equality on the bundled protocols and on randomized ones.
 package refine
 
 import (

@@ -1,0 +1,24 @@
+// Package symmetry implements role-based symmetry reduction, the
+// orthogonal technique the paper cites as combinable with its reductions
+// (§VI, referencing the authors' prior work on role-based symmetry of
+// fault-tolerant protocols): processes playing the same role — Paxos
+// acceptors, storage base objects, honest multicast receivers — are
+// interchangeable, so states that differ only by a permutation of
+// same-role processes are identified.
+//
+// The reduction plugs into the searches as a canonicalization hook
+// (explore.Options.Canon): the visited-set key of a state is the
+// lexicographically least encoding over all role-preserving permutations.
+// Local states and payloads that embed process IDs must implement Remapper
+// so the permutation can be applied consistently; ID-free values need not
+// do anything.
+//
+// In the engine/store matrix, symmetry occupies the same Canon slot as
+// collapse compression (explore.Collapser), so the facade rejects the two
+// together: both rewrite the visited-set key, and composing them would
+// intern orbit representatives under run-local IDs that no longer expand
+// to the state the engine actually visited. The canonicalizer is a pure
+// function of the state, so symmetric runs keep the bit-identity contract
+// across engines and worker counts; any exact store tier (including
+// spill) works unchanged, since stores only ever see the canonical key.
+package symmetry

@@ -1,17 +1,3 @@
-// Package symmetry implements role-based symmetry reduction, the
-// orthogonal technique the paper cites as combinable with its reductions
-// (§VI, referencing the authors' prior work on role-based symmetry of
-// fault-tolerant protocols): processes playing the same role — Paxos
-// acceptors, storage base objects, honest multicast receivers — are
-// interchangeable, so states that differ only by a permutation of
-// same-role processes are identified.
-//
-// The reduction plugs into the searches as a canonicalization hook
-// (explore.Options.Canon): the visited-set key of a state is the
-// lexicographically least encoding over all role-preserving permutations.
-// Local states and payloads that embed process IDs must implement Remapper
-// so the permutation can be applied consistently; ID-free values need not
-// do anything.
 package symmetry
 
 import (

@@ -211,6 +211,37 @@ type Options struct {
 	// means a fresh temporary directory, removed when the check returns.
 	// Only meaningful (and only accepted) with StoreBudgetBytes > 0.
 	SpillDir string
+	// Compress enables collapse-style state compression (-compress): a
+	// shared intern table dedupes each process's local-state component and
+	// the message-bag component across states, so the canonical key a state
+	// contributes to the visited store, the fingerprint hash and the spill
+	// tier shrinks to a few decimal component IDs. Exact-mode semantics are
+	// unchanged — the compressed mapping is injective, so verdicts, every
+	// statistic and the explored state space are bit-identical to the
+	// uncompressed run — and counterexample traces are transparently
+	// decompressed before Check returns, so trace consumers (Replay, DOT
+	// rendering) see full canonical keys. Works with every store tier and
+	// every stateful search; incompatible with SymmetryRoles (symmetry
+	// installs its own canonicalizer) and rejected by the stateless and
+	// DPOR searches, which it could not speed up.
+	Compress bool
+	// Lossy switches the visited set to an explicitly lossy Spin-style
+	// bitstate/hash-compaction store (-lossy): k hash probes per state over
+	// a fixed bit array sized by BitstateBytes. Memory never grows past the
+	// budget, so coverage sweeps can run far beyond exact-store limits, but
+	// distinct states may collide and be silently skipped — a lossy
+	// "Verified" is a coverage claim, not a verdict, and Result.Stats
+	// reports the bit array's fill ratio and estimated omission probability
+	// (BitstateFill, BitstateOmission) so the claim can be judged. A
+	// reported violation is still real and its trace replays like any
+	// other. Rejected wherever soundness demands an exact visited set:
+	// stateless and DPOR searches, liveness properties (Property), and the
+	// exact-trace options ExactStates and StoreBudgetBytes.
+	Lossy bool
+	// BitstateBytes sizes the lossy store's bit array in bytes
+	// (-bitstate-bytes); 0 means 64 MiB. Only meaningful (and only
+	// accepted) with Lossy.
+	BitstateBytes int64
 	// MaxStates bounds the number of explored states; 0 = unlimited.
 	MaxStates int
 	// MaxDuration bounds the wall-clock time; 0 = unlimited.
@@ -270,9 +301,40 @@ func Check(p *Protocol, opts Options) (*Result, error) {
 	if opts.SpillDir != "" && opts.StoreBudgetBytes <= 0 {
 		return nil, fmt.Errorf("mpbasset: SpillDir (-spill-dir) requires StoreBudgetBytes (-mem-budget): the spill directory is meaningless without a memory budget")
 	}
+	if opts.BitstateBytes != 0 && !opts.Lossy {
+		return nil, fmt.Errorf("mpbasset: BitstateBytes (-bitstate-bytes) requires Lossy (-lossy): the bit-array budget is meaningless without the lossy store")
+	}
 	parallel := opts.Workers > 0
+	if opts.Lossy {
+		switch opts.Search {
+		case SearchStateless, SearchDPOR:
+			return nil, fmt.Errorf("mpbasset: Lossy (-lossy) requires a stateful search (stateless and DPOR searches keep no visited set)")
+		}
+		switch {
+		case opts.Property != nil:
+			return nil, fmt.Errorf("mpbasset: Lossy (-lossy) is incompatible with Property (-property): nested DFS cycle detection needs an exact visited set")
+		case opts.ExactStates:
+			return nil, fmt.Errorf("mpbasset: Lossy (-lossy) is incompatible with ExactStates: the bitstate store keeps hash probes, not states")
+		case opts.StoreBudgetBytes > 0:
+			return nil, fmt.Errorf("mpbasset: Lossy (-lossy) is incompatible with StoreBudgetBytes (-mem-budget): the bitstate store never grows, size it with BitstateBytes (-bitstate-bytes) instead")
+		}
+	}
+	var coll *explore.Collapser
+	if opts.Compress {
+		switch opts.Search {
+		case SearchStateless, SearchDPOR:
+			return nil, fmt.Errorf("mpbasset: Compress (-compress) requires a stateful search (stateless and DPOR searches keep no visited set to compress)")
+		}
+		if opts.SymmetryRoles != nil {
+			return nil, fmt.Errorf("mpbasset: Compress (-compress) is incompatible with SymmetryRoles (-symmetry): symmetry reduction installs its own canonicalizer")
+		}
+		coll = explore.NewCollapser()
+		xo.Canon = coll.Canon
+	}
 	var spill *explore.SpillStore
-	if opts.StoreBudgetBytes > 0 {
+	if opts.Lossy {
+		xo.Store = explore.NewBitstateStore(opts.BitstateBytes, 0)
+	} else if opts.StoreBudgetBytes > 0 {
 		if opts.ExactStates {
 			return nil, fmt.Errorf("mpbasset: StoreBudgetBytes is incompatible with ExactStates (the spill tier stores 128-bit fingerprints only)")
 		}
@@ -317,6 +379,16 @@ func Check(p *Protocol, opts Options) (*Result, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	// Compressed trace keys are run-internal intern-table IDs; decompress
+	// them so callers (Replay with a nil canon, DOT rendering) always see
+	// the states' full canonical keys, regardless of Compress. This also
+	// restores bit-identical traces across worker counts: intern IDs depend
+	// on the parallel engines' visit order, full keys do not.
+	if coll != nil {
+		if xerr := coll.ExpandTrace(res.Trace); xerr != nil {
+			return nil, fmt.Errorf("mpbasset: decompressing counterexample trace: %w", xerr)
+		}
 	}
 	return res, nil
 }

@@ -397,3 +397,154 @@ func TestCheckLiveness(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckCompress pins collapse compression's facade contract: verdicts
+// and deterministic stats identical to the uncompressed run, and traces
+// transparently decompressed to full canonical keys — bit-identical to the
+// uncompressed trace, sequential and parallel alike — so replay with a nil
+// canon works as if compression had never happened.
+func TestCheckCompress(t *testing.T) {
+	verified, err := paxos.New(paxos.Config{Proposers: 1, Acceptors: 3, Learners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	violating, err := paxos.New(paxos.Config{Proposers: 2, Acceptors: 3, Learners: 1, Faulty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		p    *mpbasset.Protocol
+		opts mpbasset.Options
+	}{
+		{"sequential-spor", verified, mpbasset.Options{TrackTrace: true}},
+		{"parallel-spor", verified, mpbasset.Options{TrackTrace: true, Workers: 4}},
+		{"violating-dfs", violating, mpbasset.Options{Search: mpbasset.SearchUnreduced, TrackTrace: true}},
+		{"violating-parallel", violating, mpbasset.Options{TrackTrace: true, Workers: 4}},
+		{"violating-bfs", violating, mpbasset.Options{Search: mpbasset.SearchBFS, TrackTrace: true}},
+		{"spill", verified, mpbasset.Options{TrackTrace: true, StoreBudgetBytes: 2048}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, err := mpbasset.Check(tc.p, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compressed := tc.opts
+			compressed.Compress = true
+			res, err := mpbasset.Check(tc.p, compressed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Verdict != ref.Verdict {
+				t.Fatalf("verdict %s compressed, %s plain", res.Verdict, ref.Verdict)
+			}
+			rs, ws := res.Stats, ref.Stats
+			rs.Duration, ws.Duration = 0, 0
+			rs.SpillRuns, rs.SpillBytes, rs.DiskProbes = 0, 0, 0
+			ws.SpillRuns, ws.SpillBytes, ws.DiskProbes = 0, 0, 0
+			if rs != ws {
+				t.Errorf("stats %+v compressed, %+v plain", rs, ws)
+			}
+			if len(res.Trace) != len(ref.Trace) {
+				t.Fatalf("trace length %d compressed, %d plain", len(res.Trace), len(ref.Trace))
+			}
+			// The decompressed trace must match the uncompressed run's
+			// full-key trace step for step...
+			for i := range res.Trace {
+				if res.Trace[i].StateKey != ref.Trace[i].StateKey ||
+					res.Trace[i].Event.Key() != ref.Trace[i].Event.Key() {
+					t.Fatalf("trace step %d diverges after decompression", i)
+				}
+			}
+			// ...and replay against the protocol with a nil canon.
+			if res.Verdict == mpbasset.VerdictViolated {
+				if _, err := explore.ReplayViolation(tc.p, res.Trace, nil); err != nil {
+					t.Errorf("decompressed trace does not replay: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckLossy drives the lossy bitstate store through the facade: the
+// coverage stats are populated, the visited count never exceeds the exact
+// run's on a verified space, and sequential lossy runs are reproducible.
+func TestCheckLossy(t *testing.T) {
+	p, err := paxos.New(paxos.Config{Proposers: 1, Acceptors: 3, Learners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		opts mpbasset.Options
+	}{
+		{"default-size", mpbasset.Options{Lossy: true}},
+		{"tiny", mpbasset.Options{Lossy: true, BitstateBytes: 64}},
+		{"parallel", mpbasset.Options{Lossy: true, Workers: 4}},
+		{"bfs", mpbasset.Options{Lossy: true, Search: mpbasset.SearchBFS}},
+		{"compressed", mpbasset.Options{Lossy: true, Compress: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// The exact reference runs the same search with the lossy store
+			// swapped out, so state counts compare like against like.
+			exactOpts := tc.opts
+			exactOpts.Lossy, exactOpts.BitstateBytes = false, 0
+			ref, err := mpbasset.Check(p, exactOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := mpbasset.Check(p, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.BitstateFill <= 0 || res.Stats.BitstateFill > 1 {
+				t.Errorf("fill %v outside (0,1]", res.Stats.BitstateFill)
+			}
+			if res.Stats.BitstateOmission <= 0 || res.Stats.BitstateOmission > 1 {
+				t.Errorf("omission %v outside (0,1]", res.Stats.BitstateOmission)
+			}
+			if ref.Verdict == mpbasset.VerdictVerified && res.Stats.States > ref.Stats.States {
+				t.Errorf("lossy run visited %d states, exact %d", res.Stats.States, ref.Stats.States)
+			}
+			if res.Verdict == mpbasset.VerdictViolated && ref.Verdict == mpbasset.VerdictVerified {
+				t.Errorf("lossy violation in a space the exact run verified")
+			}
+		})
+	}
+}
+
+// TestCheckLossyCompressRejections pins the option-combination errors of
+// the raw-speed tier: lossy mode wherever soundness demands exactness, and
+// compression where no visited set exists or another canonicalizer is
+// already installed.
+func TestCheckLossyCompressRejections(t *testing.T) {
+	p, err := paxos.New(paxos.Config{Proposers: 1, Acceptors: 3, Learners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := paxos.New(paxos.Config{Proposers: 1, Acceptors: 3, Learners: 1, Model: paxos.ModelSingle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := mpbasset.Eventually("never", nil, func(*mpbasset.State) bool { return false })
+	cases := []struct {
+		name string
+		p    *mpbasset.Protocol
+		opts mpbasset.Options
+	}{
+		{"bitstate-bytes-without-lossy", p, mpbasset.Options{BitstateBytes: 1 << 20}},
+		{"lossy-stateless", p, mpbasset.Options{Lossy: true, Search: mpbasset.SearchStateless}},
+		{"lossy-dpor", single, mpbasset.Options{Lossy: true, Search: mpbasset.SearchDPOR}},
+		{"lossy-property", p, mpbasset.Options{Lossy: true, Property: prop}},
+		{"lossy-exact-states", p, mpbasset.Options{Lossy: true, ExactStates: true}},
+		{"lossy-mem-budget", p, mpbasset.Options{Lossy: true, StoreBudgetBytes: 1 << 20}},
+		{"compress-stateless", p, mpbasset.Options{Compress: true, Search: mpbasset.SearchStateless}},
+		{"compress-dpor", single, mpbasset.Options{Compress: true, Search: mpbasset.SearchDPOR}},
+		{"compress-symmetry", p, mpbasset.Options{Compress: true, SymmetryRoles: [][]mpbasset.ProcessID{{1, 2, 3}}}},
+	}
+	for _, tc := range cases {
+		if _, err := mpbasset.Check(tc.p, tc.opts); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
